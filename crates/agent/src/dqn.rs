@@ -1,0 +1,437 @@
+//! Deep Q-network policy with target network and experience replay —
+//! the paper's "detailed architecture for incorporating real-time
+//! performance feedback using deep reinforcement learning" (§6).
+
+use crate::action::AgentAction;
+use crate::state::STATE_DIM;
+use nn::{huber_loss_grad, Adam, Mlp, MlpConfig, ReplayBuffer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the DQN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size per training step.
+    pub batch_size: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+    /// Hard target-network sync every this many training steps.
+    pub target_sync_interval: u64,
+    /// ε-greedy schedule: linear decay from start to end over decay_steps
+    /// action selections.
+    pub epsilon_start: f64,
+    pub epsilon_end: f64,
+    pub epsilon_decay_steps: u64,
+    /// Global-norm gradient clip.
+    pub grad_clip: f64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            gamma: 0.92,
+            learning_rate: 1e-3,
+            batch_size: 32,
+            replay_capacity: 50_000,
+            target_sync_interval: 200,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 3_000,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// One (s, a, r, s') transition with the *next* state's action mask so the
+/// bootstrap max never selects a non-compliant action.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    pub state: Vec<f64>,
+    pub action: usize,
+    pub reward: f64,
+    pub next_state: Vec<f64>,
+    pub next_mask: [bool; AgentAction::COUNT],
+    pub terminal: bool,
+}
+
+/// The smart model's Q-learning core.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    online: Mlp,
+    target: Mlp,
+    optimizer: Adam,
+    replay: ReplayBuffer<Transition>,
+    config: DqnConfig,
+    selections: u64,
+    train_steps: u64,
+}
+
+impl DqnAgent {
+    /// Builds a fresh agent with seeded initialization.
+    pub fn new(config: DqnConfig, rng: &mut impl Rng) -> Self {
+        let mut layers = vec![STATE_DIM];
+        layers.extend_from_slice(&config.hidden);
+        layers.push(AgentAction::COUNT);
+        let online = Mlp::new(MlpConfig::new(layers.clone()), rng);
+        let mut target = Mlp::new(MlpConfig::new(layers), rng);
+        target.copy_parameters_from(&online);
+        let optimizer = Adam::new(config.learning_rate, online.optimizer_slots());
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        Self {
+            online,
+            target,
+            optimizer,
+            replay,
+            config,
+            selections: 0,
+            train_steps: 0,
+        }
+    }
+
+    /// Q-values of the online network.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.online.forward(state)
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        let c = &self.config;
+        if self.selections >= c.epsilon_decay_steps {
+            c.epsilon_end
+        } else {
+            let frac = self.selections as f64 / c.epsilon_decay_steps as f64;
+            c.epsilon_start + (c.epsilon_end - c.epsilon_start) * frac
+        }
+    }
+
+    /// Transitions stored so far.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Training steps taken.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Greedy (exploit-only) action under the mask.
+    ///
+    /// # Panics
+    /// Panics if the mask permits nothing (the constraint layer always
+    /// permits NoOp, so an all-false mask is a programming error).
+    pub fn greedy_action(&self, state: &[f64], mask: &[bool; AgentAction::COUNT]) -> AgentAction {
+        let q = self.q_values(state);
+        masked_argmax(&q, mask)
+    }
+
+    /// ε-greedy action selection; pass `explore = false` at serving time.
+    pub fn select_action(
+        &mut self,
+        state: &[f64],
+        mask: &[bool; AgentAction::COUNT],
+        rng: &mut impl Rng,
+        explore: bool,
+    ) -> AgentAction {
+        self.selections += 1;
+        if explore && rng.gen::<f64>() < self.epsilon() {
+            let allowed: Vec<AgentAction> = AgentAction::ALL
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(a, _)| *a)
+                .collect();
+            assert!(!allowed.is_empty(), "action mask permits nothing");
+            allowed[rng.gen_range(0..allowed.len())]
+        } else {
+            self.greedy_action(state, mask)
+        }
+    }
+
+    /// Stores a transition.
+    pub fn observe(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), STATE_DIM);
+        debug_assert_eq!(t.next_state.len(), STATE_DIM);
+        debug_assert!(t.action < AgentAction::COUNT);
+        self.replay.push(t);
+    }
+
+    /// One mini-batch Q-learning update. Returns the batch's mean absolute
+    /// TD error, or `None` when the buffer is smaller than a batch.
+    pub fn train_step(&mut self, rng: &mut impl Rng) -> Option<f64> {
+        if self.replay.len() < self.config.batch_size {
+            return None;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(self.config.batch_size, rng)
+            .into_iter()
+            .cloned()
+            .collect();
+
+        let mut accumulated: Option<nn::mlp::MlpGradients> = None;
+        let mut td_sum = 0.0;
+        for t in &batch {
+            // Bootstrap with the target network over the *masked* next
+            // actions: a non-compliant action can never back up value.
+            let bootstrap = if t.terminal {
+                0.0
+            } else {
+                let nq = self.target.forward(&t.next_state);
+                masked_max(&nq, &t.next_mask)
+            };
+            let target_q = t.reward + self.config.gamma * bootstrap;
+
+            let trace = self.online.forward_trace(&t.state);
+            let q = trace.output().to_vec();
+            let td = q[t.action] - target_q;
+            td_sum += td.abs();
+
+            // Gradient flows only through the taken action's output.
+            let mut pred = vec![0.0; AgentAction::COUNT];
+            let mut tgt = vec![0.0; AgentAction::COUNT];
+            pred[t.action] = q[t.action];
+            tgt[t.action] = target_q;
+            let grad_out = huber_loss_grad(&pred, &tgt, 1.0);
+            let g = self.online.backward(&trace, &grad_out);
+            match &mut accumulated {
+                Some(acc) => acc.accumulate(&g),
+                None => accumulated = Some(g),
+            }
+        }
+        let mut grads = accumulated.expect("non-empty batch");
+        grads.scale(1.0 / batch.len() as f64);
+        grads.clip_l2_norm(self.config.grad_clip);
+        self.online.apply_gradients(&grads, &mut self.optimizer);
+
+        self.train_steps += 1;
+        if self.train_steps % self.config.target_sync_interval == 0 {
+            self.target.copy_parameters_from(&self.online);
+        }
+        Some(td_sum / batch.len() as f64)
+    }
+}
+
+/// Argmax of `q` restricted to mask-true indices.
+fn masked_argmax(q: &[f64], mask: &[bool; AgentAction::COUNT]) -> AgentAction {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (&qi, &m)) in q.iter().zip(mask).enumerate() {
+        if !m {
+            continue;
+        }
+        if best.map_or(true, |(_, bq)| qi > bq) {
+            best = Some((i, qi));
+        }
+    }
+    let (idx, _) = best.expect("action mask permits nothing");
+    AgentAction::ALL[idx]
+}
+
+/// Max of `q` restricted to mask-true indices (0 when nothing is allowed —
+/// cannot normally happen since NoOp is always allowed).
+fn masked_max(q: &[f64], mask: &[bool; AgentAction::COUNT]) -> f64 {
+    q.iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(&qi, _)| qi)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(f64::MIN) // guard against -inf if mask is empty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agent(seed: u64) -> DqnAgent {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DqnAgent::new(
+            DqnConfig {
+                batch_size: 8,
+                replay_capacity: 512,
+                epsilon_decay_steps: 100,
+                ..DqnConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    fn full_mask() -> [bool; AgentAction::COUNT] {
+        [true; AgentAction::COUNT]
+    }
+
+    #[test]
+    fn q_output_matches_action_count() {
+        let a = agent(1);
+        assert_eq!(a.q_values(&vec![0.0; STATE_DIM]).len(), AgentAction::COUNT);
+    }
+
+    #[test]
+    fn epsilon_decays_linearly_to_floor() {
+        let mut a = agent(1);
+        assert_eq!(a.epsilon(), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            a.select_action(&vec![0.0; STATE_DIM], &full_mask(), &mut rng, true);
+        }
+        assert_eq!(a.epsilon(), 0.05);
+    }
+
+    #[test]
+    fn masked_selection_never_picks_forbidden_action() {
+        let mut a = agent(2);
+        let mut mask = full_mask();
+        mask[AgentAction::SizeDown.index()] = false;
+        mask[AgentAction::SuspendNow.index()] = false;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let act = a.select_action(&vec![0.1; STATE_DIM], &mask, &mut rng, true);
+            assert_ne!(act, AgentAction::SizeDown);
+            assert_ne!(act, AgentAction::SuspendNow);
+        }
+    }
+
+    #[test]
+    fn greedy_respects_mask_even_for_best_q() {
+        let a = agent(4);
+        let state = vec![0.3; STATE_DIM];
+        let q = a.q_values(&state);
+        let best = q
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let mut mask = full_mask();
+        mask[best] = false;
+        let chosen = a.greedy_action(&state, &mask);
+        assert_ne!(chosen.index(), best);
+    }
+
+    #[test]
+    fn train_step_needs_a_full_batch() {
+        let mut a = agent(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(a.train_step(&mut rng).is_none());
+    }
+
+    /// A one-step bandit: action 3 always yields reward 1, everything else 0.
+    /// After training, the greedy policy should pick action 3.
+    #[test]
+    fn learns_a_simple_bandit() {
+        let mut a = agent(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let state = vec![0.5; STATE_DIM];
+        for _ in 0..400 {
+            for action in 0..AgentAction::COUNT {
+                a.observe(Transition {
+                    state: state.clone(),
+                    action,
+                    reward: if action == 3 { 1.0 } else { 0.0 },
+                    next_state: state.clone(),
+                    next_mask: full_mask(),
+                    terminal: true,
+                });
+            }
+            a.train_step(&mut rng);
+        }
+        let chosen = a.greedy_action(&state, &full_mask());
+        assert_eq!(chosen.index(), 3, "q: {:?}", a.q_values(&state));
+    }
+
+    /// Two-step credit assignment: action 1 now leads to a state where a
+    /// big terminal reward is available; action 0 pays a small immediate
+    /// reward but terminates. With gamma near 1 the agent should prefer 1.
+    #[test]
+    fn discounted_bootstrap_propagates_future_value() {
+        let mut rng_init = StdRng::seed_from_u64(8);
+        let mut a = DqnAgent::new(
+            DqnConfig {
+                batch_size: 16,
+                gamma: 0.95,
+                target_sync_interval: 50,
+                epsilon_decay_steps: 1,
+                ..DqnConfig::default()
+            },
+            &mut rng_init,
+        );
+        let s0 = vec![0.0; STATE_DIM];
+        let mut s1 = vec![0.0; STATE_DIM];
+        s1[0] = 1.0;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..600 {
+            // From s0: action 0 -> terminal +0.2; action 1 -> s1, 0 reward.
+            a.observe(Transition {
+                state: s0.clone(),
+                action: 0,
+                reward: 0.2,
+                next_state: s0.clone(),
+                next_mask: full_mask(),
+                terminal: true,
+            });
+            a.observe(Transition {
+                state: s0.clone(),
+                action: 1,
+                reward: 0.0,
+                next_state: s1.clone(),
+                next_mask: full_mask(),
+                terminal: false,
+            });
+            // From s1: action 0 -> terminal +1.
+            a.observe(Transition {
+                state: s1.clone(),
+                action: 0,
+                reward: 1.0,
+                next_state: s1.clone(),
+                next_mask: full_mask(),
+                terminal: true,
+            });
+            a.train_step(&mut rng);
+        }
+        let q0 = a.q_values(&s0);
+        assert!(
+            q0[1] > q0[0],
+            "future +1 (discounted) should beat immediate +0.2: {q0:?}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_td_error() {
+        let mut a = agent(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let state = vec![0.2; STATE_DIM];
+        for action in 0..AgentAction::COUNT {
+            for _ in 0..32 {
+                a.observe(Transition {
+                    state: state.clone(),
+                    action,
+                    reward: action as f64 * 0.1,
+                    next_state: state.clone(),
+                    next_mask: full_mask(),
+                    terminal: true,
+                });
+            }
+        }
+        let early: f64 = (0..10).filter_map(|_| a.train_step(&mut rng)).sum::<f64>() / 10.0;
+        for _ in 0..300 {
+            a.train_step(&mut rng);
+        }
+        let late: f64 = (0..10).filter_map(|_| a.train_step(&mut rng)).sum::<f64>() / 10.0;
+        assert!(late < early, "TD error should shrink: {early} -> {late}");
+    }
+
+    #[test]
+    fn same_seed_same_policy() {
+        let a = agent(42);
+        let b = agent(42);
+        let s = vec![0.7; STATE_DIM];
+        assert_eq!(a.q_values(&s), b.q_values(&s));
+    }
+}

@@ -1,0 +1,147 @@
+//! Baseline policies.
+//!
+//! The paper's implicit baselines (§3): customers either leave the
+//! out-of-box configuration alone ([`StaticPolicy`]) or apply rules of
+//! thumb, most commonly a fixed short auto-suspend interval
+//! ([`AutoSuspendRuleOfThumb`]) — "there are several rules of thumb for
+//! setting the auto-suspend interval, but all of them ... provide no
+//! guarantees on optimal cost or performance." The benchmark harness runs
+//! these baselines against the DQN policy.
+
+use crate::action::{AgentAction, AUTO_SUSPEND_LADDER_MS};
+use crate::state::AgentState;
+use rand::rngs::StdRng;
+
+/// Anything that can pick an action for a warehouse at a decision point.
+pub trait Policy {
+    /// Chooses an action. The mask has already removed non-compliant and
+    /// inapplicable actions; implementations must pick a mask-true action.
+    fn decide(
+        &mut self,
+        state: &AgentState,
+        mask: &[bool; AgentAction::COUNT],
+        rng: &mut StdRng,
+    ) -> AgentAction;
+
+    /// Name for logs and reports.
+    fn name(&self) -> &str;
+}
+
+/// Never touches anything: the customer's original configuration as-is.
+#[derive(Debug, Clone, Default)]
+pub struct StaticPolicy;
+
+impl Policy for StaticPolicy {
+    fn decide(
+        &mut self,
+        _state: &AgentState,
+        _mask: &[bool; AgentAction::COUNT],
+        _rng: &mut StdRng,
+    ) -> AgentAction {
+        AgentAction::NoOp
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+/// The folk wisdom: pin auto-suspend to a fixed short value (default 60 s)
+/// and leave everything else alone.
+#[derive(Debug, Clone)]
+pub struct AutoSuspendRuleOfThumb {
+    /// Target auto-suspend (one of the ladder rungs).
+    pub target_ms: u64,
+}
+
+impl Default for AutoSuspendRuleOfThumb {
+    fn default() -> Self {
+        Self {
+            target_ms: AUTO_SUSPEND_LADDER_MS[1], // 60 s
+        }
+    }
+}
+
+impl Policy for AutoSuspendRuleOfThumb {
+    fn decide(
+        &mut self,
+        state: &AgentState,
+        mask: &[bool; AgentAction::COUNT],
+        _rng: &mut StdRng,
+    ) -> AgentAction {
+        let current = state.config.auto_suspend_ms;
+        let step = if current > self.target_ms {
+            AgentAction::AutoSuspendDown
+        } else if current < self.target_ms {
+            AgentAction::AutoSuspendUp
+        } else {
+            AgentAction::NoOp
+        };
+        if mask[step.index()] {
+            step
+        } else {
+            AgentAction::NoOp
+        }
+    }
+
+    fn name(&self) -> &str {
+        "auto-suspend-rule-of-thumb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slider::SliderPosition;
+    use cdw_sim::{WarehouseConfig, WarehouseSize, HOUR_MS};
+    use rand::SeedableRng;
+    use telemetry::WindowFeatures;
+
+    fn state_with_auto_suspend(ms: u64) -> AgentState {
+        let mut config = WarehouseConfig::new(WarehouseSize::Small);
+        config.auto_suspend_ms = ms;
+        AgentState {
+            now: 0,
+            window: WindowFeatures::empty(0, HOUR_MS),
+            config,
+            queue_depth: 0,
+            cache_warm: 0.0,
+            suspended: false,
+            slider: SliderPosition::Balanced,
+        }
+    }
+
+    #[test]
+    fn static_policy_always_noops() {
+        let mut p = StaticPolicy;
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = state_with_auto_suspend(600_000);
+        assert_eq!(
+            p.decide(&s, &[true; AgentAction::COUNT], &mut rng),
+            AgentAction::NoOp
+        );
+    }
+
+    #[test]
+    fn rule_of_thumb_walks_toward_target() {
+        let mut p = AutoSuspendRuleOfThumb::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = [true; AgentAction::COUNT];
+        let high = state_with_auto_suspend(600_000);
+        assert_eq!(p.decide(&high, &mask, &mut rng), AgentAction::AutoSuspendDown);
+        let low = state_with_auto_suspend(30_000);
+        assert_eq!(p.decide(&low, &mask, &mut rng), AgentAction::AutoSuspendUp);
+        let there = state_with_auto_suspend(60_000);
+        assert_eq!(p.decide(&there, &mask, &mut rng), AgentAction::NoOp);
+    }
+
+    #[test]
+    fn rule_of_thumb_respects_mask() {
+        let mut p = AutoSuspendRuleOfThumb::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mask = [true; AgentAction::COUNT];
+        mask[AgentAction::AutoSuspendDown.index()] = false;
+        let high = state_with_auto_suspend(600_000);
+        assert_eq!(p.decide(&high, &mask, &mut rng), AgentAction::NoOp);
+    }
+}

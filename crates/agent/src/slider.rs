@@ -1,0 +1,175 @@
+//! The five-position cost/performance slider (§4.1).
+//!
+//! "KWO provides a single slider per each warehouse ... with five positions
+//! ranging from 'Best Performance' to 'Lowest Cost' ... KWO simplifies the
+//! tuning of the aggressiveness for various optimizations by unifying them
+//! into a single slider, and mapping it internally to various
+//! hyper-parameters of the learning algorithm."
+//!
+//! The mapping here: the slider sets (i) the reward's performance-penalty
+//! weight λ, (ii) how much capacity headroom the policy should keep, and
+//! (iii) how twitchy the monitoring back-off is.
+
+use serde::{Deserialize, Serialize};
+
+/// Slider position, ordered from cheapest to most performance-protective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SliderPosition {
+    /// Position 1: accept noticeable slowdowns for maximum savings.
+    LowestCost,
+    /// Position 2: accept small slowdowns.
+    LowCost,
+    /// Position 3 (default): cut cost without degrading performance.
+    Balanced,
+    /// Position 4: provision headroom for spikes.
+    GoodPerformance,
+    /// Position 5: performance at (almost) any price.
+    BestPerformance,
+}
+
+impl Default for SliderPosition {
+    fn default() -> Self {
+        SliderPosition::Balanced
+    }
+}
+
+impl SliderPosition {
+    /// All positions, cheapest first.
+    pub const ALL: [SliderPosition; 5] = [
+        SliderPosition::LowestCost,
+        SliderPosition::LowCost,
+        SliderPosition::Balanced,
+        SliderPosition::GoodPerformance,
+        SliderPosition::BestPerformance,
+    ];
+
+    /// 1-based UI value (1 = Lowest Cost ... 5 = Best Performance).
+    pub fn value(self) -> u8 {
+        match self {
+            SliderPosition::LowestCost => 1,
+            SliderPosition::LowCost => 2,
+            SliderPosition::Balanced => 3,
+            SliderPosition::GoodPerformance => 4,
+            SliderPosition::BestPerformance => 5,
+        }
+    }
+
+    /// From the 1-based UI value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        Self::ALL.get((v as usize).checked_sub(1)?).copied()
+    }
+
+    /// λ: weight of the performance penalty in the reward. Larger values
+    /// make slowdowns costlier than credits, so the policy provisions more.
+    pub fn perf_penalty_weight(self) -> f64 {
+        match self {
+            SliderPosition::LowestCost => 0.1,
+            SliderPosition::LowCost => 0.5,
+            SliderPosition::Balanced => 5.0,
+            SliderPosition::GoodPerformance => 12.0,
+            SliderPosition::BestPerformance => 30.0,
+        }
+    }
+
+    /// Live queue depth at which monitoring backs off regardless of
+    /// windowed statistics (catches spikes between completions).
+    pub fn backoff_queue_depth(self) -> usize {
+        match self {
+            SliderPosition::LowestCost => 64,
+            SliderPosition::LowCost => 32,
+            SliderPosition::Balanced => 12,
+            SliderPosition::GoodPerformance => 4,
+            SliderPosition::BestPerformance => 1,
+        }
+    }
+
+    /// Queue pressure (mean queued seconds per query over the feedback
+    /// interval) above which monitoring forces a conservative back-off.
+    pub fn backoff_queue_threshold_s(self) -> f64 {
+        match self {
+            SliderPosition::LowestCost => 120.0,
+            SliderPosition::LowCost => 45.0,
+            SliderPosition::Balanced => 15.0,
+            SliderPosition::GoodPerformance => 5.0,
+            SliderPosition::BestPerformance => 1.0,
+        }
+    }
+
+    /// Latency-ratio threshold (current p99 / trained baseline p99) above
+    /// which monitoring backs off.
+    pub fn backoff_latency_ratio(self) -> f64 {
+        match self {
+            SliderPosition::LowestCost => 4.0,
+            SliderPosition::LowCost => 2.5,
+            SliderPosition::Balanced => 1.6,
+            SliderPosition::GoodPerformance => 1.25,
+            SliderPosition::BestPerformance => 1.1,
+        }
+    }
+
+    /// Capacity headroom the heuristic components aim for (fraction of
+    /// estimated demand held in reserve).
+    pub fn headroom(self) -> f64 {
+        match self {
+            SliderPosition::LowestCost => 0.0,
+            SliderPosition::LowCost => 0.1,
+            SliderPosition::Balanced => 0.25,
+            SliderPosition::GoodPerformance => 0.5,
+            SliderPosition::BestPerformance => 1.0,
+        }
+    }
+
+    /// Normalized slider feature for the state vector, in [0, 1].
+    pub fn as_feature(self) -> f64 {
+        (self.value() - 1) as f64 / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        for s in SliderPosition::ALL {
+            assert_eq!(SliderPosition::from_value(s.value()), Some(s));
+        }
+        assert_eq!(SliderPosition::from_value(0), None);
+        assert_eq!(SliderPosition::from_value(6), None);
+    }
+
+    #[test]
+    fn default_is_balanced() {
+        assert_eq!(SliderPosition::default(), SliderPosition::Balanced);
+    }
+
+    #[test]
+    fn penalty_weight_is_monotone_in_performance() {
+        for pair in SliderPosition::ALL.windows(2) {
+            assert!(pair[1].perf_penalty_weight() > pair[0].perf_penalty_weight());
+        }
+    }
+
+    #[test]
+    fn backoff_thresholds_tighten_toward_performance() {
+        for pair in SliderPosition::ALL.windows(2) {
+            assert!(pair[1].backoff_queue_threshold_s() < pair[0].backoff_queue_threshold_s());
+            assert!(pair[1].backoff_latency_ratio() < pair[0].backoff_latency_ratio());
+            assert!(pair[1].backoff_queue_depth() < pair[0].backoff_queue_depth());
+        }
+    }
+
+    #[test]
+    fn headroom_grows_toward_performance() {
+        for pair in SliderPosition::ALL.windows(2) {
+            assert!(pair[1].headroom() > pair[0].headroom());
+        }
+    }
+
+    #[test]
+    fn feature_spans_unit_interval() {
+        assert_eq!(SliderPosition::LowestCost.as_feature(), 0.0);
+        assert_eq!(SliderPosition::Balanced.as_feature(), 0.5);
+        assert_eq!(SliderPosition::BestPerformance.as_feature(), 1.0);
+    }
+}

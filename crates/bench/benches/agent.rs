@@ -1,0 +1,44 @@
+//! Microbenchmarks for the smart model: inference (every `T_realtime`
+//! decision) and Q-learning updates (every decision during training).
+
+use agent::{AgentAction, DqnAgent, DqnConfig, Transition, STATE_DIM};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn warm_agent() -> DqnAgent {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut agent = DqnAgent::new(DqnConfig::default(), &mut rng);
+    let state = vec![0.3; STATE_DIM];
+    for i in 0..1_000 {
+        agent.observe(Transition {
+            state: state.clone(),
+            action: i % AgentAction::COUNT,
+            reward: -0.1,
+            next_state: state.clone(),
+            next_mask: [true; AgentAction::COUNT],
+            terminal: i % 7 == 0,
+        });
+    }
+    agent
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let agent = warm_agent();
+    let state = vec![0.5; STATE_DIM];
+    let mask = [true; AgentAction::COUNT];
+    c.bench_function("dqn_greedy_action", |b| {
+        b.iter(|| agent.greedy_action(&state, &mask))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut agent = warm_agent();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("dqn_train_step_batch32", |b| {
+        b.iter(|| agent.train_step(&mut rng))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks for the warehouse cost model: training the parameter
+//! estimators and running the what-if replay (Algorithm 1 runs these on
+//! every savings estimate).
+
+use cdw_sim::{Account, Simulator, WarehouseConfig, WarehouseSize, DAY_MS};
+use costmodel::{ReplayConfig, WarehouseCostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::{generate_trace, BiWorkload};
+
+fn history() -> (Vec<cdw_sim::QueryRecord>, WarehouseConfig) {
+    let config = WarehouseConfig::new(WarehouseSize::Small)
+        .with_auto_suspend_secs(300)
+        .with_clusters(1, 3);
+    let mut account = Account::new();
+    let wh = account.create_warehouse("WH", config.clone());
+    let mut sim = Simulator::new(account);
+    for q in generate_trace(&BiWorkload::default(), 0, 2 * DAY_MS, 3) {
+        sim.submit_query(wh, q);
+    }
+    sim.run_until(2 * DAY_MS);
+    (sim.account().query_records().to_vec(), config)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let (records, config) = history();
+    c.bench_function("costmodel_train_2day_bi_history", |b| {
+        b.iter(|| {
+            WarehouseCostModel::train(
+                &records,
+                0,
+                2 * DAY_MS,
+                config.max_concurrency,
+                config.max_clusters,
+            )
+        })
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let (records, config) = history();
+    let model = WarehouseCostModel::train(
+        &records,
+        0,
+        2 * DAY_MS,
+        config.max_concurrency,
+        config.max_clusters,
+    );
+    let replay_cfg = ReplayConfig {
+        original: config,
+        window_start: 0,
+        window_end: 2 * DAY_MS,
+    };
+    c.bench_function("costmodel_replay_2day_bi_history", |b| {
+        b.iter(|| model.replay(&records, &replay_cfg))
+    });
+}
+
+criterion_group!(benches, bench_train, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks for the CDW simulator: event throughput is what bounds
+//! every experiment's wall-clock time.
+
+use cdw_sim::{Account, QuerySpec, Simulator, WarehouseConfig, WarehouseSize, HOUR_MS};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_query_lifecycle(c: &mut Criterion) {
+    c.bench_function("sim_1k_queries_single_cluster", |b| {
+        b.iter_batched(
+            || {
+                let mut account = Account::new();
+                let wh = account.create_warehouse(
+                    "WH",
+                    WarehouseConfig::new(WarehouseSize::Small).with_auto_suspend_secs(60),
+                );
+                let mut sim = Simulator::new(account);
+                for i in 0..1_000u64 {
+                    sim.submit_query(
+                        wh,
+                        QuerySpec::builder(i)
+                            .work_ms_xs(5_000.0)
+                            .arrival_ms(i * 10_000)
+                            .build(),
+                    );
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_multicluster_scaleout(c: &mut Criterion) {
+    c.bench_function("sim_burst_multicluster", |b| {
+        b.iter_batched(
+            || {
+                let mut account = Account::new();
+                let wh = account.create_warehouse(
+                    "WH",
+                    WarehouseConfig::new(WarehouseSize::Small)
+                        .with_auto_suspend_secs(60)
+                        .with_clusters(1, 10)
+                        .with_max_concurrency(4),
+                );
+                let mut sim = Simulator::new(account);
+                // 50 bursts of 40 queries.
+                let mut id = 0;
+                for burst in 0..50u64 {
+                    for _ in 0..40 {
+                        sim.submit_query(
+                            wh,
+                            QuerySpec::builder(id)
+                                .work_ms_xs(20_000.0)
+                                .arrival_ms(burst * 5 * 60_000)
+                                .build(),
+                        );
+                        id += 1;
+                    }
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until(10 * HOUR_MS);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_query_lifecycle, bench_multicluster_scaleout);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Microbenchmarks for workload generation (trace setup cost for every
+//! experiment).
+
+use cdw_sim::DAY_MS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::{generate_trace, AdhocWorkload, BiWorkload, EtlWorkload};
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen_bi_7days", |b| {
+        b.iter(|| generate_trace(&BiWorkload::default(), 0, 7 * DAY_MS, 42))
+    });
+    c.bench_function("gen_etl_7days", |b| {
+        b.iter(|| generate_trace(&EtlWorkload::default(), 0, 7 * DAY_MS, 42))
+    });
+    c.bench_function("gen_adhoc_30days", |b| {
+        b.iter(|| generate_trace(&AdhocWorkload::default(), 0, 30 * DAY_MS, 42))
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! Per-second billing with a 60-second minimum, rolled up hourly.
+//!
+//! Snowflake charges for each second a cluster runs, with a minimum of 60
+//! billable seconds every time a cluster starts, at an hourly credit rate set
+//! by the warehouse size. The paper's warehouse cost model (§5.1) reproduces
+//! exactly this arithmetic during query replay, so the simulator and the cost
+//! model share the billing semantics defined here.
+
+use crate::size::WarehouseSize;
+use crate::time::{hour_index, ms_to_billing_seconds, SimTime, SECOND_MS};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Minimum billable seconds per cluster start.
+pub const MIN_BILL_SECONDS: u64 = 60;
+
+/// Credits billed for one cluster session of `duration_ms` at `size`.
+///
+/// The 60-second minimum applies per session (per cluster start).
+pub fn session_credits(size: WarehouseSize, duration_ms: SimTime) -> f64 {
+    let secs = ms_to_billing_seconds(duration_ms).max(MIN_BILL_SECONDS);
+    secs as f64 * size.credits_per_second()
+}
+
+/// Credits accumulated per hour bucket for one warehouse (or overhead
+/// category). Key is the hour index from simulation start.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HourlyCredits {
+    buckets: BTreeMap<u64, f64>,
+}
+
+impl HourlyCredits {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `credits` attributed to the hour containing `at`.
+    pub fn add(&mut self, at: SimTime, credits: f64) {
+        if credits == 0.0 {
+            return;
+        }
+        assert!(credits > 0.0 && credits.is_finite(), "bad credit amount {credits}");
+        *self.buckets.entry(hour_index(at)).or_insert(0.0) += credits;
+    }
+
+    /// Attributes a session `[start, end)` at `size` across hour buckets:
+    /// usage credits are split proportionally to the seconds falling into
+    /// each hour; the minimum top-up (if the session ran under 60 s) is
+    /// charged to the start hour, which is where Snowflake's bill shows it.
+    pub fn add_session(&mut self, size: WarehouseSize, start: SimTime, end: SimTime) {
+        assert!(end >= start, "session ends before it starts");
+        let duration = end - start;
+        let billed_secs = ms_to_billing_seconds(duration);
+        let min_topup_secs = MIN_BILL_SECONDS.saturating_sub(billed_secs);
+        if min_topup_secs > 0 {
+            self.add(start, min_topup_secs as f64 * size.credits_per_second());
+        }
+        // Walk hour boundaries, attributing each slice.
+        let mut t = start;
+        while t < end {
+            let hour_end = (hour_index(t) + 1) * crate::time::HOUR_MS;
+            let slice_end = hour_end.min(end);
+            let slice_ms = slice_end - t;
+            self.add(t, slice_ms as f64 / SECOND_MS as f64 * size.credits_per_second());
+            t = slice_end;
+        }
+        if duration == 0 && min_topup_secs == 0 {
+            // Unreachable: zero duration always yields a top-up. Kept as a
+            // defensive invariant for future edits.
+            unreachable!("zero-duration session must bill the minimum");
+        }
+    }
+
+    /// Credits in a specific hour bucket.
+    pub fn hour(&self, hour: u64) -> f64 {
+        self.buckets.get(&hour).copied().unwrap_or(0.0)
+    }
+
+    /// Total credits across all hours.
+    pub fn total(&self) -> f64 {
+        self.buckets.values().sum()
+    }
+
+    /// Total credits in the hour range `[from_hour, to_hour)`.
+    pub fn range_total(&self, from_hour: u64, to_hour: u64) -> f64 {
+        self.buckets
+            .range(from_hour..to_hour)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterates (hour, credits) in hour order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.buckets.iter().map(|(&h, &c)| (h, c))
+    }
+
+    /// Per-day totals (24-hour buckets), keyed by day index.
+    pub fn daily_totals(&self) -> BTreeMap<u64, f64> {
+        let mut days = BTreeMap::new();
+        for (&h, &c) in &self.buckets {
+            *days.entry(h / 24).or_insert(0.0) += c;
+        }
+        days
+    }
+}
+
+/// Account-wide billing ledger: one [`HourlyCredits`] per warehouse name,
+/// plus a separate overhead category for metadata/actuation queries (this
+/// separation is what Fig. 6 of the paper plots).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BillingLedger {
+    per_warehouse: BTreeMap<String, HourlyCredits>,
+    overhead: HourlyCredits,
+}
+
+impl BillingLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cluster session for a warehouse.
+    pub fn record_session(
+        &mut self,
+        warehouse: &str,
+        size: WarehouseSize,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.per_warehouse
+            .entry(warehouse.to_string())
+            .or_default()
+            .add_session(size, start, end);
+    }
+
+    /// Records overhead credits (telemetry fetch, actuator commands).
+    pub fn record_overhead(&mut self, at: SimTime, credits: f64) {
+        self.overhead.add(at, credits);
+    }
+
+    /// Hourly credits for one warehouse (empty if unknown).
+    pub fn warehouse(&self, name: &str) -> HourlyCredits {
+        self.per_warehouse.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Borrowed access without cloning.
+    pub fn warehouse_ref(&self, name: &str) -> Option<&HourlyCredits> {
+        self.per_warehouse.get(name)
+    }
+
+    /// Overhead category.
+    pub fn overhead(&self) -> &HourlyCredits {
+        &self.overhead
+    }
+
+    /// Total credits across every warehouse (excluding overhead).
+    pub fn total_credits(&self) -> f64 {
+        self.per_warehouse.values().map(HourlyCredits::total).sum()
+    }
+
+    /// Total including overhead.
+    pub fn total_with_overhead(&self) -> f64 {
+        self.total_credits() + self.overhead.total()
+    }
+
+    /// Warehouse names present in the ledger.
+    pub fn warehouse_names(&self) -> impl Iterator<Item = &str> {
+        self.per_warehouse.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR_MS;
+
+    #[test]
+    fn short_session_bills_sixty_second_minimum() {
+        // 10 s on an X-Small: billed 60 s = 1/60 credit.
+        let c = session_credits(WarehouseSize::XSmall, 10 * SECOND_MS);
+        assert!((c - 60.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_session_bills_per_second() {
+        // 2 h on a Small (2 credits/h) = 4 credits.
+        let c = session_credits(WarehouseSize::Small, 2 * HOUR_MS);
+        assert!((c - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_seconds_round_up() {
+        let c = session_credits(WarehouseSize::XSmall, 61 * SECOND_MS + 1);
+        assert!((c - 62.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hourly_attribution_splits_across_boundaries() {
+        let mut h = HourlyCredits::new();
+        // Session from 0:30:00 to 1:30:00 on X-Small: 0.5 credits per hour bucket.
+        h.add_session(WarehouseSize::XSmall, HOUR_MS / 2, HOUR_MS + HOUR_MS / 2);
+        assert!((h.hour(0) - 0.5).abs() < 1e-9);
+        assert!((h.hour(1) - 0.5).abs() < 1e-9);
+        assert!((h.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimum_topup_lands_in_start_hour() {
+        let mut h = HourlyCredits::new();
+        // 10 s session just before the hour boundary: 10 s spill into usage,
+        // 50 s of top-up charged at the start hour.
+        h.add_session(WarehouseSize::XSmall, HOUR_MS - 5 * SECOND_MS, HOUR_MS + 5 * SECOND_MS);
+        let per_sec = WarehouseSize::XSmall.credits_per_second();
+        assert!((h.hour(0) - 55.0 * per_sec).abs() < 1e-12);
+        assert!((h.hour(1) - 5.0 * per_sec).abs() < 1e-12);
+        assert!((h.total() - 60.0 * per_sec).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_total_matches_session_credits() {
+        for dur in [0u64, 500, 59_999, 60_000, 61_500, 3 * HOUR_MS + 17] {
+            let mut h = HourlyCredits::new();
+            h.add_session(WarehouseSize::Medium, 12_345, 12_345 + dur);
+            let direct = session_credits(WarehouseSize::Medium, dur);
+            // Hourly attribution uses fractional seconds for the usage part
+            // while session_credits rounds up; allow one second of slack.
+            assert!(
+                (h.total() - direct).abs() <= WarehouseSize::Medium.credits_per_second() + 1e-9,
+                "dur {dur}: {} vs {}",
+                h.total(),
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn daily_totals_aggregate_hours() {
+        let mut h = HourlyCredits::new();
+        h.add(0, 1.0);
+        h.add(23 * HOUR_MS, 2.0);
+        h.add(24 * HOUR_MS, 4.0);
+        let days = h.daily_totals();
+        assert_eq!(days[&0], 3.0);
+        assert_eq!(days[&1], 4.0);
+    }
+
+    #[test]
+    fn range_total_is_half_open() {
+        let mut h = HourlyCredits::new();
+        h.add(0, 1.0);
+        h.add(HOUR_MS, 2.0);
+        h.add(2 * HOUR_MS, 4.0);
+        assert_eq!(h.range_total(0, 2), 3.0);
+        assert_eq!(h.range_total(1, 3), 6.0);
+    }
+
+    #[test]
+    fn ledger_separates_warehouses_and_overhead() {
+        let mut l = BillingLedger::new();
+        l.record_session("A", WarehouseSize::XSmall, 0, HOUR_MS);
+        l.record_session("B", WarehouseSize::Small, 0, HOUR_MS);
+        l.record_overhead(0, 0.01);
+        assert!((l.warehouse("A").total() - 1.0).abs() < 1e-9);
+        assert!((l.warehouse("B").total() - 2.0).abs() < 1e-9);
+        assert!((l.total_credits() - 3.0).abs() < 1e-9);
+        assert!((l.total_with_overhead() - 3.01).abs() < 1e-9);
+        assert_eq!(l.warehouse("missing").total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "session ends before it starts")]
+    fn inverted_session_panics() {
+        let mut h = HourlyCredits::new();
+        h.add_session(WarehouseSize::XSmall, 100, 50);
+    }
+}

@@ -1,0 +1,139 @@
+//! Warehouse-local cache model.
+//!
+//! The central tension in the paper's "memory optimization" (§3): every
+//! suspend drops the warehouse's local cache, so the next queries read from
+//! cold storage and run slower — which itself keeps the warehouse running
+//! longer and costs more. We model the cache as a scalar *warm fraction* in
+//! [0, 1] that rises exponentially while queries execute and drops to zero
+//! on suspend (and on resize, since resizing provisions fresh clusters).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Scalar cache-warmness model for one warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheState {
+    /// Warm fraction in [0, 1]; 1.0 = fully warm working set.
+    warm_fraction: f64,
+    /// Time constant (ms of active execution) for warming: after `tau_ms` of
+    /// query execution the warehouse is ~63% warm.
+    tau_ms: f64,
+}
+
+impl CacheState {
+    /// A cold cache with the given warm-up time constant.
+    ///
+    /// # Panics
+    /// Panics if `tau_ms` is not positive and finite.
+    pub fn cold(tau_ms: f64) -> Self {
+        assert!(tau_ms.is_finite() && tau_ms > 0.0, "tau must be positive");
+        Self {
+            warm_fraction: 0.0,
+            tau_ms,
+        }
+    }
+
+    /// Default warm-up constant: ~2 minutes of execution reaches 63% warm.
+    pub fn with_default_tau() -> Self {
+        Self::cold(120_000.0)
+    }
+
+    /// Current warm fraction in [0, 1].
+    #[inline]
+    pub fn warm_fraction(&self) -> f64 {
+        self.warm_fraction
+    }
+
+    /// Records `active_ms` of query execution, warming the cache.
+    pub fn record_execution(&mut self, active_ms: SimTime) {
+        let delta = 1.0 - (-(active_ms as f64) / self.tau_ms).exp();
+        self.warm_fraction += (1.0 - self.warm_fraction) * delta;
+        // Guard against accumulation drift.
+        self.warm_fraction = self.warm_fraction.clamp(0.0, 1.0);
+    }
+
+    /// Drops the cache (suspend or resize).
+    pub fn drop_cache(&mut self) {
+        self.warm_fraction = 0.0;
+    }
+
+    /// Partially invalidates the cache, e.g. after underlying data changes.
+    /// `fraction` of the warm set is lost.
+    pub fn invalidate(&mut self, fraction: f64) {
+        let f = fraction.clamp(0.0, 1.0);
+        self.warm_fraction *= 1.0 - f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_cold() {
+        assert_eq!(CacheState::with_default_tau().warm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn warms_monotonically_with_execution() {
+        let mut c = CacheState::cold(60_000.0);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            c.record_execution(30_000);
+            assert!(c.warm_fraction() > last);
+            last = c.warm_fraction();
+        }
+        assert!(last < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn one_tau_of_execution_is_about_63_percent() {
+        let mut c = CacheState::cold(60_000.0);
+        c.record_execution(60_000);
+        assert!((c.warm_fraction() - 0.632).abs() < 0.01, "{}", c.warm_fraction());
+    }
+
+    #[test]
+    fn warming_is_composable() {
+        // Two 30 s executions warm the same as one 60 s execution.
+        let mut a = CacheState::cold(60_000.0);
+        a.record_execution(60_000);
+        let mut b = CacheState::cold(60_000.0);
+        b.record_execution(30_000);
+        b.record_execution(30_000);
+        assert!((a.warm_fraction() - b.warm_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_resets_to_cold() {
+        let mut c = CacheState::with_default_tau();
+        c.record_execution(1_000_000);
+        assert!(c.warm_fraction() > 0.9);
+        c.drop_cache();
+        assert_eq!(c.warm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn invalidate_scales_warmness() {
+        let mut c = CacheState::cold(1.0);
+        c.record_execution(1_000_000);
+        let before = c.warm_fraction();
+        c.invalidate(0.5);
+        assert!((c.warm_fraction() - before * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_fraction_never_exceeds_one() {
+        let mut c = CacheState::cold(1.0);
+        for _ in 0..100 {
+            c.record_execution(1_000_000);
+        }
+        assert!(c.warm_fraction() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn zero_tau_panics() {
+        let _ = CacheState::cold(0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A single compute cluster within a (possibly multi-cluster) warehouse.
+
+use crate::size::WarehouseSize;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterState {
+    /// Provisioning; becomes Running at `ready_at`. Not yet billed.
+    Starting { ready_at: SimTime },
+    /// Serving queries and accruing credits.
+    Running,
+}
+
+/// One cluster: a bundle of query slots with its own billing meter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Stable id within the owning warehouse (never reused).
+    pub id: u32,
+    pub state: ClusterState,
+    /// Queries currently executing on this cluster.
+    pub running_queries: u32,
+    /// When the current billing session began (valid while Running).
+    pub session_start: SimTime,
+    /// Size (and thus credit rate) of the current billing session.
+    pub session_size: WarehouseSize,
+    /// Set when the cluster last became idle; None while busy or starting.
+    pub idle_since: Option<SimTime>,
+}
+
+impl Cluster {
+    /// A cluster that starts provisioning now and is ready at `ready_at`.
+    pub fn starting(id: u32, size: WarehouseSize, ready_at: SimTime) -> Self {
+        Self {
+            id,
+            state: ClusterState::Starting { ready_at },
+            running_queries: 0,
+            session_start: 0,
+            session_size: size,
+            idle_since: None,
+        }
+    }
+
+    /// A cluster that is immediately running (warehouse resume starts its
+    /// minimum clusters as part of the resume itself).
+    pub fn running(id: u32, size: WarehouseSize, now: SimTime) -> Self {
+        Self {
+            id,
+            state: ClusterState::Running,
+            running_queries: 0,
+            session_start: now,
+            session_size: size,
+            idle_since: Some(now),
+        }
+    }
+
+    /// True when the cluster can accept another query.
+    pub fn has_free_slot(&self, max_concurrency: u32) -> bool {
+        matches!(self.state, ClusterState::Running) && self.running_queries < max_concurrency
+    }
+
+    /// True when running with no queries.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ClusterState::Running) && self.running_queries == 0
+    }
+
+    /// Marks a query as started on this cluster.
+    ///
+    /// # Panics
+    /// Panics if the cluster is not running.
+    pub fn begin_query(&mut self) {
+        assert!(
+            matches!(self.state, ClusterState::Running),
+            "cannot run a query on a non-running cluster"
+        );
+        self.running_queries += 1;
+        self.idle_since = None;
+    }
+
+    /// Marks a query as finished; records idleness when the last one ends.
+    ///
+    /// # Panics
+    /// Panics if no query was running.
+    pub fn end_query(&mut self, now: SimTime) {
+        assert!(self.running_queries > 0, "no query to end on cluster {}", self.id);
+        self.running_queries -= 1;
+        if self.running_queries == 0 {
+            self.idle_since = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starting_cluster_has_no_free_slots() {
+        let c = Cluster::starting(0, WarehouseSize::Small, 1_000);
+        assert!(!c.has_free_slot(8));
+        assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn running_cluster_accepts_up_to_concurrency() {
+        let mut c = Cluster::running(0, WarehouseSize::Small, 0);
+        for _ in 0..8 {
+            assert!(c.has_free_slot(8));
+            c.begin_query();
+        }
+        assert!(!c.has_free_slot(8));
+    }
+
+    #[test]
+    fn idleness_tracks_last_query_end() {
+        let mut c = Cluster::running(0, WarehouseSize::Small, 0);
+        c.begin_query();
+        c.begin_query();
+        assert_eq!(c.idle_since, None);
+        c.end_query(100);
+        assert_eq!(c.idle_since, None, "still one query running");
+        c.end_query(250);
+        assert_eq!(c.idle_since, Some(250));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "no query to end")]
+    fn ending_without_running_panics() {
+        let mut c = Cluster::running(0, WarehouseSize::Small, 0);
+        c.end_query(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-running cluster")]
+    fn begin_on_starting_cluster_panics() {
+        let mut c = Cluster::starting(0, WarehouseSize::Small, 500);
+        c.begin_query();
+    }
+}

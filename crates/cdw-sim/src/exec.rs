@@ -1,0 +1,134 @@
+//! Query latency model.
+//!
+//! Latency is fixed when a query starts (Snowflake lets in-flight queries
+//! finish on their original cluster even across a resize), from three
+//! multiplicative factors:
+//!
+//! * **size scaling** — latency ∝ work / throughput^scale_exponent, so a
+//!   perfectly parallel query (exponent 1.0) halves its latency with each
+//!   size step while a serial one (exponent 0.0) does not speed up at all;
+//! * **cold-read penalty** — the scan-bound fraction of the query slows by
+//!   [`COLD_READ_MULTIPLIER`] when the cache is cold, interpolated by the
+//!   current warm fraction;
+//! * **resume penalty** — a query that wakes a suspended warehouse waits for
+//!   the resume before it starts (handled by the warehouse state machine, not
+//!   here).
+
+use crate::query::QuerySpec;
+use crate::size::WarehouseSize;
+
+/// How much slower a fully scan-bound query runs on a completely cold cache.
+/// Empirically Snowflake cold reads are 2–5x slower; we pick the middle.
+pub const COLD_READ_MULTIPLIER: f64 = 3.0;
+
+/// Execution time in milliseconds for `query` on one cluster of `size` with
+/// the given cache `warm_fraction` in [0, 1].
+///
+/// # Panics
+/// Panics (debug) when `warm_fraction` is outside [0, 1].
+pub fn execution_ms(query: &QuerySpec, size: WarehouseSize, warm_fraction: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&warm_fraction),
+        "warm fraction out of range: {warm_fraction}"
+    );
+    let speedup = size.relative_throughput().powf(query.scale_exponent);
+    let base = query.work_ms_xs / speedup;
+    let cold_factor =
+        1.0 + query.cache_affinity * (COLD_READ_MULTIPLIER - 1.0) * (1.0 - warm_fraction);
+    (base * cold_factor).max(1.0)
+}
+
+/// The ratio `latency(to) / latency(from)` for the same query and warmness —
+/// used by tests and by the analytic fallback in the cost model.
+pub fn size_latency_ratio(query: &QuerySpec, from: WarehouseSize, to: WarehouseSize) -> f64 {
+    let f = from.relative_throughput().powf(query.scale_exponent);
+    let t = to.relative_throughput().powf(query.scale_exponent);
+    f / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(work: f64, affinity: f64, exponent: f64) -> QuerySpec {
+        QuerySpec::builder(1)
+            .work_ms_xs(work)
+            .cache_affinity(affinity)
+            .scale_exponent(exponent)
+            .build()
+    }
+
+    #[test]
+    fn warm_latency_on_xsmall_equals_declared_work() {
+        let query = q(10_000.0, 0.5, 1.0);
+        assert_eq!(execution_ms(&query, WarehouseSize::XSmall, 1.0), 10_000.0);
+    }
+
+    #[test]
+    fn perfectly_parallel_query_halves_per_size_step() {
+        let query = q(8_000.0, 0.0, 1.0);
+        assert_eq!(execution_ms(&query, WarehouseSize::XSmall, 1.0), 8_000.0);
+        assert_eq!(execution_ms(&query, WarehouseSize::Small, 1.0), 4_000.0);
+        assert_eq!(execution_ms(&query, WarehouseSize::Medium, 1.0), 2_000.0);
+    }
+
+    #[test]
+    fn serial_query_ignores_size() {
+        let query = q(5_000.0, 0.0, 0.0);
+        assert_eq!(
+            execution_ms(&query, WarehouseSize::XSmall, 1.0),
+            execution_ms(&query, WarehouseSize::X6Large, 1.0)
+        );
+    }
+
+    #[test]
+    fn sublinear_query_speeds_up_less_than_linear() {
+        let sub = q(8_000.0, 0.0, 0.5);
+        let lin = q(8_000.0, 0.0, 1.0);
+        let sub_gain = execution_ms(&sub, WarehouseSize::XSmall, 1.0)
+            / execution_ms(&sub, WarehouseSize::Medium, 1.0);
+        let lin_gain = execution_ms(&lin, WarehouseSize::XSmall, 1.0)
+            / execution_ms(&lin, WarehouseSize::Medium, 1.0);
+        assert!(sub_gain < lin_gain);
+        assert!((sub_gain - 2.0).abs() < 1e-9, "4^0.5 = 2, got {sub_gain}");
+    }
+
+    #[test]
+    fn cold_cache_slows_scan_bound_queries_by_the_multiplier() {
+        let query = q(1_000.0, 1.0, 1.0);
+        let warm = execution_ms(&query, WarehouseSize::XSmall, 1.0);
+        let cold = execution_ms(&query, WarehouseSize::XSmall, 0.0);
+        assert!((cold / warm - COLD_READ_MULTIPLIER).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_cache_does_not_affect_compute_bound_queries() {
+        let query = q(1_000.0, 0.0, 1.0);
+        assert_eq!(
+            execution_ms(&query, WarehouseSize::XSmall, 0.0),
+            execution_ms(&query, WarehouseSize::XSmall, 1.0)
+        );
+    }
+
+    #[test]
+    fn partial_warmth_interpolates() {
+        let query = q(1_000.0, 1.0, 1.0);
+        let half = execution_ms(&query, WarehouseSize::XSmall, 0.5);
+        assert!((half - 2_000.0).abs() < 1e-9, "1 + 1*2*0.5 = 2x, got {half}");
+    }
+
+    #[test]
+    fn latency_is_floored_at_one_ms() {
+        let query = q(1.0, 0.0, 1.0);
+        assert_eq!(execution_ms(&query, WarehouseSize::X6Large, 1.0), 1.0);
+    }
+
+    #[test]
+    fn size_ratio_matches_execution_ratio() {
+        let query = q(10_000.0, 0.0, 0.7);
+        let direct = execution_ms(&query, WarehouseSize::Large, 1.0)
+            / execution_ms(&query, WarehouseSize::Small, 1.0);
+        let ratio = size_latency_ratio(&query, WarehouseSize::Small, WarehouseSize::Large);
+        assert!((direct - ratio).abs() < 1e-9);
+    }
+}

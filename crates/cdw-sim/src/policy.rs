@@ -1,0 +1,108 @@
+//! Multi-cluster scale-out policies.
+//!
+//! Snowflake offers two dynamic policies — Standard (scale out aggressively
+//! to prevent queuing) and Economy (keep clusters fully occupied, tolerating
+//! some queuing) — plus the static Maximized mode where min == max clusters
+//! (§3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Scale-out policy for a multi-cluster warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ScalingPolicy {
+    /// Start a new cluster as soon as a query queues.
+    #[default]
+    Standard,
+    /// Start a new cluster only when the queued work would keep it busy for
+    /// at least [`ECONOMY_MIN_BUSY_MS`] of estimated execution time.
+    Economy,
+    /// All clusters run whenever the warehouse is running (caller should set
+    /// min == max clusters; the warehouse enforces it on resume).
+    Maximized,
+}
+
+/// Economy only adds a cluster when queued work is estimated to keep it busy
+/// for at least this long (Snowflake documents ~6 minutes).
+pub const ECONOMY_MIN_BUSY_MS: u64 = 6 * 60 * 1000;
+
+/// How long a cluster must sit idle before the policy retires it (clusters
+/// above `min_clusters` only).
+pub const STANDARD_IDLE_RETIRE_MS: u64 = 2 * 60 * 1000;
+/// Economy keeps idle clusters longer to avoid churn.
+pub const ECONOMY_IDLE_RETIRE_MS: u64 = 5 * 60 * 1000;
+
+impl ScalingPolicy {
+    /// Decides whether a new cluster should be started, given the current
+    /// queue depth and an estimate of per-query execution time.
+    ///
+    /// `queued` counts queries waiting with no free slot anywhere;
+    /// `est_exec_ms` is a recent-average execution time used to estimate how
+    /// long the queue would keep a new cluster busy.
+    pub fn should_scale_out(self, queued: usize, est_exec_ms: f64) -> bool {
+        match self {
+            ScalingPolicy::Standard => queued > 0,
+            ScalingPolicy::Economy => queued as f64 * est_exec_ms >= ECONOMY_MIN_BUSY_MS as f64,
+            // Maximized never scales dynamically; all clusters are already up.
+            ScalingPolicy::Maximized => false,
+        }
+    }
+
+    /// Idle time after which a surplus cluster is retired.
+    pub fn idle_retire_ms(self) -> u64 {
+        match self {
+            ScalingPolicy::Standard => STANDARD_IDLE_RETIRE_MS,
+            ScalingPolicy::Economy => ECONOMY_IDLE_RETIRE_MS,
+            // Maximized clusters are never retired while running.
+            ScalingPolicy::Maximized => u64::MAX,
+        }
+    }
+
+    /// Snowflake's SQL spelling.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            ScalingPolicy::Standard => "STANDARD",
+            ScalingPolicy::Economy => "ECONOMY",
+            ScalingPolicy::Maximized => "MAXIMIZED",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scales_on_any_queue() {
+        assert!(ScalingPolicy::Standard.should_scale_out(1, 10.0));
+        assert!(!ScalingPolicy::Standard.should_scale_out(0, 10.0));
+    }
+
+    #[test]
+    fn economy_requires_sustained_work() {
+        let p = ScalingPolicy::Economy;
+        // 2 queries x 30 s = 60 s of work: far less than 6 minutes.
+        assert!(!p.should_scale_out(2, 30_000.0));
+        // 8 queries x 60 s = 8 minutes of work: scale out.
+        assert!(p.should_scale_out(8, 60_000.0));
+        // Exactly at the threshold counts.
+        assert!(p.should_scale_out(6, 60_000.0));
+    }
+
+    #[test]
+    fn maximized_never_scales_dynamically() {
+        assert!(!ScalingPolicy::Maximized.should_scale_out(100, 60_000.0));
+    }
+
+    #[test]
+    fn economy_retires_more_lazily_than_standard() {
+        assert!(
+            ScalingPolicy::Economy.idle_retire_ms() > ScalingPolicy::Standard.idle_retire_ms()
+        );
+        assert_eq!(ScalingPolicy::Maximized.idle_retire_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(ScalingPolicy::default(), ScalingPolicy::Standard);
+    }
+}

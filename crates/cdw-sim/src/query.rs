@@ -1,0 +1,194 @@
+//! Query specifications submitted to the simulator.
+//!
+//! A [`QuerySpec`] carries everything the execution model needs: intrinsic
+//! work (expressed as warm-cache X-Small milliseconds), how well the query
+//! scales with warehouse size, how cache-sensitive it is, and the hashed
+//! identifiers that stand in for query text (the paper's C6 forbids KWO from
+//! ever seeing plaintext).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A query to be executed by the simulated warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Unique id assigned by the workload generator.
+    pub id: u64,
+    /// Hash of the full query text (never the text itself).
+    pub text_hash: u64,
+    /// Hash of the query template, i.e. text stripped of constants. Queries
+    /// sharing a template are "similar" in the paper's sense (§5.2 fn. 4).
+    pub template_hash: u64,
+    /// Execution time in milliseconds on an X-Small warehouse with a fully
+    /// warm cache and no concurrency interference.
+    pub work_ms_xs: f64,
+    /// Bytes this query scans from storage; reported in telemetry.
+    pub bytes_scanned: u64,
+    /// Fraction of the runtime that is scan-bound and therefore benefits
+    /// from the local cache, in [0, 1]. BI queries are near 1; compute-heavy
+    /// transforms near 0.
+    pub cache_affinity: f64,
+    /// Scaling exponent: latency ∝ work / throughput^scale_exponent.
+    /// 1.0 = perfectly parallelizable; 0.0 = does not speed up with size.
+    pub scale_exponent: f64,
+    /// Arrival (submission) time.
+    pub arrival: SimTime,
+}
+
+impl QuerySpec {
+    /// Starts building a query with the given id and sane defaults.
+    pub fn builder(id: u64) -> QuerySpecBuilder {
+        QuerySpecBuilder::new(id)
+    }
+
+    /// Validates invariant ranges; called on submission.
+    ///
+    /// # Panics
+    /// Panics when a field is out of its documented range. Workload
+    /// generators construct specs through the builder, which clamps, so a
+    /// panic here indicates a programming error rather than bad data.
+    pub fn validate(&self) {
+        assert!(
+            self.work_ms_xs.is_finite() && self.work_ms_xs > 0.0,
+            "query {} work must be positive, got {}",
+            self.id,
+            self.work_ms_xs
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cache_affinity),
+            "query {} cache_affinity out of [0,1]: {}",
+            self.id,
+            self.cache_affinity
+        );
+        assert!(
+            (0.0..=1.5).contains(&self.scale_exponent),
+            "query {} scale_exponent out of [0,1.5]: {}",
+            self.id,
+            self.scale_exponent
+        );
+    }
+}
+
+/// Builder for [`QuerySpec`]. Clamps continuous fields into valid ranges.
+#[derive(Debug, Clone)]
+pub struct QuerySpecBuilder {
+    spec: QuerySpec,
+}
+
+impl QuerySpecBuilder {
+    fn new(id: u64) -> Self {
+        Self {
+            spec: QuerySpec {
+                id,
+                text_hash: id, // distinct by default; generators override
+                template_hash: 0,
+                work_ms_xs: 1_000.0,
+                bytes_scanned: 1 << 20,
+                cache_affinity: 0.5,
+                scale_exponent: 1.0,
+                arrival: 0,
+            },
+        }
+    }
+
+    pub fn text_hash(mut self, h: u64) -> Self {
+        self.spec.text_hash = h;
+        self
+    }
+
+    pub fn template_hash(mut self, h: u64) -> Self {
+        self.spec.template_hash = h;
+        self
+    }
+
+    pub fn work_ms_xs(mut self, ms: f64) -> Self {
+        self.spec.work_ms_xs = ms.max(1.0);
+        self
+    }
+
+    pub fn bytes_scanned(mut self, b: u64) -> Self {
+        self.spec.bytes_scanned = b;
+        self
+    }
+
+    pub fn cache_affinity(mut self, a: f64) -> Self {
+        self.spec.cache_affinity = a.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn scale_exponent(mut self, e: f64) -> Self {
+        self.spec.scale_exponent = e.clamp(0.0, 1.5);
+        self
+    }
+
+    pub fn arrival_ms(mut self, t: SimTime) -> Self {
+        self.spec.arrival = t;
+        self
+    }
+
+    pub fn build(self) -> QuerySpec {
+        let spec = self.spec;
+        spec.validate();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let q = QuerySpec::builder(7).build();
+        assert_eq!(q.id, 7);
+        q.validate();
+    }
+
+    #[test]
+    fn builder_clamps_out_of_range_values() {
+        let q = QuerySpec::builder(1)
+            .cache_affinity(3.0)
+            .scale_exponent(-1.0)
+            .work_ms_xs(-5.0)
+            .build();
+        assert_eq!(q.cache_affinity, 1.0);
+        assert_eq!(q.scale_exponent, 0.0);
+        assert_eq!(q.work_ms_xs, 1.0);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let q = QuerySpec::builder(2)
+            .text_hash(11)
+            .template_hash(22)
+            .work_ms_xs(500.0)
+            .bytes_scanned(42)
+            .cache_affinity(0.9)
+            .scale_exponent(0.8)
+            .arrival_ms(1234)
+            .build();
+        assert_eq!(q.text_hash, 11);
+        assert_eq!(q.template_hash, 22);
+        assert_eq!(q.work_ms_xs, 500.0);
+        assert_eq!(q.bytes_scanned, 42);
+        assert_eq!(q.cache_affinity, 0.9);
+        assert_eq!(q.scale_exponent, 0.8);
+        assert_eq!(q.arrival, 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn validate_rejects_nan_work() {
+        let mut q = QuerySpec::builder(1).build();
+        q.work_ms_xs = f64::NAN;
+        q.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = QuerySpec::builder(3).work_ms_xs(250.0).build();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QuerySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

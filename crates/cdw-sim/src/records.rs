@@ -1,0 +1,167 @@
+//! Telemetry metadata records — the only thing KWO is allowed to see (C6).
+//!
+//! These mirror Snowflake's ACCOUNT_USAGE views at the granularity the paper
+//! describes in §6.1: system information (warehouse name, size, cluster
+//! count), timeseries data (arrival times), and performance metrics (latency,
+//! queuing delay, bytes scanned). Query text appears only as hashes.
+
+use crate::policy::ScalingPolicy;
+use crate::size::WarehouseSize;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Who initiated a configuration change — needed by the monitoring component
+/// to detect *external* modifications that conflict with KWO's actions
+/// (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionSource {
+    /// Keebo's actuator.
+    Keebo,
+    /// A human or application outside Keebo.
+    External,
+    /// The warehouse itself (auto-suspend, auto-resume, auto scale-out).
+    System,
+}
+
+/// One completed query, as it appears in the query history view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Query id.
+    pub query_id: u64,
+    /// Warehouse the query ran on.
+    pub warehouse: String,
+    /// Warehouse size at execution time.
+    pub size: WarehouseSize,
+    /// Number of clusters running when the query started.
+    pub cluster_count: u32,
+    /// Hash of the query text (never plaintext, per C6).
+    pub text_hash: u64,
+    /// Hash of the query template (text stripped of constants).
+    pub template_hash: u64,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Execution start (arrival + queue + resume waits).
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// Bytes scanned.
+    pub bytes_scanned: u64,
+    /// Cache warm fraction seen at start (diagnostic; a real CDW exposes
+    /// the closely related `percentage_scanned_from_cache`).
+    pub cache_warm_fraction: f64,
+}
+
+impl QueryRecord {
+    /// Time spent queued (and waiting for resume) before execution.
+    pub fn queued_ms(&self) -> SimTime {
+        self.start - self.arrival
+    }
+
+    /// Pure execution time.
+    pub fn execution_ms(&self) -> SimTime {
+        self.end - self.start
+    }
+
+    /// End-to-end latency as the user experiences it.
+    pub fn total_latency_ms(&self) -> SimTime {
+        self.end - self.arrival
+    }
+}
+
+/// Kind of warehouse lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarehouseEventKind {
+    Created,
+    Suspended,
+    Resumed,
+    /// Size changed; payload in [`WarehouseEventRecord::size`].
+    Resized,
+    /// A cluster started (scale-out or resume).
+    ClusterStarted,
+    /// A cluster stopped (scale-in or suspend).
+    ClusterStopped,
+    /// Auto-suspend interval changed.
+    AutoSuspendChanged,
+    /// Cluster min/max range changed.
+    ClusterRangeChanged,
+    /// Scaling policy changed.
+    PolicyChanged,
+}
+
+/// One warehouse lifecycle event, used for action auditing and for the
+/// monitoring component's external-change detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarehouseEventRecord {
+    pub warehouse: String,
+    pub at: SimTime,
+    pub kind: WarehouseEventKind,
+    pub source: ActionSource,
+    /// Size after the event.
+    pub size: WarehouseSize,
+    /// Running cluster count after the event.
+    pub running_clusters: u32,
+    /// Auto-suspend setting after the event (ms).
+    pub auto_suspend_ms: SimTime,
+    /// Cluster range after the event.
+    pub min_clusters: u32,
+    pub max_clusters: u32,
+    /// Scaling policy after the event.
+    pub scaling_policy: ScalingPolicy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> QueryRecord {
+        QueryRecord {
+            query_id: 1,
+            warehouse: "WH".into(),
+            size: WarehouseSize::Small,
+            cluster_count: 2,
+            text_hash: 10,
+            template_hash: 20,
+            arrival: 1_000,
+            start: 3_500,
+            end: 9_500,
+            bytes_scanned: 1 << 30,
+            cache_warm_fraction: 0.8,
+        }
+    }
+
+    #[test]
+    fn derived_durations_are_consistent() {
+        let r = record();
+        assert_eq!(r.queued_ms(), 2_500);
+        assert_eq!(r.execution_ms(), 6_000);
+        assert_eq!(r.total_latency_ms(), 8_500);
+        assert_eq!(r.queued_ms() + r.execution_ms(), r.total_latency_ms());
+    }
+
+    #[test]
+    fn query_record_serde_round_trip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: QueryRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn event_record_serde_round_trip() {
+        let e = WarehouseEventRecord {
+            warehouse: "WH".into(),
+            at: 42,
+            kind: WarehouseEventKind::Resized,
+            source: ActionSource::Keebo,
+            size: WarehouseSize::Medium,
+            running_clusters: 1,
+            auto_suspend_ms: 60_000,
+            min_clusters: 1,
+            max_clusters: 3,
+            scaling_policy: ScalingPolicy::Economy,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: WarehouseEventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

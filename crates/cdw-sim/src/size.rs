@@ -1,0 +1,171 @@
+//! Warehouse T-shirt sizes.
+//!
+//! Snowflake sizes warehouses from X-Small to 6X-Large; both the hourly
+//! credit rate and (per the widely held assumption the paper cites) the
+//! compute capacity double with each step.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Snowflake-style warehouse size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WarehouseSize {
+    XSmall,
+    Small,
+    Medium,
+    Large,
+    XLarge,
+    X2Large,
+    X3Large,
+    X4Large,
+    X5Large,
+    X6Large,
+}
+
+impl WarehouseSize {
+    /// All sizes, smallest first.
+    pub const ALL: [WarehouseSize; 10] = [
+        WarehouseSize::XSmall,
+        WarehouseSize::Small,
+        WarehouseSize::Medium,
+        WarehouseSize::Large,
+        WarehouseSize::XLarge,
+        WarehouseSize::X2Large,
+        WarehouseSize::X3Large,
+        WarehouseSize::X4Large,
+        WarehouseSize::X5Large,
+        WarehouseSize::X6Large,
+    ];
+
+    /// Zero-based index: XSmall = 0 ... X6Large = 9.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Size from index, `None` when out of range.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Credits consumed per hour by **one cluster** of this size. X-Small is
+    /// 1 credit/hour and each step doubles, matching Snowflake's pricing.
+    #[inline]
+    pub fn credits_per_hour(self) -> f64 {
+        (1u64 << self.index()) as f64
+    }
+
+    /// Credits per second for one cluster.
+    #[inline]
+    pub fn credits_per_second(self) -> f64 {
+        self.credits_per_hour() / 3600.0
+    }
+
+    /// Relative compute throughput versus X-Small (doubles per step).
+    #[inline]
+    pub fn relative_throughput(self) -> f64 {
+        (1u64 << self.index()) as f64
+    }
+
+    /// One size larger, saturating at 6X-Large.
+    pub fn step_up(self) -> Self {
+        Self::from_index(self.index() + 1).unwrap_or(self)
+    }
+
+    /// One size smaller, saturating at X-Small.
+    pub fn step_down(self) -> Self {
+        if self.index() == 0 {
+            self
+        } else {
+            Self::ALL[self.index() - 1]
+        }
+    }
+
+    /// Snowflake's SQL spelling for `ALTER WAREHOUSE ... SET WAREHOUSE_SIZE=`.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            WarehouseSize::XSmall => "XSMALL",
+            WarehouseSize::Small => "SMALL",
+            WarehouseSize::Medium => "MEDIUM",
+            WarehouseSize::Large => "LARGE",
+            WarehouseSize::XLarge => "XLARGE",
+            WarehouseSize::X2Large => "XXLARGE",
+            WarehouseSize::X3Large => "XXXLARGE",
+            WarehouseSize::X4Large => "X4LARGE",
+            WarehouseSize::X5Large => "X5LARGE",
+            WarehouseSize::X6Large => "X6LARGE",
+        }
+    }
+}
+
+impl fmt::Display for WarehouseSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WarehouseSize::XSmall => "X-Small",
+            WarehouseSize::Small => "Small",
+            WarehouseSize::Medium => "Medium",
+            WarehouseSize::Large => "Large",
+            WarehouseSize::XLarge => "X-Large",
+            WarehouseSize::X2Large => "2X-Large",
+            WarehouseSize::X3Large => "3X-Large",
+            WarehouseSize::X4Large => "4X-Large",
+            WarehouseSize::X5Large => "5X-Large",
+            WarehouseSize::X6Large => "6X-Large",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_rate_doubles_per_step() {
+        for pair in WarehouseSize::ALL.windows(2) {
+            assert_eq!(
+                pair[1].credits_per_hour(),
+                2.0 * pair[0].credits_per_hour(),
+                "{} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert_eq!(WarehouseSize::XSmall.credits_per_hour(), 1.0);
+        assert_eq!(WarehouseSize::X6Large.credits_per_hour(), 512.0);
+    }
+
+    #[test]
+    fn throughput_doubles_per_step() {
+        assert_eq!(WarehouseSize::Medium.relative_throughput(), 4.0);
+        assert_eq!(WarehouseSize::XSmall.relative_throughput(), 1.0);
+    }
+
+    #[test]
+    fn step_up_and_down_saturate() {
+        assert_eq!(WarehouseSize::XSmall.step_down(), WarehouseSize::XSmall);
+        assert_eq!(WarehouseSize::X6Large.step_up(), WarehouseSize::X6Large);
+        assert_eq!(WarehouseSize::Small.step_up(), WarehouseSize::Medium);
+        assert_eq!(WarehouseSize::Medium.step_down(), WarehouseSize::Small);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for s in WarehouseSize::ALL {
+            assert_eq!(WarehouseSize::from_index(s.index()), Some(s));
+        }
+        assert_eq!(WarehouseSize::from_index(10), None);
+    }
+
+    #[test]
+    fn ordering_follows_capacity() {
+        assert!(WarehouseSize::XSmall < WarehouseSize::X6Large);
+        assert!(WarehouseSize::Large > WarehouseSize::Medium);
+    }
+
+    #[test]
+    fn credits_per_second_consistent_with_hourly() {
+        let s = WarehouseSize::Large;
+        assert!((s.credits_per_second() * 3600.0 - s.credits_per_hour()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! The actuator (§4.5): translates smart-model actions into the CDW's own
+//! API, executes them, keeps a record of every action taken, and reports
+//! errors.
+
+use agent::AgentAction;
+use cdw_sim::{ActionSource, AlterError, SimTime, Simulator, WarehouseConfig, WarehouseId};
+use serde::{Deserialize, Serialize};
+
+/// How one action application ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionOutcome {
+    /// All commands applied.
+    Applied,
+    /// Nothing needed doing (NoOp or saturated move).
+    NoChange,
+    /// The CDW rejected a command; carries the rendered error.
+    Failed(String),
+}
+
+/// One entry in the action log — this is what the web portal's "real-time
+/// actions taken on each warehouse" view renders (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionLogEntry {
+    pub at: SimTime,
+    pub warehouse: String,
+    pub action: AgentAction,
+    /// The SQL the action translated to.
+    pub sql: Vec<String>,
+    pub outcome: ActionOutcome,
+    /// Why the action was chosen ("policy", "backoff", "external-revert").
+    pub reason: String,
+}
+
+/// Applies actions and remembers everything it did.
+#[derive(Debug, Default)]
+pub struct Actuator {
+    log: Vec<ActionLogEntry>,
+    /// Small credit cost per executed command (ALTER statements are
+    /// metadata queries; nearly free but not zero — part of Fig. 6's
+    /// overhead accounting).
+    pub cost_per_command: f64,
+}
+
+impl Actuator {
+    pub fn new() -> Self {
+        Self {
+            log: Vec::new(),
+            cost_per_command: 0.0005,
+        }
+    }
+
+    /// Applies `action` from `current` config, charging command overhead and
+    /// logging. Benign state races (already suspended/running) count as
+    /// `NoChange`.
+    pub fn apply(
+        &mut self,
+        sim: &mut Simulator,
+        wh: WarehouseId,
+        warehouse_name: &str,
+        current: &WarehouseConfig,
+        action: AgentAction,
+        reason: &str,
+    ) -> ActionOutcome {
+        let commands = action.to_commands(current);
+        let now = sim.now();
+        let sql: Vec<String> = commands
+            .iter()
+            .map(|c| c.to_sql(warehouse_name))
+            .collect();
+        let mut outcome = if commands.is_empty() {
+            ActionOutcome::NoChange
+        } else {
+            ActionOutcome::Applied
+        };
+        for cmd in commands {
+            sim.account_mut()
+                .charge_overhead(now, self.cost_per_command);
+            match sim.alter_warehouse(wh, cmd, ActionSource::Keebo) {
+                Ok(()) => {}
+                Err(AlterError::AlreadySuspended) | Err(AlterError::AlreadyRunning) => {
+                    outcome = ActionOutcome::NoChange;
+                }
+                Err(e) => {
+                    outcome = ActionOutcome::Failed(e.to_string());
+                    break;
+                }
+            }
+        }
+        self.log.push(ActionLogEntry {
+            at: now,
+            warehouse: warehouse_name.to_string(),
+            action,
+            sql,
+            outcome: outcome.clone(),
+            reason: reason.to_string(),
+        });
+        outcome
+    }
+
+    /// Applies raw commands (used for §4.3-style rollback of previous
+    /// settings, which is not a single knob move). Logged as one entry
+    /// under `action = NoOp` with the given reason.
+    pub fn apply_commands(
+        &mut self,
+        sim: &mut Simulator,
+        wh: WarehouseId,
+        warehouse_name: &str,
+        commands: &[cdw_sim::WarehouseCommand],
+        reason: &str,
+    ) -> ActionOutcome {
+        let now = sim.now();
+        let sql: Vec<String> = commands
+            .iter()
+            .map(|c| c.to_sql(warehouse_name))
+            .collect();
+        let mut outcome = if commands.is_empty() {
+            ActionOutcome::NoChange
+        } else {
+            ActionOutcome::Applied
+        };
+        for cmd in commands {
+            sim.account_mut()
+                .charge_overhead(now, self.cost_per_command);
+            match sim.alter_warehouse(wh, *cmd, ActionSource::Keebo) {
+                Ok(()) => {}
+                Err(AlterError::AlreadySuspended) | Err(AlterError::AlreadyRunning) => {
+                    outcome = ActionOutcome::NoChange;
+                }
+                Err(e) => {
+                    outcome = ActionOutcome::Failed(e.to_string());
+                    break;
+                }
+            }
+        }
+        self.log.push(ActionLogEntry {
+            at: now,
+            warehouse: warehouse_name.to_string(),
+            action: AgentAction::NoOp,
+            sql,
+            outcome: outcome.clone(),
+            reason: reason.to_string(),
+        });
+        outcome
+    }
+
+    /// Full action history.
+    pub fn log(&self) -> &[ActionLogEntry] {
+        &self.log
+    }
+
+    /// Count of effective (Applied) actions.
+    pub fn applied_count(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.outcome == ActionOutcome::Applied)
+            .count()
+    }
+
+    /// Count of failures.
+    pub fn failure_count(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| matches!(e.outcome, ActionOutcome::Failed(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{Account, WarehouseSize};
+
+    fn setup() -> (Simulator, WarehouseId, WarehouseConfig) {
+        let mut account = Account::new();
+        let cfg = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
+        let wh = account.create_warehouse("WH", cfg.clone());
+        (Simulator::new(account), wh, cfg)
+    }
+
+    #[test]
+    fn size_down_applies_and_logs_sql() {
+        let (mut sim, wh, cfg) = setup();
+        let mut act = Actuator::new();
+        let out = act.apply(&mut sim, wh, "WH", &cfg, AgentAction::SizeDown, "policy");
+        assert_eq!(out, ActionOutcome::Applied);
+        assert_eq!(act.log().len(), 1);
+        assert_eq!(
+            act.log()[0].sql,
+            vec!["ALTER WAREHOUSE WH SET WAREHOUSE_SIZE=SMALL".to_string()]
+        );
+        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Small);
+        assert_eq!(act.applied_count(), 1);
+    }
+
+    #[test]
+    fn noop_logs_no_change_and_no_overhead() {
+        let (mut sim, wh, cfg) = setup();
+        let mut act = Actuator::new();
+        let out = act.apply(&mut sim, wh, "WH", &cfg, AgentAction::NoOp, "policy");
+        assert_eq!(out, ActionOutcome::NoChange);
+        assert_eq!(sim.account().ledger().overhead().total(), 0.0);
+    }
+
+    #[test]
+    fn commands_charge_overhead() {
+        let (mut sim, wh, cfg) = setup();
+        let mut act = Actuator::new();
+        act.apply(&mut sim, wh, "WH", &cfg, AgentAction::SizeUp, "policy");
+        let overhead = sim.account().ledger().overhead().total();
+        assert!((overhead - act.cost_per_command).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suspending_twice_is_benign() {
+        let (mut sim, wh, cfg) = setup();
+        let mut act = Actuator::new();
+        assert_eq!(
+            act.apply(&mut sim, wh, "WH", &cfg, AgentAction::SuspendNow, "policy"),
+            ActionOutcome::NoChange,
+            "warehouse starts suspended: AlreadySuspended is benign"
+        );
+        assert_eq!(act.failure_count(), 0);
+    }
+
+    #[test]
+    fn log_preserves_reason_and_time() {
+        let (mut sim, wh, cfg) = setup();
+        sim.run_until(12_345);
+        let mut act = Actuator::new();
+        act.apply(&mut sim, wh, "WH", &cfg, AgentAction::ClustersUp, "backoff");
+        let e = &act.log()[0];
+        assert_eq!(e.at, 12_345);
+        assert_eq!(e.reason, "backoff");
+        assert_eq!(e.action, AgentAction::ClustersUp);
+    }
+}

@@ -1,0 +1,74 @@
+//! # Keebo Warehouse Optimization (KWO) — reproduction
+//!
+//! This crate assembles the full optimization life-cycle the paper describes
+//! (§4): *"from observing the workload, learning smart models, applying
+//! optimization decisions, monitoring the performance impact of those
+//! decisions, adjusting or reverting the optimizations in case of an adverse
+//! impact, and reporting the overall benefits to users."*
+//!
+//! The pieces:
+//!
+//! * [`orchestrator`] — the data-learning loop of Algorithm 1: periodic
+//!   telemetry reads, periodic (re)training, real-time decisions at
+//!   `T_realtime` cadence, constraint filtering, monitoring feedback, and
+//!   savings reporting;
+//! * [`monitoring`] — real-time state, load-spike detection, and
+//!   external-change detection (§4.4);
+//! * [`actuator`] — translates agent actions into `ALTER WAREHOUSE`
+//!   commands, keeps the action log, and reports errors (§4.5);
+//! * [`dashboard`] — the KPI aggregates behind the web portal's charts
+//!   (§4.1): spend, savings, latency percentiles, queue times, cost per
+//!   query;
+//! * [`pricing`] — value-based pricing: the customer pays a percentage of
+//!   realized savings (§4.7).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cdw_sim::{Account, Simulator, WarehouseConfig, WarehouseSize, DAY_MS};
+//! use keebo::{KwoSetup, Orchestrator};
+//! use workload::{generate_trace, BiWorkload};
+//!
+//! // A customer account with one oversized BI warehouse.
+//! let mut account = Account::new();
+//! let wh = account.create_warehouse(
+//!     "BI_WH",
+//!     WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+//! );
+//! let mut sim = Simulator::new(account);
+//! for q in generate_trace(&BiWorkload::default(), 0, 14 * DAY_MS, 42) {
+//!     sim.submit_query(wh, q);
+//! }
+//!
+//! // Attach KWO: observe for 7 days, then optimize for 7 more.
+//! let mut kwo = Orchestrator::new(42);
+//! kwo.manage(&sim, "BI_WH", KwoSetup::default());
+//! kwo.observe_until(&mut sim, 7 * DAY_MS);
+//! kwo.onboard(&mut sim);
+//! kwo.run_until(&mut sim, 14 * DAY_MS);
+//!
+//! let report = kwo.savings_report(&sim, "BI_WH", 7 * DAY_MS, 14 * DAY_MS);
+//! println!("estimated savings: {:.1} credits", report.estimated_savings);
+//! ```
+
+pub mod actuator;
+pub mod consolidation;
+pub mod dashboard;
+pub mod monitoring;
+pub mod orchestrator;
+pub mod pricing;
+
+pub use actuator::{ActionLogEntry, ActionOutcome, Actuator};
+pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
+pub use dashboard::{DailyKpis, Dashboard};
+pub use monitoring::{Monitor, RealTimeState};
+pub use orchestrator::{KwoSetup, Orchestrator, WarehouseOptimizer};
+pub use pricing::{Invoice, ValueBasedPricing};
+
+// Re-export the user-facing configuration surface so downstream users need
+// only this crate for common setups.
+pub use agent::{ConstraintSet, Rule, RuleEffect, SliderPosition, TimeWindow};
+pub use costmodel::SavingsReport;
+
+// Used by the doc example above.
+pub use workload::generate_trace;

@@ -1,0 +1,289 @@
+//! The monitoring component (§4.4).
+//!
+//! KWO continuously watches each warehouse for three reasons: (1) to feed
+//! real-time performance back to the smart model so it can self-correct,
+//! (2) to detect sudden load spikes or new patterns that the trained model
+//! has not seen, and (3) to detect *external* modifications — an admin or
+//! application changing the warehouse underneath Keebo — which immediately
+//! pause optimization.
+
+use agent::SliderPosition;
+use cdw_sim::{QueryRecord, SimTime, WarehouseConfig};
+use serde::{Deserialize, Serialize};
+use telemetry::WindowFeatures;
+
+/// What monitoring observed over the last feedback interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealTimeState {
+    /// Window aggregates (latency, queueing, arrival rate...).
+    pub window: WindowFeatures,
+    /// Queries waiting right now.
+    pub queue_depth: usize,
+    /// Arrival-rate z-score against the trailing history (spike detector).
+    pub load_zscore: f64,
+    /// p99 latency over the window relative to the training baseline.
+    pub latency_ratio: f64,
+    /// An external (non-Keebo) configuration change was detected.
+    pub external_change: bool,
+    /// Monitoring wants the model to back off to a conservative action.
+    pub should_back_off: bool,
+}
+
+/// Sliding-statistics monitor for one warehouse.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    /// Trailing per-interval arrival counts for the spike z-score.
+    history: Vec<f64>,
+    /// Maximum history length (intervals).
+    max_history: usize,
+    /// Baseline p99 (ms) from training, for the latency ratio.
+    pub baseline_p99_ms: f64,
+    /// Load z-score beyond which a spike is declared.
+    pub spike_zscore: f64,
+}
+
+impl Monitor {
+    pub fn new(baseline_p99_ms: f64) -> Self {
+        Self {
+            history: Vec::new(),
+            max_history: 288, // two days of 10-minute intervals
+            baseline_p99_ms: baseline_p99_ms.max(1.0),
+            spike_zscore: 3.0,
+        }
+    }
+
+    /// Arrival-rate z-score of `value` against the trailing history.
+    fn zscore(&self, value: f64) -> f64 {
+        if self.history.len() < 6 {
+            return 0.0; // too little history to call anything a spike
+        }
+        let n = self.history.len() as f64;
+        let mean = self.history.iter().sum::<f64>() / n;
+        let var = self
+            .history
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt().max(1e-6);
+        (value - mean) / std
+    }
+
+    /// Assesses the interval `[now - interval, now)`.
+    ///
+    /// `records` are completed queries overlapping the interval;
+    /// `queue_depth` and `longest_running_ms` are live readings (a query
+    /// slowed 8x by an undersizing does not *complete* for a long time —
+    /// its elapsed in-flight time is the early warning); `expected` vs
+    /// `described` configs drive external-change detection; `slider` sets
+    /// the back-off thresholds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assess(
+        &mut self,
+        records: &[&QueryRecord],
+        now: SimTime,
+        interval_ms: SimTime,
+        queue_depth: usize,
+        longest_running_ms: SimTime,
+        expected: &WarehouseConfig,
+        described: &WarehouseConfig,
+        slider: SliderPosition,
+    ) -> RealTimeState {
+        let window = WindowFeatures::compute(records, now.saturating_sub(interval_ms), interval_ms);
+        let load_zscore = self.zscore(window.arrivals as f64);
+        self.history.push(window.arrivals as f64);
+        if self.history.len() > self.max_history {
+            self.history.remove(0);
+        }
+
+        let completed_ratio = if window.p99_latency_ms > 0.0 {
+            window.p99_latency_ms / self.baseline_p99_ms
+        } else {
+            1.0
+        };
+        // An in-flight query that has already outlived the baseline p99 is
+        // at least that much slower than normal.
+        let inflight_ratio = longest_running_ms as f64 / self.baseline_p99_ms;
+        let latency_ratio = completed_ratio.max(inflight_ratio);
+        let external_change = expected != described;
+        let queue_pressure_s = window.mean_queue_ms / 1000.0;
+        let should_back_off = !external_change
+            && (queue_pressure_s > slider.backoff_queue_threshold_s()
+                || latency_ratio > slider.backoff_latency_ratio()
+                || queue_depth >= slider.backoff_queue_depth()
+                || (load_zscore > self.spike_zscore && queue_depth > 0));
+
+        RealTimeState {
+            window,
+            queue_depth,
+            load_zscore,
+            latency_ratio,
+            external_change,
+            should_back_off,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{WarehouseSize, MINUTE_MS};
+
+    fn cfg() -> WarehouseConfig {
+        WarehouseConfig::new(WarehouseSize::Medium)
+    }
+
+    fn rec(id: u64, arrival: SimTime, start: SimTime, end: SimTime) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            warehouse: "WH".into(),
+            size: WarehouseSize::Medium,
+            cluster_count: 1,
+            text_hash: id,
+            template_hash: 0,
+            arrival,
+            start,
+            end,
+            bytes_scanned: 0,
+            cache_warm_fraction: 1.0,
+        }
+    }
+
+    fn assess_simple(
+        m: &mut Monitor,
+        records: &[&QueryRecord],
+        now: SimTime,
+        queue: usize,
+    ) -> RealTimeState {
+        m.assess(
+            records,
+            now,
+            10 * MINUTE_MS,
+            queue,
+            0,
+            &cfg(),
+            &cfg(),
+            SliderPosition::Balanced,
+        )
+    }
+
+    #[test]
+    fn quiet_interval_raises_nothing() {
+        let mut m = Monitor::new(10_000.0);
+        let s = assess_simple(&mut m, &[], 10 * MINUTE_MS, 0);
+        assert!(!s.should_back_off);
+        assert!(!s.external_change);
+        assert_eq!(s.load_zscore, 0.0);
+    }
+
+    #[test]
+    fn external_change_detected_on_config_mismatch() {
+        let mut m = Monitor::new(10_000.0);
+        let mut described = cfg();
+        described.size = WarehouseSize::Small; // someone downsized it
+        let s = m.assess(
+            &[],
+            10 * MINUTE_MS,
+            10 * MINUTE_MS,
+            0,
+            0,
+            &cfg(),
+            &described,
+            SliderPosition::Balanced,
+        );
+        assert!(s.external_change);
+        assert!(
+            !s.should_back_off,
+            "external change pauses optimization; back-off is separate"
+        );
+    }
+
+    #[test]
+    fn heavy_queueing_triggers_backoff() {
+        let mut m = Monitor::new(10_000.0);
+        // Queries queued ~60 s each (Balanced threshold is 15 s).
+        let now = 10 * MINUTE_MS;
+        let recs: Vec<QueryRecord> = (0..5)
+            .map(|i| rec(i, now - 300_000, now - 300_000 + 60_000, now - 100_000 + i * 1000))
+            .collect();
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let s = assess_simple(&mut m, &refs, now, 3);
+        assert!(s.window.mean_queue_ms >= 60_000.0);
+        assert!(s.should_back_off);
+    }
+
+    #[test]
+    fn long_inflight_query_triggers_backoff_before_completion() {
+        let mut m = Monitor::new(10_000.0); // baseline p99 = 10 s
+        // No completions at all, but one query has been running for 60 s —
+        // six times the baseline, well past Balanced's 1.6x threshold.
+        let s = m.assess(
+            &[],
+            10 * MINUTE_MS,
+            10 * MINUTE_MS,
+            0,
+            60_000,
+            &cfg(),
+            &cfg(),
+            SliderPosition::Balanced,
+        );
+        assert!(s.latency_ratio > 5.0);
+        assert!(s.should_back_off);
+    }
+
+    #[test]
+    fn latency_regression_triggers_backoff() {
+        let mut m = Monitor::new(1_000.0); // baseline p99 = 1 s
+        let now = 10 * MINUTE_MS;
+        // Queries now take 10 s end-to-end: ratio 10 > 1.6.
+        let recs: Vec<QueryRecord> = (0..5)
+            .map(|i| rec(i, now - 60_000 + i, now - 60_000 + i, now - 50_000 + i))
+            .collect();
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let s = assess_simple(&mut m, &refs, now, 0);
+        assert!(s.latency_ratio > 5.0);
+        assert!(s.should_back_off);
+    }
+
+    #[test]
+    fn slider_changes_backoff_sensitivity() {
+        // Mean queue of ~30 s: backs off at Balanced (15 s) but not at
+        // LowestCost (120 s).
+        let now = 10 * MINUTE_MS;
+        let recs: Vec<QueryRecord> = (0..5)
+            .map(|i| rec(i, now - 100_000, now - 70_000, now - 60_000 + i))
+            .collect();
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let mut m1 = Monitor::new(1_000_000.0);
+        let balanced = m1.assess(&refs, now, 10 * MINUTE_MS, 0, 0, &cfg(), &cfg(), SliderPosition::Balanced);
+        let mut m2 = Monitor::new(1_000_000.0);
+        let cheap = m2.assess(&refs, now, 10 * MINUTE_MS, 0, 0, &cfg(), &cfg(), SliderPosition::LowestCost);
+        assert!(balanced.should_back_off);
+        assert!(!cheap.should_back_off);
+    }
+
+    #[test]
+    fn spike_detection_needs_history_and_queueing() {
+        let mut m = Monitor::new(1_000_000.0);
+        let now0 = 10 * MINUTE_MS;
+        // Build 10 intervals of ~2 arrivals each.
+        for i in 0..10u64 {
+            let t = now0 + i * 10 * MINUTE_MS;
+            let recs: Vec<QueryRecord> = (0..2)
+                .map(|j| rec(i * 10 + j, t - 60_000 + j, t - 60_000 + j, t - 50_000 + j))
+                .collect();
+            let refs: Vec<&QueryRecord> = recs.iter().collect();
+            let s = assess_simple(&mut m, &refs, t, 0);
+            assert!(!s.should_back_off, "steady load is not a spike");
+        }
+        // Now a 50-arrival interval with queueing.
+        let t = now0 + 10 * 10 * MINUTE_MS;
+        let recs: Vec<QueryRecord> = (0..50)
+            .map(|j| rec(1000 + j, t - 60_000 + j, t - 60_000 + j, t - 50_000 + j))
+            .collect();
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let s = assess_simple(&mut m, &refs, t, 5);
+        assert!(s.load_zscore > 3.0, "zscore {}", s.load_zscore);
+        assert!(s.should_back_off);
+    }
+}

@@ -1,0 +1,878 @@
+//! The data-learning loop — Algorithm 1 of the paper.
+//!
+//! One [`WarehouseOptimizer`] per warehouse (C5: a fresh smart model per
+//! warehouse, never shared), coordinated by the [`Orchestrator`]:
+//!
+//! ```text
+//! while true:
+//!   if T hours elapsed since last training:
+//!     D ← D ∪ ReadTelemetryData(last T hours)       # fetcher
+//!     M ← TrainSmartModel(D, wh, aggr, WCM)          # trainer
+//!   if T_realtime minutes elapsed since last action:
+//!     feedback ← Monitoring.RealTimeState()          # monitor
+//!     action ← M.nextAction(UC, WCM, feedback)       # agent + constraints
+//!     Actuator.apply(wh, action)                     # actuator
+//!   savings ← cm.estimateSavings(...)                # cost model
+//!   report(...)
+//! ```
+
+use crate::actuator::Actuator;
+use crate::monitoring::{Monitor, RealTimeState};
+use agent::{
+    baseline_p99, reconstruct_specs, train_on_workload, AgentAction, AgentState, ConstraintSet,
+    DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, SliderPosition, Transition,
+};
+use cdw_sim::{
+    QueryRecord, SimTime, Simulator, WarehouseConfig, WarehouseId, DAY_MS, HOUR_MS, MINUTE_MS,
+};
+use costmodel::{estimate_savings, ReplayConfig, SavingsReport, WarehouseCostModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use telemetry::{TelemetryFetcher, TelemetryStore};
+
+/// Per-warehouse KWO configuration: everything the customer's admin sets in
+/// the web portal (§4.1) plus operational cadences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KwoSetup {
+    /// The cost/performance slider.
+    pub slider: SliderPosition,
+    /// Hard business rules.
+    pub constraints: ConstraintSet,
+    /// `T_realtime`: decision + feedback cadence.
+    pub realtime_interval_ms: SimTime,
+    /// `T`: retraining cadence.
+    pub train_interval_ms: SimTime,
+    /// Offline episodes at onboarding.
+    pub onboarding_episodes: usize,
+    /// Offline episodes per periodic retrain.
+    pub refresh_episodes: usize,
+    /// How much trailing history feeds each offline training pass.
+    pub train_window_ms: SimTime,
+    /// Optimization pause after an external change (the admin can also
+    /// resume explicitly via [`Orchestrator::admin_resume`]).
+    pub external_pause_ms: SimTime,
+}
+
+impl Default for KwoSetup {
+    fn default() -> Self {
+        Self {
+            slider: SliderPosition::Balanced,
+            constraints: ConstraintSet::new(),
+            realtime_interval_ms: 10 * MINUTE_MS,
+            train_interval_ms: 24 * HOUR_MS,
+            onboarding_episodes: 5,
+            refresh_episodes: 1,
+            train_window_ms: 3 * DAY_MS,
+            external_pause_ms: 12 * HOUR_MS,
+        }
+    }
+}
+
+/// The per-warehouse optimization state: smart model, cost model, telemetry,
+/// monitoring, actuation, and learning bookkeeping.
+pub struct WarehouseOptimizer {
+    wh: WarehouseId,
+    name: String,
+    /// The customer's configuration at onboarding — the without-Keebo
+    /// state every replay compares against.
+    original_config: WarehouseConfig,
+    /// What KWO believes the current configuration is; divergence from the
+    /// described config means an external change.
+    expected_config: WarehouseConfig,
+    setup: KwoSetup,
+    agent: DqnAgent,
+    cost_model: WarehouseCostModel,
+    store: TelemetryStore,
+    fetcher: TelemetryFetcher,
+    monitor: Monitor,
+    actuator: Actuator,
+    rng: StdRng,
+    onboarded: bool,
+    last_train: SimTime,
+    last_action: Option<AgentAction>,
+    prev_state: Option<(Vec<f64>, usize)>,
+    prev_credits: f64,
+    prev_dropped: u64,
+    paused_until: Option<SimTime>,
+    baseline_p99_ms: f64,
+    /// The most recent configuration under which performance was healthy
+    /// (latency near baseline, no queue buildup). Back-off rolls back to
+    /// this — "roll back the previous settings of the warehouse" (§4.3).
+    last_good_config: Option<WarehouseConfig>,
+    /// Auto-suspend setting computed analytically at the last training
+    /// (idle cost vs cold-restart cost, §3); applied at the next tick.
+    pending_auto_suspend: Option<SimTime>,
+    /// Consecutive healthy ticks; sustained health decays any capacity
+    /// held above the customer's original configuration.
+    healthy_streak: u32,
+}
+
+impl WarehouseOptimizer {
+    fn new(
+        wh: WarehouseId,
+        name: String,
+        original_config: WarehouseConfig,
+        setup: KwoSetup,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agent = DqnAgent::new(DqnConfig::default(), &mut rng);
+        Self {
+            wh,
+            expected_config: original_config.clone(),
+            original_config,
+            setup,
+            agent,
+            cost_model: WarehouseCostModel::default(),
+            store: TelemetryStore::new(),
+            fetcher: TelemetryFetcher::new(),
+            monitor: Monitor::new(10_000.0),
+            actuator: Actuator::new(),
+            rng,
+            onboarded: false,
+            last_train: 0,
+            last_action: None,
+            prev_state: None,
+            prev_credits: 0.0,
+            prev_dropped: 0,
+            paused_until: None,
+            baseline_p99_ms: 10_000.0,
+            last_good_config: None,
+            pending_auto_suspend: None,
+            healthy_streak: 0,
+            name,
+        }
+    }
+
+    /// Warehouse name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The original (without-Keebo) configuration.
+    pub fn original_config(&self) -> &WarehouseConfig {
+        &self.original_config
+    }
+
+    /// Telemetry accumulated so far.
+    pub fn store(&self) -> &TelemetryStore {
+        &self.store
+    }
+
+    /// Action history.
+    pub fn actuator(&self) -> &Actuator {
+        &self.actuator
+    }
+
+    /// The trained cost model.
+    pub fn cost_model(&self) -> &WarehouseCostModel {
+        &self.cost_model
+    }
+
+    /// Whether optimization is currently paused due to an external change.
+    pub fn is_paused(&self, now: SimTime) -> bool {
+        self.paused_until.is_some_and(|t| now < t)
+    }
+
+    /// Moves the slider (no retraining needed; the model re-calibrates its
+    /// decisions because the slider is part of its state — §4.3).
+    pub fn set_slider(&mut self, slider: SliderPosition) {
+        self.setup.slider = slider;
+    }
+
+    fn fetch(&mut self, sim: &mut Simulator) {
+        let now = sim.now();
+        self.fetcher.fetch(sim.account_mut(), &mut self.store, now);
+    }
+
+    /// Trains the cost model and smart model from accumulated telemetry.
+    fn train(&mut self, now: SimTime, episodes: usize) {
+        let records = self.store.queries(&self.name).to_vec();
+        if records.is_empty() {
+            return;
+        }
+        let cfg = &self.expected_config;
+        self.cost_model = WarehouseCostModel::train(
+            &records,
+            0,
+            now,
+            cfg.max_concurrency,
+            cfg.max_clusters,
+        );
+        // Offline episodes on the recent reconstructed workload.
+        let from = now.saturating_sub(self.setup.train_window_ms);
+        let recent: Vec<QueryRecord> = records
+            .iter()
+            .filter(|r| r.arrival >= from)
+            .cloned()
+            .collect();
+        if recent.is_empty() || episodes == 0 {
+            self.last_train = now;
+            return;
+        }
+        let mut specs = reconstruct_specs(&recent, &self.cost_model.latency);
+        // Shift arrivals to episode-local time.
+        let t0 = specs.iter().map(|s| s.arrival).min().unwrap_or(0);
+        for s in &mut specs {
+            s.arrival -= t0;
+        }
+        // Serving baseline: the *observed* p99 restricted to executions at
+        // the original size, so KWO's own downsizing can never inflate what
+        // "normal" means, while the estimate still sharpens with more data.
+        let observed: Vec<f64> = records
+            .iter()
+            .filter(|r| r.size == self.original_config.size)
+            .map(|r| r.total_latency_ms() as f64)
+            .collect();
+        if !observed.is_empty() {
+            self.baseline_p99_ms = telemetry::percentile(&observed, 99.0).max(1.0);
+            self.monitor.baseline_p99_ms = self.baseline_p99_ms;
+        }
+        // Auto-suspend: analytic optimum over the observed gap distribution
+        // (idle cost at the current rate vs measured cold-restart cost).
+        let aso = costmodel::AutoSuspendOptimizer::train(&recent);
+        let best = aso.optimal_ms(
+            &agent::AUTO_SUSPEND_LADDER_MS,
+            self.expected_config.size.credits_per_hour(),
+            self.setup.slider.perf_penalty_weight(),
+            self.setup.slider.backoff_latency_ratio(),
+        );
+        self.pending_auto_suspend = Some(best);
+
+        // Training baseline: measured inside the reconstructed world so the
+        // episode reward compares like with like.
+        let episode_baseline = baseline_p99(&specs, &self.original_config).max(1.0);
+        let ep_cfg = EpisodeConfig {
+            decision_interval_ms: self.setup.realtime_interval_ms,
+            baseline_p99_ms: episode_baseline,
+            tail_ms: HOUR_MS,
+        };
+        let seed: u64 = self.rng.gen();
+        train_on_workload(
+            &mut self.agent,
+            &specs,
+            &self.original_config,
+            self.setup.slider,
+            &self.setup.constraints,
+            &ep_cfg,
+            episodes,
+            seed,
+        );
+        self.last_train = now;
+    }
+
+    /// One real-time step of Algorithm 1 (lines 17–23).
+    fn tick(&mut self, sim: &mut Simulator) {
+        let now = sim.now();
+        self.fetch(sim);
+
+        // Periodic retraining (lines 14–16).
+        if self.onboarded && now.saturating_sub(self.last_train) >= self.setup.train_interval_ms {
+            self.train(now, self.setup.refresh_episodes);
+        }
+        if !self.onboarded {
+            return; // observation mode: learn the workload before acting
+        }
+
+        // Apply the analytically chosen auto-suspend (once per retrain),
+        // respecting constraints by checking the equivalent knob move.
+        if let Some(target) = self.pending_auto_suspend.take() {
+            let desc = sim.account().describe(self.wh);
+            if target != desc.config.auto_suspend_ms {
+                let probe = if target < desc.config.auto_suspend_ms {
+                    AgentAction::AutoSuspendDown
+                } else {
+                    AgentAction::AutoSuspendUp
+                };
+                if self.setup.constraints.allows(probe, &desc.config, now) {
+                    self.actuator.apply_commands(
+                        sim,
+                        self.wh,
+                        &self.name,
+                        &[cdw_sim::WarehouseCommand::SetAutoSuspend { ms: target }],
+                        "auto-suspend-optimizer",
+                    );
+                    self.expected_config = sim.account().describe(self.wh).config;
+                }
+            }
+        }
+
+        let interval = self.setup.realtime_interval_ms;
+        let desc = sim.account().describe(self.wh);
+        let window_records: Vec<&QueryRecord> = self
+            .store
+            .queries_in(&self.name, now.saturating_sub(interval), now)
+            .iter()
+            .collect();
+
+        // Line 18: feedback from monitoring.
+        let rts = self.monitor.assess(
+            &window_records,
+            now,
+            interval,
+            desc.queued_queries,
+            sim.account().warehouse(self.wh).longest_running_ms(now),
+            &self.expected_config,
+            &desc.config,
+            self.setup.slider,
+        );
+
+        // External changes pause optimization (§4.4).
+        if rts.external_change {
+            if !self.is_paused(now) {
+                // Revert our own last action, then step aside.
+                if let Some(inv) = self.last_action.and_then(AgentAction::inverse) {
+                    if inv.is_applicable(&desc.config) {
+                        self.actuator
+                            .apply(sim, self.wh, &self.name, &desc.config, inv, "external-revert");
+                    }
+                }
+                self.last_action = None;
+            }
+            self.paused_until = Some(now + self.setup.external_pause_ms);
+            // Acknowledge the externally-set configuration as the new
+            // expectation so we detect *further* changes, not this one.
+            self.expected_config = sim.account().describe(self.wh).config;
+            self.prev_state = None;
+            return;
+        }
+        if self.is_paused(now) {
+            self.prev_state = None;
+            return;
+        }
+
+        // Learning bookkeeping: reward the previous action with what the
+        // interval actually cost and how it performed.
+        let state = AgentState {
+            now,
+            window: rts.window.clone(),
+            config: desc.config.clone(),
+            queue_depth: desc.queued_queries,
+            cache_warm: sim.account().warehouse(self.wh).cache_warm_fraction(),
+            suspended: desc.is_suspended,
+            slider: self.setup.slider,
+        };
+        let state_vec = state.to_vec();
+        let mut mask = self.setup.constraints.action_mask(&desc.config, now);
+
+        // Auto-suspend is owned by the analytic optimizer; the policy keeps
+        // size and parallelism (and SuspendNow for mid-interval idleness).
+        mask[AgentAction::AutoSuspendUp.index()] = false;
+        mask[AgentAction::AutoSuspendDown.index()] = false;
+
+        // C4 guardrail: while the warehouse is already behind on
+        // performance, capacity-reducing moves are off the table — the
+        // model chooses among NoOp and capacity-increasing actions only.
+        // The healthy threshold matches the back-off threshold so there is
+        // no gray zone where the policy can ratchet capacity up over
+        // routine cold-start blips that monitoring would not act on.
+        // The queue threshold sits above the warehouse resume delay: a 2 s
+        // auto-resume wait is the price of suspension, not queue pressure.
+        let perf_healthy = rts.latency_ratio <= self.setup.slider.backoff_latency_ratio()
+            && rts.window.mean_queue_ms < 5_000.0
+            && rts.queue_depth < 8;
+        if !perf_healthy {
+            for a in [
+                AgentAction::SizeDown,
+                AgentAction::ClustersDown,
+                AgentAction::AutoSuspendDown,
+                AgentAction::SuspendNow,
+            ] {
+                mask[a.index()] = false;
+            }
+        } else {
+            self.last_good_config = Some(desc.config.clone());
+            // Downsizing only pays while queries actually run (a suspended
+            // warehouse bills nothing at any size), and without live load
+            // there is no evidence the smaller size performs acceptably —
+            // so resizing down requires observed work in the window.
+            let has_load_evidence =
+                rts.window.mean_concurrency > 0.0 && rts.window.arrivals > 0;
+            let above_original = desc.config.size > self.original_config.size;
+            if (!has_load_evidence || desc.is_suspended) && !above_original {
+                // Stepping back down toward the customer's own size is
+                // always safe; going *below* it needs evidence.
+                mask[AgentAction::SizeDown.index()] = false;
+            }
+            // Analytic size floor from the learned latency scaler (§5.2):
+            // each size step down multiplies latency by 2^(-slope); the
+            // slider's tolerated p99 inflation bounds how many steps below
+            // the original size can ever be acceptable.
+            let slope = (-self.cost_model.latency.global_slope()).max(0.1);
+            let allowed = self.setup.slider.backoff_latency_ratio();
+            let steps_below = (allowed.log2() / slope).floor().max(0.0) as usize;
+            let floor_idx = self.original_config.size.index().saturating_sub(steps_below);
+            if desc.config.size.index() <= floor_idx {
+                mask[AgentAction::SizeDown.index()] = false;
+            }
+            // Cost guardrail (the flip side of C4): while performance is
+            // fine, never provision beyond the customer's own original
+            // capacity — upside headroom is the monitoring back-off's job,
+            // reserved for actual pressure.
+            let orig = &self.original_config;
+            if desc.config.size >= orig.size {
+                mask[AgentAction::SizeUp.index()] = false;
+            }
+            if desc.config.max_clusters >= orig.max_clusters {
+                mask[AgentAction::ClustersUp.index()] = false;
+            }
+            if desc.config.auto_suspend_ms >= orig.auto_suspend_ms {
+                mask[AgentAction::AutoSuspendUp.index()] = false;
+            }
+        }
+
+        let credits_now = sim.account().accrued_credits(self.wh, now);
+        let dropped_now = sim.account().warehouse(self.wh).dropped_queries();
+        if let Some((ps, pa)) = self.prev_state.take() {
+            let perf = PerfSignals {
+                mean_queue_s: rts.window.mean_queue_ms / 1000.0,
+                latency_ratio: rts.latency_ratio,
+                dropped_queries: dropped_now - self.prev_dropped,
+            };
+            let churn = if pa == AgentAction::NoOp.index() {
+                0.0
+            } else {
+                agent::reward::ACTION_CHURN_PENALTY
+            };
+            let reward = agent::compute_reward(
+                credits_now - self.prev_credits,
+                &perf,
+                self.setup.slider,
+            ) - churn;
+            self.agent.observe(Transition {
+                state: ps,
+                action: pa,
+                reward,
+                next_state: state_vec.clone(),
+                next_mask: mask,
+                terminal: false,
+            });
+            let mut train_rng = StdRng::seed_from_u64(self.rng.gen());
+            self.agent.train_step(&mut train_rng);
+        }
+        self.prev_credits = credits_now;
+        self.prev_dropped = dropped_now;
+
+        // Lines 18–20: pick the action — back-off overrides the policy.
+        if rts.should_back_off {
+            // §4.3: roll back to the last settings that performed well. If
+            // no known-good config has more capacity than the current one,
+            // fall back to the customer's original configuration — the one
+            // state guaranteed not to be a Keebo-induced regression.
+            let has_more_capacity = |c: &WarehouseConfig| {
+                c.size > desc.config.size || c.max_clusters > desc.config.max_clusters
+            };
+            let above_original = desc.config.size > self.original_config.size
+                || desc.config.max_clusters > self.original_config.max_clusters;
+            let queue_pressure = rts.queue_depth >= 8 || rts.window.mean_queue_ms >= 5_000.0;
+            let rollback = if above_original && !queue_pressure {
+                // Already beyond the customer's own capacity and nothing is
+                // queued: more capacity cannot be the answer. Return to the
+                // original posture instead of escalating further.
+                Some(self.original_config.clone())
+            } else {
+                self.last_good_config
+                    .as_ref()
+                    .filter(|good| has_more_capacity(good))
+                    .cloned()
+                    .or_else(|| {
+                        Some(self.original_config.clone()).filter(|orig| has_more_capacity(orig))
+                    })
+            };
+            match rollback {
+                Some(good) => {
+                    let mut cmds = Vec::new();
+                    if good.size != desc.config.size {
+                        cmds.push(cdw_sim::WarehouseCommand::SetSize(good.size));
+                    }
+                    if good.max_clusters != desc.config.max_clusters
+                        || good.min_clusters != desc.config.min_clusters
+                    {
+                        cmds.push(cdw_sim::WarehouseCommand::SetClusterRange {
+                            min: good.min_clusters,
+                            max: good.max_clusters,
+                        });
+                    }
+                    // Auto-suspend is deliberately not rolled back: it is
+                    // not capacity, and the cold-cache cost it implies is a
+                    // one-shot the policy re-weighs on its own.
+                    self.actuator
+                        .apply_commands(sim, self.wh, &self.name, &cmds, "backoff-rollback");
+                }
+                None => {
+                    let action = backoff_action(&rts, &mask, self.last_action);
+                    self.actuator
+                        .apply(sim, self.wh, &self.name, &desc.config, action, "backoff");
+                }
+            }
+            self.expected_config = sim.account().describe(self.wh).config;
+            self.last_action = None;
+            // Back-off is a monitoring override, not a policy choice; no
+            // transition is attributed to the model for it.
+            self.prev_state = None;
+            self.prev_credits = sim.account().accrued_credits(self.wh, now);
+            return;
+        }
+
+        // Capacity decay: spike headroom granted by back-off drifts back to
+        // the customer's original capacity after an hour of sustained
+        // health, instead of waiting for the policy to rediscover it.
+        self.healthy_streak = if perf_healthy { self.healthy_streak + 1 } else { 0 };
+        let streak_needed = (HOUR_MS / self.setup.realtime_interval_ms.max(1)).max(1) as u32;
+        let action = if self.healthy_streak >= streak_needed
+            && desc.config.size > self.original_config.size
+            && mask[AgentAction::SizeDown.index()]
+        {
+            AgentAction::SizeDown
+        } else if self.healthy_streak >= streak_needed
+            && desc.config.max_clusters > self.original_config.max_clusters
+            && mask[AgentAction::ClustersDown.index()]
+        {
+            AgentAction::ClustersDown
+        } else {
+            self.agent.greedy_action(&state_vec, &mask)
+        };
+        self.actuator
+            .apply(sim, self.wh, &self.name, &desc.config, action, "policy");
+        self.expected_config = sim.account().describe(self.wh).config;
+        if action != AgentAction::NoOp {
+            self.last_action = Some(action);
+        }
+        self.prev_state = Some((state_vec, action.index()));
+    }
+
+    /// Estimates savings for `[start, end)` per §5 (replay without-Keebo,
+    /// subtract actual billed credits).
+    pub fn savings_report(
+        &self,
+        sim: &Simulator,
+        start: SimTime,
+        end: SimTime,
+    ) -> SavingsReport {
+        let records = self.store.queries(&self.name);
+        let billing = sim.account().ledger().warehouse(&self.name);
+        estimate_savings(
+            &self.cost_model,
+            records,
+            &billing,
+            &ReplayConfig {
+                original: self.original_config.clone(),
+                window_start: start,
+                window_end: end,
+            },
+        )
+    }
+}
+
+/// The conservative action monitoring substitutes when backing off: undo the
+/// last cost-cutting move if it has an inverse; otherwise add capacity
+/// (clusters first for queueing, then size).
+fn backoff_action(
+    rts: &RealTimeState,
+    mask: &[bool; AgentAction::COUNT],
+    last_action: Option<AgentAction>,
+) -> AgentAction {
+    if let Some(inv) = last_action.and_then(AgentAction::inverse) {
+        if mask[inv.index()] && is_capacity_increasing(inv) {
+            return inv;
+        }
+    }
+    let preferences = if rts.queue_depth > 0 || rts.window.mean_queue_ms > 0.0 {
+        [AgentAction::ClustersUp, AgentAction::SizeUp, AgentAction::AutoSuspendUp]
+    } else {
+        [AgentAction::SizeUp, AgentAction::ClustersUp, AgentAction::AutoSuspendUp]
+    };
+    preferences
+        .into_iter()
+        .find(|a| mask[a.index()])
+        .unwrap_or(AgentAction::NoOp)
+}
+
+fn is_capacity_increasing(a: AgentAction) -> bool {
+    matches!(
+        a,
+        AgentAction::SizeUp | AgentAction::ClustersUp | AgentAction::AutoSuspendUp
+    )
+}
+
+/// Coordinates one optimizer per managed warehouse.
+pub struct Orchestrator {
+    optimizers: Vec<WarehouseOptimizer>,
+    seed: u64,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator; `seed` drives all learning randomness.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            optimizers: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Starts managing a warehouse. Its *current* configuration becomes the
+    /// original (without-Keebo) reference.
+    ///
+    /// # Panics
+    /// Panics if the warehouse does not exist or is already managed.
+    pub fn manage(&mut self, sim: &Simulator, warehouse: &str, setup: KwoSetup) {
+        let wh = sim
+            .account()
+            .warehouse_id(warehouse)
+            .unwrap_or_else(|| panic!("unknown warehouse {warehouse}"));
+        assert!(
+            self.optimizer(warehouse).is_none(),
+            "warehouse {warehouse} is already managed"
+        );
+        let original = sim.account().describe(wh).config;
+        let seed = self.seed ^ (self.optimizers.len() as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        self.optimizers.push(WarehouseOptimizer::new(
+            wh,
+            warehouse.to_string(),
+            original,
+            setup,
+            seed,
+        ));
+    }
+
+    /// Borrow an optimizer by warehouse name.
+    pub fn optimizer(&self, warehouse: &str) -> Option<&WarehouseOptimizer> {
+        self.optimizers.iter().find(|o| o.name == warehouse)
+    }
+
+    fn optimizer_mut(&mut self, warehouse: &str) -> Option<&mut WarehouseOptimizer> {
+        self.optimizers.iter_mut().find(|o| o.name == warehouse)
+    }
+
+    /// Changes a warehouse's slider (takes effect at the next decision).
+    pub fn set_slider(&mut self, warehouse: &str, slider: SliderPosition) {
+        if let Some(o) = self.optimizer_mut(warehouse) {
+            o.set_slider(slider);
+        }
+    }
+
+    /// Clears an external-change pause ("the admin explicitly asks the
+    /// optimizations to continue", §4.4).
+    pub fn admin_resume(&mut self, sim: &Simulator, warehouse: &str) {
+        if let Some(o) = self.optimizer_mut(warehouse) {
+            o.paused_until = None;
+            o.expected_config = sim.account().describe(o.wh).config;
+        }
+    }
+
+    /// Observation mode: advance time, collecting telemetry without taking
+    /// any action (pre-onboarding history building).
+    pub fn observe_until(&mut self, sim: &mut Simulator, until: SimTime) {
+        self.advance(sim, until);
+    }
+
+    /// Trains every optimizer on the telemetry collected so far and enables
+    /// optimization.
+    pub fn onboard(&mut self, sim: &mut Simulator) {
+        let now = sim.now();
+        for o in &mut self.optimizers {
+            o.fetch(sim);
+            let episodes = o.setup.onboarding_episodes;
+            o.train(now, episodes);
+            o.onboarded = true;
+        }
+    }
+
+    /// The main loop: advance to `until`, ticking every optimizer at its
+    /// own `T_realtime` cadence.
+    pub fn run_until(&mut self, sim: &mut Simulator, until: SimTime) {
+        self.advance(sim, until);
+    }
+
+    fn advance(&mut self, sim: &mut Simulator, until: SimTime) {
+        assert!(!self.optimizers.is_empty(), "no warehouses managed");
+        // All optimizers share a global tick at the minimum cadence; each
+        // fires when its own interval divides the tick time.
+        let tick = self
+            .optimizers
+            .iter()
+            .map(|o| o.setup.realtime_interval_ms)
+            .min()
+            .expect("non-empty");
+        let mut t = (sim.now() / tick + 1) * tick;
+        while t <= until {
+            sim.run_until(t);
+            for o in &mut self.optimizers {
+                if t % o.setup.realtime_interval_ms == 0 {
+                    o.tick(sim);
+                }
+            }
+            t += tick;
+        }
+        sim.run_until(until);
+    }
+
+    /// Savings report for one warehouse over a window.
+    pub fn savings_report(
+        &self,
+        sim: &Simulator,
+        warehouse: &str,
+        start: SimTime,
+        end: SimTime,
+    ) -> SavingsReport {
+        self.optimizer(warehouse)
+            .unwrap_or_else(|| panic!("unknown warehouse {warehouse}"))
+            .savings_report(sim, start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{Account, QuerySpec, WarehouseSize};
+
+    fn idle_heavy_sim() -> (Simulator, WarehouseId) {
+        let mut account = Account::new();
+        let wh = account.create_warehouse(
+            "WH",
+            WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+        );
+        let mut sim = Simulator::new(account);
+        // 4 days of hourly 30-second queries: mostly idle.
+        for h in 0..(4 * 24) {
+            sim.submit_query(
+                wh,
+                QuerySpec::builder(h)
+                    .work_ms_xs(30_000.0)
+                    .cache_affinity(0.2)
+                    .arrival_ms(h * HOUR_MS + 7 * MINUTE_MS)
+                    .build(),
+            );
+        }
+        (sim, wh)
+    }
+
+    fn fast_setup() -> KwoSetup {
+        KwoSetup {
+            realtime_interval_ms: 30 * MINUTE_MS,
+            onboarding_episodes: 2,
+            refresh_episodes: 0,
+            train_interval_ms: 2 * DAY_MS,
+            ..KwoSetup::default()
+        }
+    }
+
+    #[test]
+    fn observation_mode_takes_no_actions() {
+        let (mut sim, _) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(1);
+        kwo.manage(&sim, "WH", fast_setup());
+        kwo.observe_until(&mut sim, DAY_MS);
+        let o = kwo.optimizer("WH").unwrap();
+        assert_eq!(o.actuator().log().len(), 0);
+        assert!(o.store().total_queries() > 0, "telemetry still collected");
+    }
+
+    #[test]
+    fn onboarding_trains_models() {
+        let (mut sim, _) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(1);
+        kwo.manage(&sim, "WH", fast_setup());
+        kwo.observe_until(&mut sim, DAY_MS);
+        kwo.onboard(&mut sim);
+        let o = kwo.optimizer("WH").unwrap();
+        assert!(o.onboarded);
+        assert!(o.cost_model().gaps.dependent_fraction >= 0.0);
+        assert!(o.baseline_p99_ms > 1.0);
+    }
+
+    #[test]
+    fn optimization_reduces_spend_on_idle_heavy_warehouse() {
+        let (mut sim, wh) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(7);
+        kwo.manage(&sim, "WH", fast_setup());
+        // Day 1–2: observe. Onboard. Day 3–4: optimize.
+        kwo.observe_until(&mut sim, 2 * DAY_MS);
+        kwo.onboard(&mut sim);
+        let credits_before = sim.account().accrued_credits(wh, sim.now());
+        kwo.run_until(&mut sim, 4 * DAY_MS);
+        let credits_after = sim.account().accrued_credits(wh, sim.now());
+        let with_keebo = credits_after - credits_before;
+        // Without Keebo the warehouse burns ~8 credits/hour * 48h ≈ 384.
+        let without = 8.0 * 48.0;
+        assert!(
+            with_keebo < without * 0.9,
+            "with-Keebo 2-day spend {with_keebo:.1} should undercut static {without:.1}"
+        );
+        let o = kwo.optimizer("WH").unwrap();
+        assert!(o.actuator().applied_count() > 0, "actions were taken");
+    }
+
+    #[test]
+    fn external_change_pauses_and_admin_resume_unpauses() {
+        let (mut sim, wh) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(3);
+        kwo.manage(&sim, "WH", fast_setup());
+        kwo.observe_until(&mut sim, DAY_MS);
+        kwo.onboard(&mut sim);
+        kwo.run_until(&mut sim, DAY_MS + 2 * HOUR_MS);
+        // An external admin resizes the warehouse behind Keebo's back.
+        sim.alter_warehouse(
+            wh,
+            cdw_sim::WarehouseCommand::SetSize(WarehouseSize::X4Large),
+            cdw_sim::ActionSource::External,
+        )
+        .unwrap();
+        kwo.run_until(&mut sim, DAY_MS + 4 * HOUR_MS);
+        let o = kwo.optimizer("WH").unwrap();
+        assert!(o.is_paused(sim.now()), "external change pauses optimization");
+        let actions_at_pause = o.actuator().log().len();
+        kwo.run_until(&mut sim, DAY_MS + 8 * HOUR_MS);
+        assert_eq!(
+            kwo.optimizer("WH").unwrap().actuator().log().len(),
+            actions_at_pause,
+            "no actions while paused"
+        );
+        kwo.admin_resume(&sim, "WH");
+        assert!(!kwo.optimizer("WH").unwrap().is_paused(sim.now()));
+    }
+
+    #[test]
+    fn savings_report_compares_replay_to_actuals() {
+        let (mut sim, _) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(7);
+        kwo.manage(
+            &sim,
+            "WH",
+            KwoSetup {
+                slider: SliderPosition::LowestCost,
+                onboarding_episodes: 6,
+                ..fast_setup()
+            },
+        );
+        kwo.observe_until(&mut sim, 2 * DAY_MS);
+        kwo.onboard(&mut sim);
+        kwo.run_until(&mut sim, 4 * DAY_MS);
+        let report = kwo.savings_report(&sim, "WH", 2 * DAY_MS, 4 * DAY_MS);
+        assert!(report.estimated_without_keebo > 0.0);
+        assert!(report.actual_with_keebo > 0.0);
+        assert!(
+            report.estimated_savings > 0.0,
+            "KWO should save on this workload: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown warehouse")]
+    fn managing_unknown_warehouse_panics() {
+        let account = Account::new();
+        let sim = Simulator::new(account);
+        let mut kwo = Orchestrator::new(1);
+        kwo.manage(&sim, "NOPE", KwoSetup::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "already managed")]
+    fn double_manage_panics() {
+        let (sim, _) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(1);
+        kwo.manage(&sim, "WH", KwoSetup::default());
+        kwo.manage(&sim, "WH", KwoSetup::default());
+    }
+}

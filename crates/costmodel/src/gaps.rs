@@ -1,0 +1,198 @@
+//! Query-gap modeling (§5.2, "Impact on query arrival times").
+//!
+//! When the replay changes query latencies, naively keeping observed arrival
+//! times would distort the workload: dependent queries (ETL steps, dashboard
+//! cascades) really arrive *relative to their predecessor's completion*, not
+//! at absolute wall-clock times. The paper: "queries either arrive
+//! independently at a given arrival rate or they have dependencies that
+//! cause them to arrive at successive or scheduled time periods ... the gaps
+//! between should not change with warehouse optimization".
+//!
+//! The model learns, per warehouse, the distribution of *completion-to-
+//! arrival* gaps and classifies each query as dependent (arrives within the
+//! dependency threshold of the previous completion) or independent. During
+//! replay, dependent queries keep their observed gap but chain off the
+//! *replayed* predecessor completion; independent queries keep their
+//! absolute arrival. Gaps are also clamped at the auto-suspend interval,
+//! since beyond it the warehouse would have suspended and costs stop
+//! accruing regardless.
+
+use cdw_sim::{QueryRecord, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Learned gap statistics for one warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapModel {
+    /// Gap below which a query is considered dependent on its predecessor.
+    pub dependency_threshold_ms: SimTime,
+    /// Median completion-to-arrival gap among dependent queries.
+    pub median_dependent_gap_ms: SimTime,
+    /// Fraction of queries classified as dependent.
+    pub dependent_fraction: f64,
+}
+
+impl Default for GapModel {
+    fn default() -> Self {
+        Self {
+            dependency_threshold_ms: 30_000,
+            median_dependent_gap_ms: 5_000,
+            dependent_fraction: 0.0,
+        }
+    }
+}
+
+impl GapModel {
+    /// Trains on arrival-ordered query history. The dependency threshold is
+    /// fixed (30 s — well under any auto-suspend interval); the statistics
+    /// describe how tightly the workload chains.
+    pub fn train(records: &[QueryRecord]) -> Self {
+        let mut ordered: Vec<&QueryRecord> = records.iter().collect();
+        ordered.sort_by_key(|r| (r.arrival, r.query_id));
+        let threshold = Self::default().dependency_threshold_ms;
+
+        let mut dependent_gaps: Vec<SimTime> = Vec::new();
+        let mut total = 0usize;
+        let mut max_end: Option<SimTime> = None;
+        for r in &ordered {
+            if let Some(prev_end) = max_end {
+                total += 1;
+                if r.arrival >= prev_end && r.arrival - prev_end <= threshold {
+                    dependent_gaps.push(r.arrival - prev_end);
+                }
+            }
+            max_end = Some(max_end.map_or(r.end, |m| m.max(r.end)));
+        }
+        dependent_gaps.sort_unstable();
+        let median = dependent_gaps
+            .get(dependent_gaps.len() / 2)
+            .copied()
+            .unwrap_or(Self::default().median_dependent_gap_ms);
+        Self {
+            dependency_threshold_ms: threshold,
+            median_dependent_gap_ms: median,
+            dependent_fraction: if total > 0 {
+                dependent_gaps.len() as f64 / total as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Classifies one query given the previous maximum completion time (in
+    /// the *observed* timeline): returns `Some(gap)` when dependent.
+    pub fn dependent_gap(&self, arrival: SimTime, prev_end: SimTime) -> Option<SimTime> {
+        if arrival >= prev_end && arrival - prev_end <= self.dependency_threshold_ms {
+            Some(arrival - prev_end)
+        } else {
+            None
+        }
+    }
+
+    /// Clamps an idle gap at the auto-suspend interval: the warehouse stops
+    /// billing after `auto_suspend_ms` of idleness, so longer gaps cost the
+    /// same (§5.2: "query gaps cannot be longer than the auto-suspend
+    /// interval since the warehouse would have shut down").
+    pub fn clamp_billable_gap(gap_ms: SimTime, auto_suspend_ms: SimTime) -> SimTime {
+        if auto_suspend_ms == 0 {
+            gap_ms // auto-suspend disabled: the gap bills in full
+        } else {
+            gap_ms.min(auto_suspend_ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::WarehouseSize;
+
+    fn rec(id: u64, arrival: SimTime, end: SimTime) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            warehouse: "WH".into(),
+            size: WarehouseSize::Small,
+            cluster_count: 1,
+            text_hash: id,
+            template_hash: 0,
+            arrival,
+            start: arrival,
+            end,
+            bytes_scanned: 0,
+            cache_warm_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn chained_etl_is_classified_dependent() {
+        // Each query arrives 2 s after the previous completes.
+        let mut recs = Vec::new();
+        let mut t = 0;
+        for i in 0..10 {
+            let end = t + 60_000;
+            recs.push(rec(i, t, end));
+            t = end + 2_000;
+        }
+        let m = GapModel::train(&recs);
+        assert!(m.dependent_fraction > 0.99, "fraction {}", m.dependent_fraction);
+        assert_eq!(m.median_dependent_gap_ms, 2_000);
+    }
+
+    #[test]
+    fn sparse_adhoc_is_classified_independent() {
+        // Queries an hour apart.
+        let recs: Vec<QueryRecord> = (0..10)
+            .map(|i| rec(i, i * 3_600_000, i * 3_600_000 + 30_000))
+            .collect();
+        let m = GapModel::train(&recs);
+        assert_eq!(m.dependent_fraction, 0.0);
+    }
+
+    #[test]
+    fn mixed_workload_gets_intermediate_fraction() {
+        let mut recs = Vec::new();
+        // 5 chained...
+        let mut t = 0;
+        for i in 0..5 {
+            let end = t + 10_000;
+            recs.push(rec(i, t, end));
+            t = end + 1_000;
+        }
+        // ...then 5 sparse.
+        for i in 5..10 {
+            recs.push(rec(i, i * 3_600_000, i * 3_600_000 + 10_000));
+        }
+        let m = GapModel::train(&recs);
+        assert!(m.dependent_fraction > 0.3 && m.dependent_fraction < 0.7);
+    }
+
+    #[test]
+    fn dependent_gap_detection_respects_threshold() {
+        let m = GapModel::default();
+        assert_eq!(m.dependent_gap(10_000, 8_000), Some(2_000));
+        assert_eq!(m.dependent_gap(50_000, 8_000), None, "gap too large");
+        assert_eq!(m.dependent_gap(5_000, 8_000), None, "overlapping arrival");
+    }
+
+    #[test]
+    fn billable_gap_clamps_at_auto_suspend() {
+        assert_eq!(GapModel::clamp_billable_gap(5_000, 60_000), 5_000);
+        assert_eq!(GapModel::clamp_billable_gap(600_000, 60_000), 60_000);
+        assert_eq!(GapModel::clamp_billable_gap(600_000, 0), 600_000, "disabled");
+    }
+
+    #[test]
+    fn empty_history_trains_defaults() {
+        let m = GapModel::train(&[]);
+        assert_eq!(m.dependent_fraction, 0.0);
+        assert_eq!(m.median_dependent_gap_ms, GapModel::default().median_dependent_gap_ms);
+    }
+
+    #[test]
+    fn overlapping_concurrent_queries_are_not_dependent() {
+        // Two queries overlapping in time: the second arrives before the
+        // first ends, so it cannot be waiting on it.
+        let recs = vec![rec(1, 0, 100_000), rec(2, 50_000, 150_000)];
+        let m = GapModel::train(&recs);
+        assert_eq!(m.dependent_fraction, 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Learned latency scaling across warehouse sizes (§5.2, "Impact on query
+//! latencies").
+//!
+//! "To estimate the impact of warehouse size on query latencies, we train a
+//! regression model to scale query latencies across warehouse sizes. ...
+//! since KWO changes warehouse sizes dynamically, it is likely to find
+//! identical or at least similar queries run on different warehouse sizes
+//! over time. In situations where we do not find similar queries in the
+//! past, we use the average impact on query latencies observed on that
+//! warehouse as a first-order approximation."
+//!
+//! Model: per template, OLS of `log2(execution_ms)` against the size index.
+//! The fitted slope `b` means one size step multiplies latency by `2^b`
+//! (b ≈ −1 for perfectly parallel queries, 0 for serial ones). Templates
+//! without observations at two distinct sizes fall back to a globally pooled
+//! slope.
+
+use cdw_sim::{QueryRecord, WarehouseSize};
+use nn::ols_fit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Slope clamp: latency should not *improve* more than perfectly linearly
+/// with much headroom, nor degrade steeply with size.
+const SLOPE_MIN: f64 = -1.5;
+const SLOPE_MAX: f64 = 0.25;
+
+/// Learned per-template latency scaling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyScaler {
+    /// log2-latency-per-size-step slope per template.
+    per_template: HashMap<u64, f64>,
+    /// Pooled slope used when a template has no model of its own.
+    global_slope: f64,
+    /// Number of templates with their own fit (diagnostics).
+    fitted_templates: usize,
+}
+
+impl Default for LatencyScaler {
+    /// An untrained scaler assuming the "capacity doubles per step" default:
+    /// latency halves with each size increment (slope −1).
+    fn default() -> Self {
+        Self {
+            per_template: HashMap::new(),
+            global_slope: -1.0,
+            fitted_templates: 0,
+        }
+    }
+}
+
+impl LatencyScaler {
+    /// Trains from query history. Records with zero execution time are
+    /// skipped. Works with any mix of sizes; templates observed at a single
+    /// size contribute nothing (their slope is unidentifiable).
+    pub fn train(records: &[QueryRecord]) -> Self {
+        let mut by_template: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
+        for r in records {
+            let exec = r.execution_ms();
+            if exec == 0 {
+                continue;
+            }
+            by_template
+                .entry(r.template_hash)
+                .or_default()
+                .push((r.size.index() as f64, (exec as f64).log2()));
+        }
+
+        let mut per_template = HashMap::new();
+        // Pooled, template-demeaned data for the global slope: subtracting
+        // each template's mean removes the per-template intercept so
+        // heavier templates do not bias the slope.
+        let mut pooled_x = Vec::new();
+        let mut pooled_y = Vec::new();
+
+        for (&tpl, obs) in &by_template {
+            let distinct_sizes: std::collections::HashSet<u64> =
+                obs.iter().map(|(s, _)| *s as u64).collect();
+            if distinct_sizes.len() < 2 {
+                continue;
+            }
+            let xs: Vec<Vec<f64>> = obs.iter().map(|(s, _)| vec![*s]).collect();
+            let ys: Vec<f64> = obs.iter().map(|(_, y)| *y).collect();
+            if let Some(model) = ols_fit(&xs, &ys) {
+                per_template.insert(tpl, model.weights[0].clamp(SLOPE_MIN, SLOPE_MAX));
+            }
+            let mean_x: f64 = obs.iter().map(|(s, _)| s).sum::<f64>() / obs.len() as f64;
+            let mean_y: f64 = obs.iter().map(|(_, y)| y).sum::<f64>() / obs.len() as f64;
+            for (s, y) in obs {
+                pooled_x.push(vec![s - mean_x]);
+                pooled_y.push(y - mean_y);
+            }
+        }
+
+        let global_slope = if pooled_x.len() >= 2 {
+            ols_fit(&pooled_x, &pooled_y)
+                .map(|m| m.weights[0].clamp(SLOPE_MIN, SLOPE_MAX))
+                .unwrap_or(-1.0)
+        } else {
+            // No cross-size evidence at all: assume the widely held
+            // "capacity doubles per step" default.
+            -1.0
+        };
+
+        let fitted_templates = per_template.len();
+        Self {
+            per_template,
+            global_slope,
+            fitted_templates,
+        }
+    }
+
+    /// The slope used for `template` (its own fit or the global fallback).
+    pub fn slope_for(&self, template: u64) -> f64 {
+        self.per_template
+            .get(&template)
+            .copied()
+            .unwrap_or(self.global_slope)
+    }
+
+    /// Pooled fallback slope.
+    pub fn global_slope(&self) -> f64 {
+        self.global_slope
+    }
+
+    /// Templates with an individually fitted slope.
+    pub fn fitted_templates(&self) -> usize {
+        self.fitted_templates
+    }
+
+    /// Scales an observed execution time from one size to another:
+    /// `exec_to = exec_from * 2^(slope * (to - from))`.
+    pub fn scale_execution_ms(
+        &self,
+        template: u64,
+        exec_ms: f64,
+        from: WarehouseSize,
+        to: WarehouseSize,
+    ) -> f64 {
+        if from == to {
+            return exec_ms;
+        }
+        let slope = self.slope_for(template);
+        let delta = to.index() as f64 - from.index() as f64;
+        (exec_ms * (slope * delta).exp2()).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::SimTime;
+
+    fn rec(template: u64, size: WarehouseSize, exec_ms: SimTime) -> QueryRecord {
+        QueryRecord {
+            query_id: 0,
+            warehouse: "WH".into(),
+            size,
+            cluster_count: 1,
+            text_hash: 0,
+            template_hash: template,
+            arrival: 0,
+            start: 0,
+            end: exec_ms,
+            bytes_scanned: 0,
+            cache_warm_fraction: 1.0,
+        }
+    }
+
+    /// Builds records where template `t`'s latency halves per size step.
+    fn linear_scaling_records() -> Vec<QueryRecord> {
+        let mut out = Vec::new();
+        for (size, exec) in [
+            (WarehouseSize::XSmall, 16_000),
+            (WarehouseSize::Small, 8_000),
+            (WarehouseSize::Medium, 4_000),
+        ] {
+            for _ in 0..3 {
+                out.push(rec(1, size, exec));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_halving_slope_from_clean_data() {
+        let scaler = LatencyScaler::train(&linear_scaling_records());
+        assert!((scaler.slope_for(1) + 1.0).abs() < 0.01, "slope {}", scaler.slope_for(1));
+        assert_eq!(scaler.fitted_templates(), 1);
+    }
+
+    #[test]
+    fn scaling_round_trips() {
+        let scaler = LatencyScaler::train(&linear_scaling_records());
+        let up = scaler.scale_execution_ms(1, 16_000.0, WarehouseSize::XSmall, WarehouseSize::Medium);
+        assert!((up - 4_000.0).abs() < 50.0, "got {up}");
+        let back = scaler.scale_execution_ms(1, up, WarehouseSize::Medium, WarehouseSize::XSmall);
+        assert!((back - 16_000.0).abs() < 100.0, "got {back}");
+    }
+
+    #[test]
+    fn same_size_is_identity() {
+        let scaler = LatencyScaler::default();
+        assert_eq!(
+            scaler.scale_execution_ms(9, 1234.0, WarehouseSize::Large, WarehouseSize::Large),
+            1234.0
+        );
+    }
+
+    #[test]
+    fn unseen_template_uses_global_slope() {
+        let scaler = LatencyScaler::train(&linear_scaling_records());
+        // Template 99 was never observed; global slope comes from template 1.
+        assert!((scaler.slope_for(99) - scaler.global_slope()).abs() < 1e-12);
+        assert!((scaler.global_slope() + 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_size_template_falls_back() {
+        let recs: Vec<QueryRecord> = (0..5).map(|_| rec(7, WarehouseSize::Small, 5_000)).collect();
+        let scaler = LatencyScaler::train(&recs);
+        assert_eq!(scaler.fitted_templates(), 0);
+        // Default assumption: halving per step.
+        assert_eq!(scaler.slope_for(7), -1.0);
+    }
+
+    #[test]
+    fn serial_template_learns_flat_slope() {
+        let mut recs = Vec::new();
+        for size in [WarehouseSize::XSmall, WarehouseSize::Medium, WarehouseSize::XLarge] {
+            for _ in 0..2 {
+                recs.push(rec(3, size, 10_000));
+            }
+        }
+        let scaler = LatencyScaler::train(&recs);
+        assert!(scaler.slope_for(3).abs() < 0.01, "flat slope, got {}", scaler.slope_for(3));
+        // Scaling changes nothing for a serial query.
+        let scaled = scaler.scale_execution_ms(3, 10_000.0, WarehouseSize::XSmall, WarehouseSize::XLarge);
+        assert!((scaled - 10_000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn slopes_are_clamped() {
+        // Pathological data: latency *exploding* with size.
+        let recs = vec![
+            rec(5, WarehouseSize::XSmall, 1_000),
+            rec(5, WarehouseSize::Small, 100_000),
+        ];
+        let scaler = LatencyScaler::train(&recs);
+        assert!(scaler.slope_for(5) <= SLOPE_MAX);
+    }
+
+    #[test]
+    fn mixed_templates_pool_into_global_slope() {
+        let mut recs = linear_scaling_records();
+        // A second, serial template.
+        for size in [WarehouseSize::XSmall, WarehouseSize::Medium] {
+            recs.push(rec(2, size, 10_000));
+        }
+        let scaler = LatencyScaler::train(&recs);
+        let g = scaler.global_slope();
+        assert!(g < 0.0 && g > -1.0, "pooled slope between the two: {g}");
+    }
+
+    #[test]
+    fn zero_execution_records_are_ignored() {
+        let recs = vec![rec(1, WarehouseSize::XSmall, 0)];
+        let scaler = LatencyScaler::train(&recs);
+        assert_eq!(scaler.fitted_templates(), 0);
+    }
+}

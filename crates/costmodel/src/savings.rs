@@ -1,0 +1,139 @@
+//! Savings estimation (§5.1): without-Keebo estimate minus with-Keebo
+//! actuals.
+//!
+//! "In most cases the with-Keebo cost need not be estimated as it can be
+//! directly obtained from the CDW's billing data for the period that KWO was
+//! actively optimizing ... The difference between the estimated
+//! without-Keebo cost and the actual with-Keebo cost is KWO's cost saving."
+
+use crate::replay::{ReplayConfig, ReplayOutcome, WarehouseCostModel};
+use cdw_sim::{HourlyCredits, QueryRecord, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The savings view presented to the customer (and used for value-based
+/// pricing and the DRL reward).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavingsReport {
+    /// Start of the evaluated window.
+    pub window_start: SimTime,
+    /// End of the evaluated window.
+    pub window_end: SimTime,
+    /// Estimated credits the customer would have paid without Keebo.
+    pub estimated_without_keebo: f64,
+    /// Actual credits billed with Keebo active.
+    pub actual_with_keebo: f64,
+    /// `estimated_without_keebo - actual_with_keebo` (may be negative if an
+    /// action backfired; the monitoring loop uses that signal to revert).
+    pub estimated_savings: f64,
+    /// Savings as a fraction of the without-Keebo estimate, in [-inf, 1].
+    pub savings_fraction: f64,
+    /// Replay diagnostics.
+    pub replay: ReplayOutcome,
+}
+
+/// Estimates savings for a window: replays the observed queries under the
+/// original configuration and subtracts the actual billed credits (from
+/// billing history).
+pub fn estimate_savings(
+    model: &WarehouseCostModel,
+    records: &[QueryRecord],
+    actual_billing: &HourlyCredits,
+    cfg: &ReplayConfig,
+) -> SavingsReport {
+    let replay = model.replay(records, cfg);
+    let from_hour = cfg.window_start / cdw_sim::HOUR_MS;
+    let to_hour = cfg.window_end.div_ceil(cdw_sim::HOUR_MS);
+    let actual = actual_billing.range_total(from_hour, to_hour);
+    let without = replay.estimated_credits;
+    SavingsReport {
+        window_start: cfg.window_start,
+        window_end: cfg.window_end,
+        estimated_without_keebo: without,
+        actual_with_keebo: actual,
+        estimated_savings: without - actual,
+        savings_fraction: if without > 0.0 {
+            (without - actual) / without
+        } else {
+            0.0
+        },
+        replay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{WarehouseConfig, WarehouseSize, HOUR_MS, MINUTE_MS};
+
+    fn rec(id: u64, arrival: SimTime, exec_ms: SimTime, size: WarehouseSize) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            warehouse: "WH".into(),
+            size,
+            cluster_count: 1,
+            text_hash: id,
+            template_hash: 1,
+            arrival,
+            start: arrival,
+            end: arrival + exec_ms,
+            bytes_scanned: 0,
+            cache_warm_fraction: 1.0,
+        }
+    }
+
+    fn replay_cfg() -> ReplayConfig {
+        ReplayConfig {
+            original: WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600),
+            window_start: 0,
+            window_end: 24 * HOUR_MS,
+        }
+    }
+
+    #[test]
+    fn savings_positive_when_actual_is_cheaper() {
+        let model = WarehouseCostModel::default();
+        // Observed on a downsized X-Small warehouse with tight auto-suspend.
+        let records: Vec<QueryRecord> = (0..5)
+            .map(|i| rec(i, i * 2 * HOUR_MS, 10 * MINUTE_MS, WarehouseSize::XSmall))
+            .collect();
+        let mut actual = HourlyCredits::new();
+        // Keebo world billed ~1 credit total.
+        actual.add(0, 1.0);
+        let report = estimate_savings(&model, &records, &actual, &replay_cfg());
+        assert!(report.estimated_without_keebo > 1.0);
+        assert!(report.estimated_savings > 0.0);
+        assert!((report.savings_fraction
+            - report.estimated_savings / report.estimated_without_keebo)
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn savings_negative_when_optimization_backfired() {
+        let model = WarehouseCostModel::default();
+        let records = vec![rec(1, 0, MINUTE_MS, WarehouseSize::XSmall)];
+        let mut actual = HourlyCredits::new();
+        actual.add(0, 100.0); // Keebo world somehow burned 100 credits
+        let report = estimate_savings(&model, &records, &actual, &replay_cfg());
+        assert!(report.estimated_savings < 0.0);
+    }
+
+    #[test]
+    fn actual_outside_window_is_ignored() {
+        let model = WarehouseCostModel::default();
+        let records = vec![rec(1, 0, MINUTE_MS, WarehouseSize::XSmall)];
+        let mut actual = HourlyCredits::new();
+        actual.add(48 * HOUR_MS, 100.0); // next-day billing, out of window
+        let report = estimate_savings(&model, &records, &actual, &replay_cfg());
+        assert_eq!(report.actual_with_keebo, 0.0);
+    }
+
+    #[test]
+    fn empty_window_reports_zero_fraction() {
+        let model = WarehouseCostModel::default();
+        let actual = HourlyCredits::new();
+        let report = estimate_savings(&model, &[], &actual, &replay_cfg());
+        assert_eq!(report.estimated_savings, 0.0);
+        assert_eq!(report.savings_fraction, 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal machine-learning substrate for the Keebo Warehouse Optimization
+//! reproduction.
+//!
+//! The paper's data-learning platform relies on two families of models:
+//!
+//! * small feed-forward networks trained with experience replay for the deep
+//!   reinforcement learning control loop (§6), and
+//! * classical regression models for calibrating the warehouse cost model's
+//!   parameters (§5.2): latency scaling across warehouse sizes, query-gap
+//!   statistics, and cluster-count prediction.
+//!
+//! No suitable offline ML crates exist in this environment, so this crate
+//! implements the required pieces from scratch: a dense [`Mlp`] with
+//! backpropagation, [`optim`] (SGD and Adam), an experience [`replay`] buffer,
+//! ordinary least squares ([`ols`]), and feature [`scaling`]. Everything is
+//! deterministic given a seeded RNG, which the rest of the workspace depends
+//! on for reproducible experiments.
+
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod ols;
+pub mod optim;
+pub mod replay;
+pub mod scaling;
+
+pub use loss::{huber_loss, huber_loss_grad, mse_loss, mse_loss_grad};
+pub use matrix::Matrix;
+pub use mlp::{Activation, Mlp, MlpConfig};
+pub use ols::{ols_fit, ridge_fit, LinearModel};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use replay::ReplayBuffer;
+pub use scaling::Standardizer;

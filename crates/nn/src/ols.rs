@@ -1,0 +1,179 @@
+//! Ordinary least squares and ridge regression via normal equations.
+//!
+//! Used by the warehouse cost model (§5.2) to calibrate per-template latency
+//! scaling across warehouse sizes and cluster-count predictions. Feature
+//! dimensions are tiny (< 20), so solving the normal equations with Gaussian
+//! elimination is accurate and fast.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = w . x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Predicts the response for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the number of fitted weights.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Mean squared error on a dataset.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    }
+}
+
+/// Fits OLS with intercept. Returns `None` when the design matrix is rank
+/// deficient (e.g. a constant feature plus the implicit intercept).
+pub fn ols_fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<LinearModel> {
+    ridge_fit(xs, ys, 0.0)
+}
+
+/// Fits ridge regression with penalty `lambda` on the weights (the intercept
+/// is not penalized). `lambda = 0` reduces to OLS.
+///
+/// # Panics
+/// Panics when `xs`/`ys` lengths differ, the data is empty, feature vectors
+/// have inconsistent dimensions, or `lambda < 0`.
+pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<LinearModel> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    assert!(!xs.is_empty(), "cannot fit on empty data");
+    assert!(lambda >= 0.0, "ridge penalty must be non-negative");
+    let d = xs[0].len();
+    assert!(
+        xs.iter().all(|x| x.len() == d),
+        "inconsistent feature dimensions"
+    );
+
+    // Augmented design: [x, 1] so the intercept is the last coefficient.
+    let n = xs.len();
+    let dim = d + 1;
+    // Normal equations: (X^T X + lambda * I') beta = X^T y, I' zeroes the
+    // intercept entry.
+    let mut xtx = Matrix::zeros(dim, dim);
+    let mut xty = vec![0.0; dim];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..dim {
+            let xi = if i < d { x[i] } else { 1.0 };
+            xty[i] += xi * y;
+            for j in i..dim {
+                let xj = if j < d { x[j] } else { 1.0 };
+                let v = xtx.get(i, j) + xi * xj;
+                xtx.set(i, j, v);
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..dim {
+        for j in 0..i {
+            xtx.set(i, j, xtx.get(j, i));
+        }
+    }
+    for i in 0..d {
+        let v = xtx.get(i, i) + lambda * n as f64;
+        xtx.set(i, i, v);
+    }
+
+    let beta = xtx.solve(&xty)?;
+    Some(LinearModel {
+        weights: beta[..d].to_vec(),
+        intercept: beta[d],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_exact_linear_relationship() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 0.5 * x[1] + 7.0).collect();
+        let m = ols_fit(&xs, &ys).expect("well-conditioned fit");
+        assert!((m.weights[0] - 3.0).abs() < 1e-8);
+        assert!((m.weights[1] + 0.5).abs() < 1e-8);
+        assert!((m.intercept - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_minimizes_mse_on_noisy_data() {
+        // y = 2x + 1 with symmetric +-0.1 noise: slope and intercept should be
+        // recovered exactly because the noise cancels.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20)
+            .map(|i| 2.0 * i as f64 + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let m = ols_fit(&xs, &ys).unwrap();
+        assert!((m.weights[0] - 2.0).abs() < 0.01, "slope {}", m.weights[0]);
+        assert!((m.intercept - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn degenerate_design_returns_none() {
+        // A feature identical to the intercept column makes X^T X singular.
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert!(ols_fit(&xs, &ys).is_none());
+    }
+
+    #[test]
+    fn ridge_handles_degenerate_design() {
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        let m = ridge_fit(&xs, &ys, 0.1).expect("ridge regularizes the singularity");
+        // Prediction at the only observed point should be near the mean.
+        assert!((m.predict(&[1.0]) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0]).collect();
+        let ols = ols_fit(&xs, &ys).unwrap();
+        let ridge = ridge_fit(&xs, &ys, 10.0).unwrap();
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn mse_of_perfect_fit_is_zero() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 4.0 - 2.0).collect();
+        let m = ols_fit(&xs, &ys).unwrap();
+        assert!(m.mse(&xs, &ys) < 1e-16);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn predict_panics_on_wrong_dimension() {
+        let m = LinearModel {
+            weights: vec![1.0, 2.0],
+            intercept: 0.0,
+        };
+        let _ = m.predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit on empty data")]
+    fn fit_panics_on_empty_data() {
+        let _ = ols_fit(&[], &[]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounded experience-replay buffer for off-policy reinforcement learning.
+//!
+//! The paper (§8) highlights that Keebo's DRL models "benefit from having
+//! access to large historical telemetry data, which enables [them] to learn
+//! from a diverse range of past experiences". This buffer is the mechanism:
+//! transitions observed on historical telemetry (and simulated rollouts) are
+//! stored and sampled uniformly for Q-learning updates.
+
+use rand::Rng;
+
+/// Ring buffer over generic transitions with uniform random sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    capacity: usize,
+    items: Vec<T>,
+    next: usize,
+    total_pushed: u64,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Adds a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.next] = item;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total_pushed += 1;
+    }
+
+    /// Number of transitions currently stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of transitions ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Samples `n` transitions uniformly with replacement. Returns an empty
+    /// vector when the buffer is empty.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<&T> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+
+    /// Iterates over the stored transitions (storage order, not insertion
+    /// order once the ring has wrapped).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drops all stored transitions, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_grows_until_capacity() {
+        let mut buf = ReplayBuffer::new(3);
+        assert!(buf.is_empty());
+        for i in 0..3 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn push_beyond_capacity_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 3);
+        let mut contents: Vec<i32> = buf.iter().copied().collect();
+        contents.sort_unstable();
+        assert_eq!(contents, vec![2, 3, 4]);
+        assert_eq!(buf.total_pushed(), 5);
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(buf.sample(7, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn sample_from_empty_buffer_is_empty() {
+        let buf: ReplayBuffer<u8> = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_only_returns_stored_items() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 10..14 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in buf.sample(100, &mut rng) {
+            assert!((10..14).contains(s));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(i);
+        }
+        let a: Vec<i32> = buf
+            .sample(5, &mut StdRng::seed_from_u64(9))
+            .into_iter()
+            .copied()
+            .collect();
+        let b: Vec<i32> = buf
+            .sample(5, &mut StdRng::seed_from_u64(9))
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(1);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.push(2);
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: ReplayBuffer<u8> = ReplayBuffer::new(0);
+    }
+}

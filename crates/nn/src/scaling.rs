@@ -1,0 +1,146 @@
+//! Feature standardization.
+//!
+//! Neural inputs in the agent crate mix features with wildly different scales
+//! (queries/second vs. fraction-of-cache-warm vs. size index). Standardizing
+//! to zero mean / unit variance keeps the small networks well conditioned.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature mean/std scaler fitted on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits a scaler on rows of features.
+    ///
+    /// Features with (near-)zero variance get std 1.0 so they pass through
+    /// centered but unscaled.
+    ///
+    /// # Panics
+    /// Panics on empty data or inconsistent feature dimensions.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit standardizer on empty data");
+        let d = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == d),
+            "inconsistent feature dimensions"
+        );
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for r in rows {
+            for ((var, v), m) in vars.iter_mut().zip(r).zip(&means) {
+                let e = v - m;
+                *var += e * e;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// An identity scaler for `dim` features (useful before any data exists).
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            means: vec![0.0; dim],
+            stds: vec![1.0; dim],
+        }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    /// Panics if the dimension differs from the fitted dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Inverts [`Standardizer::transform`].
+    pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.dim(), "feature dimension mismatch");
+        z.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| v * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_variance() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1000.0 + 3.0 * i as f64]).collect();
+        let s = Standardizer::fit(&rows);
+        let z: Vec<Vec<f64>> = rows.iter().map(|r| s.transform(r)).collect();
+        for f in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[f]).sum::<f64>() / z.len() as f64;
+            let var: f64 = z.iter().map(|r| (r[f] - mean).powi(2)).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-10, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-10, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centered() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = Standardizer::fit(&rows);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[6.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 2.5, -(i as f64)]).collect();
+        let s = Standardizer::fit(&rows);
+        for r in &rows {
+            let back = s.inverse_transform(&s.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let s = Standardizer::identity(3);
+        assert_eq!(s.transform(&[1.0, -2.0, 0.5]), vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn transform_panics_on_wrong_dim() {
+        let s = Standardizer::identity(2);
+        let _ = s.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Windowed feature extraction over query history.
+//!
+//! The smart models (§6) and the cost model's parameter estimators (§5.2)
+//! both consume aggregate views of telemetry: arrival rates, latency
+//! percentiles, queueing, concurrency. This module computes those aggregates
+//! over fixed windows ("mini-windows" in the paper's cluster-predictor
+//! description).
+
+use cdw_sim::{QueryRecord, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate features of one time window for one warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowFeatures {
+    pub window_start: SimTime,
+    pub window_ms: SimTime,
+    /// Queries arriving in the window.
+    pub arrivals: usize,
+    /// Arrivals per hour.
+    pub arrival_rate_per_hour: f64,
+    /// Mean end-to-end latency (ms) of queries completing in the window.
+    pub mean_latency_ms: f64,
+    /// 99th-percentile end-to-end latency (ms).
+    pub p99_latency_ms: f64,
+    /// Mean queue wait (ms).
+    pub mean_queue_ms: f64,
+    /// Total bytes scanned.
+    pub bytes_scanned: u64,
+    /// Mean cluster count observed at query start.
+    pub mean_cluster_count: f64,
+    /// Average number of concurrently executing queries (demand pressure).
+    pub mean_concurrency: f64,
+}
+
+impl WindowFeatures {
+    /// An empty window (no queries).
+    pub fn empty(window_start: SimTime, window_ms: SimTime) -> Self {
+        Self {
+            window_start,
+            window_ms,
+            arrivals: 0,
+            arrival_rate_per_hour: 0.0,
+            mean_latency_ms: 0.0,
+            p99_latency_ms: 0.0,
+            mean_queue_ms: 0.0,
+            bytes_scanned: 0,
+            mean_cluster_count: 0.0,
+            mean_concurrency: 0.0,
+        }
+    }
+
+    /// Computes features for `[window_start, window_start + window_ms)` from
+    /// records overlapping the window. `records` may be a superset; only
+    /// relevant rows are used (arrivals for rate; completions for latency).
+    pub fn compute(records: &[&QueryRecord], window_start: SimTime, window_ms: SimTime) -> Self {
+        assert!(window_ms > 0, "window must have positive length");
+        let window_end = window_start + window_ms;
+        let arrived: Vec<&&QueryRecord> = records
+            .iter()
+            .filter(|r| (window_start..window_end).contains(&r.arrival))
+            .collect();
+        let completed: Vec<&&QueryRecord> = records
+            .iter()
+            .filter(|r| (window_start..window_end).contains(&r.end))
+            .collect();
+
+        let mut out = Self::empty(window_start, window_ms);
+        out.arrivals = arrived.len();
+        out.arrival_rate_per_hour =
+            arrived.len() as f64 * 3_600_000.0 / window_ms as f64;
+        out.bytes_scanned = arrived.iter().map(|r| r.bytes_scanned).sum();
+
+        if !completed.is_empty() {
+            let lats: Vec<f64> = completed
+                .iter()
+                .map(|r| r.total_latency_ms() as f64)
+                .collect();
+            out.mean_latency_ms = lats.iter().sum::<f64>() / lats.len() as f64;
+            out.p99_latency_ms = percentile(&lats, 99.0);
+            out.mean_queue_ms = completed
+                .iter()
+                .map(|r| r.queued_ms() as f64)
+                .sum::<f64>()
+                / completed.len() as f64;
+            out.mean_cluster_count = completed
+                .iter()
+                .map(|r| r.cluster_count as f64)
+                .sum::<f64>()
+                / completed.len() as f64;
+        }
+
+        // Mean concurrency: total busy time overlapping the window divided
+        // by the window length.
+        let busy_ms: u64 = records
+            .iter()
+            .filter(|r| r.start < window_end && r.end > window_start)
+            .map(|r| r.end.min(window_end) - r.start.max(window_start))
+            .sum();
+        out.mean_concurrency = busy_ms as f64 / window_ms as f64;
+        out
+    }
+
+    /// Splits `[start, end)` into consecutive windows and computes features
+    /// for each.
+    pub fn series(
+        records: &[QueryRecord],
+        start: SimTime,
+        end: SimTime,
+        window_ms: SimTime,
+    ) -> Vec<WindowFeatures> {
+        assert!(window_ms > 0 && end >= start);
+        let refs: Vec<&QueryRecord> = records.iter().collect();
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            out.push(Self::compute(&refs, t, window_ms));
+            t += window_ms;
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of unsorted data. Returns 0.0 on
+/// empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::WarehouseSize;
+
+    fn rec(id: u64, arrival: SimTime, start: SimTime, end: SimTime) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            warehouse: "WH".into(),
+            size: WarehouseSize::Small,
+            cluster_count: 2,
+            text_hash: id,
+            template_hash: 0,
+            arrival,
+            start,
+            end,
+            bytes_scanned: 100,
+            cache_warm_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_value() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn window_counts_arrivals_and_rates() {
+        let recs: Vec<QueryRecord> = (0..6).map(|i| rec(i, i * 10_000, i * 10_000, i * 10_000 + 5_000)).collect();
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let f = WindowFeatures::compute(&refs, 0, 60_000);
+        assert_eq!(f.arrivals, 6);
+        assert!((f.arrival_rate_per_hour - 360.0).abs() < 1e-9);
+        assert_eq!(f.bytes_scanned, 600);
+    }
+
+    #[test]
+    fn latency_stats_use_completions() {
+        let recs = vec![
+            rec(1, 0, 1_000, 11_000),  // latency 11 s, queued 1 s
+            rec(2, 0, 3_000, 23_000),  // latency 23 s, queued 3 s
+        ];
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let f = WindowFeatures::compute(&refs, 0, 60_000);
+        assert!((f.mean_latency_ms - 17_000.0).abs() < 1e-9);
+        assert!((f.mean_queue_ms - 2_000.0).abs() < 1e-9);
+        assert_eq!(f.p99_latency_ms, 23_000.0);
+        assert_eq!(f.mean_cluster_count, 2.0);
+    }
+
+    #[test]
+    fn concurrency_integrates_overlap() {
+        // Two queries each busy for half the window: mean concurrency 1.0.
+        let recs = vec![rec(1, 0, 0, 30_000), rec(2, 0, 30_000, 60_000)];
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let f = WindowFeatures::compute(&refs, 0, 60_000);
+        assert!((f.mean_concurrency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrency_clips_to_window() {
+        // A query spanning far beyond the window contributes only its overlap.
+        let recs = vec![rec(1, 0, 0, 600_000)];
+        let refs: Vec<&QueryRecord> = recs.iter().collect();
+        let f = WindowFeatures::compute(&refs, 0, 60_000);
+        assert!((f.mean_concurrency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_tiles_the_range() {
+        let recs: Vec<QueryRecord> = (0..10).map(|i| rec(i, i * 60_000, i * 60_000, i * 60_000 + 1_000)).collect();
+        let series = WindowFeatures::series(&recs, 0, 600_000, 60_000);
+        assert_eq!(series.len(), 10);
+        assert!(series.iter().all(|w| w.arrivals == 1));
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let f = WindowFeatures::compute(&[], 0, 60_000);
+        assert_eq!(f, WindowFeatures::empty(0, 60_000));
+    }
+}

@@ -1,0 +1,26 @@
+//! The telemetry metadata pipeline.
+//!
+//! KWO trains exclusively on *performance telemetry metadata* — query
+//! history and billing history — and, per the paper's security criterion
+//! (C6), never sees query text or customer data: "even query texts and
+//! usernames ... must be securely hashed". This crate is that boundary:
+//!
+//! * [`hashing`] — query-text and template hashing (the only representation
+//!   that crosses into the learning stack);
+//! * [`store`] — time-indexed stores for query and billing history, the
+//!   simulator-side equivalent of Snowflake's ACCOUNT_USAGE views;
+//! * [`fetcher`] — the periodic metadata pull of Algorithm 1 line 14, which
+//!   itself costs a small number of credits (the overhead measured in the
+//!   paper's Fig. 6);
+//! * [`features`] — windowed aggregate features consumed by the smart
+//!   models and the cost model's parameter estimators.
+
+pub mod features;
+pub mod fetcher;
+pub mod hashing;
+pub mod store;
+
+pub use features::{percentile, WindowFeatures};
+pub use fetcher::{FetchStats, TelemetryFetcher};
+pub use hashing::{hash_query_text, hash_query_template, strip_literals};
+pub use store::TelemetryStore;

@@ -1,0 +1,201 @@
+//! Time-indexed telemetry stores: the query history and billing history the
+//! data-learning platform trains on (§6.1).
+
+use cdw_sim::{HourlyCredits, QueryRecord, SimTime, WarehouseEventRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated telemetry for one account, indexed for the access patterns
+/// the learning stack needs: per-warehouse, time-windowed scans.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetryStore {
+    /// Query history per warehouse, kept sorted by completion time.
+    queries: BTreeMap<String, Vec<QueryRecord>>,
+    /// Billing history per warehouse (hourly credits).
+    billing: BTreeMap<String, HourlyCredits>,
+    /// Warehouse lifecycle events per warehouse, sorted by time.
+    events: BTreeMap<String, Vec<WarehouseEventRecord>>,
+    /// Completion time of the newest query record ingested.
+    high_watermark: SimTime,
+}
+
+impl TelemetryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests query records (idempotence is the fetcher's responsibility;
+    /// the store trusts its input ordering only loosely and re-sorts).
+    pub fn ingest_queries(&mut self, records: impl IntoIterator<Item = QueryRecord>) {
+        let mut touched: Vec<String> = Vec::new();
+        for r in records {
+            self.high_watermark = self.high_watermark.max(r.end);
+            if !touched.contains(&r.warehouse) {
+                touched.push(r.warehouse.clone());
+            }
+            self.queries.entry(r.warehouse.clone()).or_default().push(r);
+        }
+        for wh in touched {
+            if let Some(v) = self.queries.get_mut(&wh) {
+                v.sort_by_key(|r| (r.end, r.query_id));
+            }
+        }
+    }
+
+    /// Ingests warehouse events.
+    pub fn ingest_events(&mut self, records: impl IntoIterator<Item = WarehouseEventRecord>) {
+        for r in records {
+            self.events.entry(r.warehouse.clone()).or_default().push(r);
+        }
+        for v in self.events.values_mut() {
+            v.sort_by_key(|r| r.at);
+        }
+    }
+
+    /// Replaces the billing history of a warehouse (billing is cumulative,
+    /// so each fetch supplies the authoritative snapshot).
+    pub fn set_billing(&mut self, warehouse: &str, credits: HourlyCredits) {
+        self.billing.insert(warehouse.to_string(), credits);
+    }
+
+    /// Completion time of the newest ingested record.
+    pub fn high_watermark(&self) -> SimTime {
+        self.high_watermark
+    }
+
+    /// All query records for a warehouse, completion-ordered.
+    pub fn queries(&self, warehouse: &str) -> &[QueryRecord] {
+        self.queries.get(warehouse).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Query records completing within `[start, end)`.
+    pub fn queries_in(&self, warehouse: &str, start: SimTime, end: SimTime) -> &[QueryRecord] {
+        let all = self.queries(warehouse);
+        let lo = all.partition_point(|r| r.end < start);
+        let hi = all.partition_point(|r| r.end < end);
+        &all[lo..hi]
+    }
+
+    /// Query records *arriving* within `[start, end)` (needed by the cost
+    /// model's replay, which reasons about arrivals). Linear scan — arrival
+    /// order differs from the stored completion order only within overlap
+    /// windows, so this filters rather than re-indexing.
+    pub fn queries_arriving_in(
+        &self,
+        warehouse: &str,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<&QueryRecord> {
+        self.queries(warehouse)
+            .iter()
+            .filter(|r| (start..end).contains(&r.arrival))
+            .collect()
+    }
+
+    /// Billing history of a warehouse.
+    pub fn billing(&self, warehouse: &str) -> Option<&HourlyCredits> {
+        self.billing.get(warehouse)
+    }
+
+    /// Warehouse events in `[start, end)`.
+    pub fn events_in(
+        &self,
+        warehouse: &str,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<&WarehouseEventRecord> {
+        self.events
+            .get(warehouse)
+            .map(|v| v.iter().filter(|e| (start..end).contains(&e.at)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Names of warehouses with any telemetry.
+    pub fn warehouses(&self) -> impl Iterator<Item = &str> {
+        self.queries.keys().map(String::as_str)
+    }
+
+    /// Total stored query records (diagnostics).
+    pub fn total_queries(&self) -> usize {
+        self.queries.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::WarehouseSize;
+
+    fn rec(id: u64, wh: &str, arrival: SimTime, end: SimTime) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            warehouse: wh.into(),
+            size: WarehouseSize::Small,
+            cluster_count: 1,
+            text_hash: id,
+            template_hash: 0,
+            arrival,
+            start: arrival,
+            end,
+            bytes_scanned: 0,
+            cache_warm_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn ingest_sorts_by_completion() {
+        let mut s = TelemetryStore::new();
+        s.ingest_queries(vec![rec(2, "A", 0, 500), rec(1, "A", 0, 100)]);
+        let q = s.queries("A");
+        assert_eq!(q[0].query_id, 1);
+        assert_eq!(q[1].query_id, 2);
+        assert_eq!(s.high_watermark(), 500);
+    }
+
+    #[test]
+    fn windowed_scan_uses_completion_time() {
+        let mut s = TelemetryStore::new();
+        s.ingest_queries((0..10).map(|i| rec(i, "A", i * 10, i * 100)));
+        let w = s.queries_in("A", 200, 500);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|r| (200..500).contains(&r.end)));
+    }
+
+    #[test]
+    fn arrival_scan_uses_arrival_time() {
+        let mut s = TelemetryStore::new();
+        s.ingest_queries((0..10).map(|i| rec(i, "A", i * 10, 1_000 - i * 10)));
+        let w = s.queries_arriving_in("A", 30, 60);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn warehouses_are_isolated() {
+        let mut s = TelemetryStore::new();
+        s.ingest_queries(vec![rec(1, "A", 0, 10), rec(2, "B", 0, 20)]);
+        assert_eq!(s.queries("A").len(), 1);
+        assert_eq!(s.queries("B").len(), 1);
+        assert_eq!(s.queries("C").len(), 0);
+        assert_eq!(s.total_queries(), 2);
+    }
+
+    #[test]
+    fn billing_snapshot_replaces() {
+        let mut s = TelemetryStore::new();
+        let mut h = HourlyCredits::new();
+        h.add(0, 1.0);
+        s.set_billing("A", h.clone());
+        h.add(0, 1.0);
+        s.set_billing("A", h);
+        assert_eq!(s.billing("A").unwrap().total(), 2.0);
+    }
+
+    #[test]
+    fn incremental_ingest_maintains_order() {
+        let mut s = TelemetryStore::new();
+        s.ingest_queries(vec![rec(1, "A", 0, 100)]);
+        s.ingest_queries(vec![rec(2, "A", 0, 50)]);
+        let ends: Vec<SimTime> = s.queries("A").iter().map(|r| r.end).collect();
+        assert_eq!(ends, vec![50, 100]);
+    }
+}

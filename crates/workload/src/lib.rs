@@ -1,0 +1,31 @@
+//! Synthetic warehouse workloads.
+//!
+//! The paper evaluates KWO on production customer workloads it cannot share;
+//! what it *does* characterize is their statistical shape (§2 C5, §7.1):
+//!
+//! * **ETL** — highly recurring scheduled jobs with near-constant load
+//!   (the "predictable" warehouse of Fig. 4b and the static hourly spend of
+//!   Fig. 6);
+//! * **BI dashboards** — bursty, cache-sensitive queries concentrated in
+//!   business hours;
+//! * **ad-hoc analytics** — unpredictable arrivals with heavy-tailed work
+//!   and month-end spikes (the "unpredictable" warehouse of Fig. 4a);
+//! * **reporting** — periodic batches tolerant of longer latencies.
+//!
+//! Each generator is parameterized on exactly the axes the paper uses to
+//! distinguish warehouses — predictability, cache sensitivity, and load
+//! level — and is fully deterministic given a seed.
+
+pub mod arrival;
+pub mod generators;
+pub mod mix;
+pub mod template;
+pub mod trace;
+
+pub use arrival::{diurnal_rate, poisson_arrivals, scheduled_arrivals};
+pub use generators::{
+    generate_trace, AdhocWorkload, BiWorkload, EtlWorkload, ReportingWorkload, WorkloadGenerator,
+};
+pub use mix::MixedWorkload;
+pub use template::{IdAllocator, QueryTemplate};
+pub use trace::{TraceStats, WorkloadTrace};

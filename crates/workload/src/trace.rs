@@ -1,0 +1,143 @@
+//! Serializable query traces and summary statistics.
+
+use cdw_sim::{QuerySpec, SimTime, DAY_MS};
+use serde::{Deserialize, Serialize};
+
+/// A named, arrival-ordered query trace, serializable for reuse across
+/// experiments (the same trace replayed under different policies is how the
+/// benchmark harness makes with/without-Keebo comparisons fair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    pub name: String,
+    pub queries: Vec<QuerySpec>,
+}
+
+impl WorkloadTrace {
+    /// Wraps queries, sorting by arrival.
+    pub fn new(name: impl Into<String>, mut queries: Vec<QuerySpec>) -> Self {
+        queries.sort_by_key(|q| (q.arrival, q.id));
+        Self {
+            name: name.into(),
+            queries,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The sub-trace within `[start, end)`.
+    pub fn window(&self, start: SimTime, end: SimTime) -> WorkloadTrace {
+        WorkloadTrace {
+            name: self.name.clone(),
+            queries: self
+                .queries
+                .iter()
+                .filter(|q| (start..end).contains(&q.arrival))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        if self.queries.is_empty() {
+            return TraceStats::default();
+        }
+        let n = self.queries.len();
+        let total_work: f64 = self.queries.iter().map(|q| q.work_ms_xs).sum();
+        let first = self.queries.first().unwrap().arrival;
+        let last = self.queries.last().unwrap().arrival;
+        let mut per_day = std::collections::BTreeMap::new();
+        for q in &self.queries {
+            *per_day.entry(q.arrival / DAY_MS).or_insert(0usize) += 1;
+        }
+        let day_counts: Vec<usize> = per_day.values().copied().collect();
+        let day_mean = day_counts.iter().sum::<usize>() as f64 / day_counts.len() as f64;
+        let day_var = day_counts
+            .iter()
+            .map(|&c| (c as f64 - day_mean).powi(2))
+            .sum::<f64>()
+            / day_counts.len() as f64;
+        TraceStats {
+            queries: n,
+            total_work_ms_xs: total_work,
+            mean_work_ms_xs: total_work / n as f64,
+            first_arrival: first,
+            last_arrival: last,
+            daily_count_cv: if day_mean > 0.0 {
+                day_var.sqrt() / day_mean
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Aggregates describing a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub queries: usize,
+    pub total_work_ms_xs: f64,
+    pub mean_work_ms_xs: f64,
+    pub first_arrival: SimTime,
+    pub last_arrival: SimTime,
+    /// Coefficient of variation of daily query counts — the "predictability"
+    /// axis separating Fig. 4a from Fig. 4b.
+    pub daily_count_cv: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_trace, AdhocWorkload, EtlWorkload};
+
+    #[test]
+    fn new_sorts_queries() {
+        let a = QuerySpec::builder(1).arrival_ms(500).build();
+        let b = QuerySpec::builder(2).arrival_ms(100).build();
+        let t = WorkloadTrace::new("t", vec![a, b]);
+        assert_eq!(t.queries[0].id, 2);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let qs = (0..10)
+            .map(|i| QuerySpec::builder(i).arrival_ms(i * 100).build())
+            .collect();
+        let t = WorkloadTrace::new("t", qs);
+        let w = t.window(200, 500);
+        assert_eq!(w.len(), 3);
+        assert!(w.queries.iter().all(|q| (200..500).contains(&q.arrival)));
+    }
+
+    #[test]
+    fn stats_reflect_predictability_axis() {
+        let etl = WorkloadTrace::new("etl", generate_trace(&EtlWorkload::default(), 0, 7 * DAY_MS, 1));
+        let adhoc =
+            WorkloadTrace::new("adhoc", generate_trace(&AdhocWorkload::default(), 0, 7 * DAY_MS, 1));
+        assert!(adhoc.stats().daily_count_cv > etl.stats().daily_count_cv);
+    }
+
+    #[test]
+    fn empty_trace_has_default_stats() {
+        let t = WorkloadTrace::new("e", vec![]);
+        assert_eq!(t.stats(), TraceStats::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_serde_round_trip() {
+        let t = WorkloadTrace::new(
+            "t",
+            vec![QuerySpec::builder(1).arrival_ms(10).build()],
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: WorkloadTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

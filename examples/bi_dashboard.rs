@@ -1,0 +1,67 @@
+//! BI dashboard scenario with dashboards and the KPI views the paper's
+//! web portal exposes (§4.1): daily spend, query latency, queue times, and
+//! cost per query — before and with KWO.
+//!
+//! Run with: `cargo run --release --example bi_dashboard`
+
+use cdw_sim::{Account, Simulator, WarehouseConfig, WarehouseSize, DAY_MS};
+use keebo::{generate_trace, Dashboard, KwoSetup, Orchestrator};
+use workload::BiWorkload;
+
+fn main() {
+    let workload = BiWorkload {
+        peak_refreshes_per_hour: 60.0,
+        dashboards: 12,
+        ..BiWorkload::default()
+    };
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        "DASHBOARDS",
+        WarehouseConfig::new(WarehouseSize::Large)
+            .with_auto_suspend_secs(1800)
+            .with_clusters(1, 3),
+    );
+    let mut sim = Simulator::new(account);
+    for q in generate_trace(&workload, 0, 10 * DAY_MS, 7) {
+        sim.submit_query(wh, q);
+    }
+
+    let mut kwo = Orchestrator::new(7);
+    kwo.manage(&sim, "DASHBOARDS", KwoSetup::default());
+    kwo.observe_until(&mut sim, 5 * DAY_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, 10 * DAY_MS);
+
+    // The dashboard KPI table (Fig. 2's data, rendered as text).
+    let records = sim.account().query_records();
+    let billing = sim.account().ledger().warehouse("DASHBOARDS");
+    let daily = Dashboard::daily(records, &billing, 0, 10 * DAY_MS);
+    println!(
+        "{:>4} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "day", "KWO?", "queries", "credits", "avg lat(s)", "p99 lat(s)", "cr/query"
+    );
+    for row in &daily {
+        println!(
+            "{:>4} {:>6} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.4}",
+            row.day + 1,
+            if row.day >= 5 { "yes" } else { "" },
+            row.queries,
+            row.spend_credits,
+            row.avg_latency_ms / 1000.0,
+            row.p99_latency_ms / 1000.0,
+            row.cost_per_query,
+        );
+    }
+
+    // Weekly rollup, as the portal's weekly aggregation view.
+    println!("\nweekly rollup:");
+    for w in Dashboard::weekly(&daily) {
+        println!(
+            "  week {}: {:.1} credits, {} queries, avg latency {:.2}s",
+            w.day + 1,
+            w.spend_credits,
+            w.queries,
+            w.avg_latency_ms / 1000.0
+        );
+    }
+}

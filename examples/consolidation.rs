@@ -1,0 +1,93 @@
+//! Warehouse consolidation advisor (§1: "consolidating multiple warehouses
+//! into one"): two half-idle departmental warehouses are cheaper as one.
+//!
+//! Run with: `cargo run --release --example consolidation`
+
+use cdw_sim::{Account, Simulator, WarehouseConfig, WarehouseSize, DAY_MS};
+use costmodel::WarehouseCostModel;
+use keebo::consolidation::{evaluate_consolidation, ConsolidationInput};
+use rand::SeedableRng;
+use workload::{IdAllocator, ReportingWorkload, WorkloadGenerator};
+
+fn main() {
+    // Two teams each provisioned their own Small reporting warehouse; the
+    // batches fire at different hours, so both sit mostly idle.
+    let cfg = WarehouseConfig::new(WarehouseSize::Small).with_auto_suspend_secs(600);
+    let mut account = Account::new();
+    let sales = account.create_warehouse("SALES_WH", cfg.clone());
+    let finance = account.create_warehouse("FINANCE_WH", cfg.clone());
+    let mut sim = Simulator::new(account);
+
+    let mut ids = IdAllocator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sales_wl = ReportingWorkload {
+        batch_hour: 6,
+        ..ReportingWorkload::default()
+    };
+    // Both report runs land in the same morning window — the classic
+    // consolidation opportunity: overlapping-but-separate warehouses.
+    let finance_wl = ReportingWorkload {
+        batch_hour: 6,
+        ..ReportingWorkload::default()
+    };
+    for q in sales_wl.generate(0, 7 * DAY_MS, &mut ids, &mut rng) {
+        sim.submit_query(sales, q);
+    }
+    for q in finance_wl.generate(0, 7 * DAY_MS, &mut ids, &mut rng) {
+        sim.submit_query(finance, q);
+    }
+    sim.run_until(7 * DAY_MS);
+
+    // Train one cost model on the combined history (the advisor only needs
+    // the learned latency/gap/cluster parameters, which are shared here).
+    let all_records = sim.account().query_records().to_vec();
+    let model = WarehouseCostModel::train(&all_records, 0, 7 * DAY_MS, 8, 1);
+
+    let sales_records: Vec<_> = all_records
+        .iter()
+        .filter(|r| r.warehouse == "SALES_WH")
+        .cloned()
+        .collect();
+    let finance_records: Vec<_> = all_records
+        .iter()
+        .filter(|r| r.warehouse == "FINANCE_WH")
+        .cloned()
+        .collect();
+
+    let report = evaluate_consolidation(
+        &model,
+        &[
+            ConsolidationInput {
+                name: "SALES_WH",
+                config: cfg.clone(),
+                records: &sales_records,
+            },
+            ConsolidationInput {
+                name: "FINANCE_WH",
+                config: cfg.clone(),
+                records: &finance_records,
+            },
+        ],
+        // The shared warehouse gets a second cluster to absorb the peak.
+        &cfg.clone().with_clusters(1, 2),
+        0,
+        7 * DAY_MS,
+    );
+
+    println!("separate warehouses: {:>7.2} credits/week", report.separate_credits);
+    println!("one shared warehouse:{:>7.2} credits/week", report.merged_credits);
+    println!(
+        "estimated savings:   {:>7.2} credits/week ({:.0}%)",
+        report.estimated_savings,
+        100.0 * report.estimated_savings / report.separate_credits.max(1e-9)
+    );
+    println!("peak merged concurrency: {} queries", report.peak_concurrency);
+    println!(
+        "recommendation: {}",
+        if report.recommended {
+            "consolidate"
+        } else {
+            "keep separate"
+        }
+    );
+}

@@ -1,0 +1,83 @@
+//! The cost/performance slider (§4.1, §7.4): the same workload under
+//! "Lowest Cost" vs "Best Performance", plus a live slider move mid-run —
+//! the smart model re-calibrates without retraining (§4.3).
+//!
+//! Run with: `cargo run --release --example slider_tradeoff`
+
+use cdw_sim::{Account, Simulator, WarehouseConfig, WarehouseSize, DAY_MS};
+use keebo::{generate_trace, KwoSetup, Orchestrator, SliderPosition};
+use workload::AdhocWorkload;
+
+fn run(slider: SliderPosition, seed: u64) -> (f64, f64) {
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        "ANALYTICS",
+        WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800),
+    );
+    let mut sim = Simulator::new(account);
+    for q in generate_trace(&AdhocWorkload::default(), 0, 8 * DAY_MS, seed) {
+        sim.submit_query(wh, q);
+    }
+    let mut kwo = Orchestrator::new(seed);
+    kwo.manage(
+        &sim,
+        "ANALYTICS",
+        KwoSetup {
+            slider,
+            ..KwoSetup::default()
+        },
+    );
+    kwo.observe_until(&mut sim, 3 * DAY_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, 8 * DAY_MS);
+
+    let credits = sim
+        .account()
+        .ledger()
+        .warehouse("ANALYTICS")
+        .range_total(3 * 24, 8 * 24);
+    let lats: Vec<f64> = sim
+        .account()
+        .query_records()
+        .iter()
+        .filter(|r| r.end >= 3 * DAY_MS)
+        .map(|r| r.total_latency_ms() as f64)
+        .collect();
+    let avg = lats.iter().sum::<f64>() / lats.len().max(1) as f64 / 1000.0;
+    (credits, avg)
+}
+
+fn main() {
+    println!("same ad-hoc workload, five days optimized, two slider extremes:\n");
+    for slider in [SliderPosition::LowestCost, SliderPosition::BestPerformance] {
+        let (credits, avg_lat) = run(slider, 21);
+        println!(
+            "  {slider:?}: {credits:.1} credits, avg latency {avg_lat:.2}s"
+        );
+    }
+
+    // Live slider move: no retraining required.
+    println!("\nlive slider move mid-run (Balanced -> BestPerformance):");
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        "ANALYTICS",
+        WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800),
+    );
+    let mut sim = Simulator::new(account);
+    for q in generate_trace(&AdhocWorkload::default(), 0, 8 * DAY_MS, 21) {
+        sim.submit_query(wh, q);
+    }
+    let mut kwo = Orchestrator::new(21);
+    kwo.manage(&sim, "ANALYTICS", KwoSetup::default());
+    kwo.observe_until(&mut sim, 3 * DAY_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, 5 * DAY_MS);
+    let mid = sim.account().accrued_credits(wh, sim.now());
+    kwo.set_slider("ANALYTICS", SliderPosition::BestPerformance);
+    kwo.run_until(&mut sim, 8 * DAY_MS);
+    let end = sim.account().accrued_credits(wh, sim.now());
+    println!(
+        "  credits: {:.1} in 2 days at Balanced, then {:.1} in 3 days at BestPerformance",
+        mid, end - mid
+    );
+}

@@ -1,0 +1,286 @@
+//! Property-based tests over the core invariants: billing arithmetic,
+//! simulator conservation laws, cost-model monotonicity, cache bounds, and
+//! constraint-mask safety.
+
+use cdw_sim::{
+    billing::{session_credits, HourlyCredits, MIN_BILL_SECONDS},
+    Account, CacheState, QuerySpec, Simulator, WarehouseConfig, WarehouseSize, HOUR_MS,
+    MINUTE_MS, SECOND_MS,
+};
+use costmodel::{GapModel, ReplayConfig, WarehouseCostModel};
+use keebo::{ConstraintSet, Rule, RuleEffect, TimeWindow};
+use proptest::prelude::*;
+
+fn arb_size() -> impl Strategy<Value = WarehouseSize> {
+    (0usize..10).prop_map(|i| WarehouseSize::from_index(i).unwrap())
+}
+
+proptest! {
+    /// Billing: every session bills at least the 60-second minimum and
+    /// scales linearly past it.
+    #[test]
+    fn session_credits_respect_minimum_and_linearity(
+        size in arb_size(),
+        duration_ms in 0u64..10_000_000,
+    ) {
+        let credits = session_credits(size, duration_ms);
+        let min = MIN_BILL_SECONDS as f64 * size.credits_per_second();
+        prop_assert!(credits >= min - 1e-12);
+        // Doubling a long session doubles its cost.
+        if duration_ms > 200_000 {
+            let double = session_credits(size, duration_ms * 2);
+            let ratio = double / credits;
+            prop_assert!((ratio - 2.0).abs() < 0.02, "ratio {ratio}");
+        }
+    }
+
+    /// Billing: hourly attribution conserves the session total.
+    #[test]
+    fn hourly_attribution_conserves_credits(
+        size in arb_size(),
+        start in 0u64..100 * HOUR_MS,
+        duration_ms in 1u64..5 * HOUR_MS,
+    ) {
+        let mut h = HourlyCredits::new();
+        h.add_session(size, start, start + duration_ms);
+        let direct = session_credits(size, duration_ms);
+        // Sub-second rounding differs by at most one second's worth.
+        prop_assert!((h.total() - direct).abs() <= size.credits_per_second() + 1e-9);
+    }
+
+    /// Simulator: every submitted query eventually completes exactly once,
+    /// with start >= arrival and end > start.
+    #[test]
+    fn queries_are_conserved(
+        n in 1usize..40,
+        concurrency in 1u32..8,
+        max_clusters in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut account = Account::new();
+        let wh = account.create_warehouse(
+            "WH",
+            WarehouseConfig::new(WarehouseSize::Small)
+                .with_auto_suspend_secs(60)
+                .with_clusters(1, max_clusters)
+                .with_max_concurrency(concurrency),
+        );
+        let mut sim = Simulator::new(account);
+        for i in 0..n {
+            let arrival = rng.gen_range(0..2 * HOUR_MS);
+            let work = rng.gen_range(1_000.0..120_000.0);
+            sim.submit_query(
+                wh,
+                QuerySpec::builder(i as u64)
+                    .work_ms_xs(work)
+                    .arrival_ms(arrival)
+                    .build(),
+            );
+        }
+        sim.run_to_completion();
+        let records = sim.account().query_records();
+        prop_assert_eq!(records.len(), n, "all queries complete");
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            prop_assert!(seen.insert(r.query_id), "no duplicate completions");
+            prop_assert!(r.start >= r.arrival);
+            prop_assert!(r.end > r.start);
+            prop_assert!(r.cluster_count >= 1 && r.cluster_count <= max_clusters);
+        }
+        // Billing is non-negative and bounded by always-on at max scale.
+        let credits = sim.account().ledger().warehouse("WH").total();
+        let horizon_hours = sim.now() as f64 / HOUR_MS as f64;
+        let upper = WarehouseSize::Small.credits_per_hour()
+            * max_clusters as f64
+            * (horizon_hours + 1.0);
+        prop_assert!(credits >= 0.0 && credits <= upper, "credits {credits} vs bound {upper}");
+    }
+
+    /// Cache: warm fraction stays in [0, 1] under any operation sequence.
+    #[test]
+    fn cache_warmth_is_bounded(ops in prop::collection::vec(0u8..3, 1..50)) {
+        let mut cache = CacheState::with_default_tau();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => cache.record_execution((i as u64 + 1) * 10_000),
+                1 => cache.drop_cache(),
+                _ => cache.invalidate(0.3),
+            }
+            prop_assert!((0.0..=1.0).contains(&cache.warm_fraction()));
+        }
+    }
+
+    /// Cost model: the without-Keebo estimate is monotonically non-decreasing
+    /// in the original auto-suspend interval (more idle time billed).
+    #[test]
+    fn replay_cost_monotone_in_auto_suspend(
+        gap_minutes in 1u64..120,
+        n in 2usize..20,
+    ) {
+        let records: Vec<cdw_sim::QueryRecord> = (0..n as u64)
+            .map(|i| cdw_sim::QueryRecord {
+                query_id: i,
+                warehouse: "WH".into(),
+                size: WarehouseSize::Small,
+                cluster_count: 1,
+                text_hash: i,
+                template_hash: 1,
+                arrival: i * gap_minutes * MINUTE_MS,
+                start: i * gap_minutes * MINUTE_MS,
+                end: i * gap_minutes * MINUTE_MS + 30 * SECOND_MS,
+                bytes_scanned: 0,
+                cache_warm_fraction: 1.0,
+            })
+            .collect();
+        let model = WarehouseCostModel::default();
+        let mut last = 0.0;
+        for auto_secs in [30u64, 120, 600, 1800] {
+            let cfg = ReplayConfig {
+                original: WarehouseConfig::new(WarehouseSize::Small)
+                    .with_auto_suspend_secs(auto_secs),
+                window_start: 0,
+                window_end: (n as u64 + 1) * gap_minutes * MINUTE_MS + HOUR_MS,
+            };
+            let cost = model.replay(&records, &cfg).estimated_credits;
+            prop_assert!(cost >= last - 1e-9, "auto {auto_secs}: {cost} < {last}");
+            last = cost;
+        }
+    }
+
+    /// Cost model: replaying at a larger original size never costs less for
+    /// serial, gap-dominated workloads.
+    #[test]
+    fn replay_cost_monotone_in_size_for_sparse_work(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let records: Vec<cdw_sim::QueryRecord> = (0..10u64)
+            .map(|i| {
+                let arrival = i * HOUR_MS + rng.gen_range(0..30 * MINUTE_MS);
+                cdw_sim::QueryRecord {
+                    query_id: i,
+                    warehouse: "WH".into(),
+                    size: WarehouseSize::Small,
+                    cluster_count: 1,
+                    text_hash: i,
+                    template_hash: 1,
+                    arrival,
+                    start: arrival,
+                    end: arrival + rng.gen_range(10..120) * SECOND_MS,
+                    bytes_scanned: 0,
+                    cache_warm_fraction: 1.0,
+                }
+            })
+            .collect();
+        let model = WarehouseCostModel::default();
+        let cost_at = |size: WarehouseSize| {
+            model
+                .replay(
+                    &records,
+                    &ReplayConfig {
+                        original: WarehouseConfig::new(size).with_auto_suspend_secs(600),
+                        window_start: 0,
+                        window_end: 12 * HOUR_MS,
+                    },
+                )
+                .estimated_credits
+        };
+        prop_assert!(cost_at(WarehouseSize::Medium) >= cost_at(WarehouseSize::Small) - 1e-9);
+        prop_assert!(cost_at(WarehouseSize::XLarge) >= cost_at(WarehouseSize::Medium) - 1e-9);
+    }
+
+    /// Gap model: the billable gap clamp never exceeds either input.
+    #[test]
+    fn billable_gap_clamp_bounds(gap in 0u64..10 * HOUR_MS, auto in 1u64..2 * HOUR_MS) {
+        let clamped = GapModel::clamp_billable_gap(gap, auto);
+        prop_assert!(clamped <= gap);
+        prop_assert!(clamped <= auto);
+    }
+
+    /// Constraints: the action mask always permits at least one action, and
+    /// every permitted action produces a valid configuration.
+    #[test]
+    fn constraint_masks_are_safe(
+        size in arb_size(),
+        max_clusters in 1u32..10,
+        auto_secs in prop::sample::select(vec![30u64, 60, 300, 600, 1800, 3600]),
+        hour in 0u64..24,
+        min_size_idx in 0usize..10,
+    ) {
+        let config = WarehouseConfig::new(size)
+            .with_auto_suspend_secs(auto_secs)
+            .with_clusters(1, max_clusters);
+        let cs = ConstraintSet::new()
+            .with_rule(Rule::new(
+                "floor",
+                TimeWindow::daily(8.0, 18.0),
+                RuleEffect::MinSize(WarehouseSize::from_index(min_size_idx).unwrap()),
+            ))
+            .with_rule(Rule::new(
+                "no-suspend-night",
+                TimeWindow::daily(22.0, 2.0),
+                RuleEffect::NoSuspend,
+            ));
+        let t = hour * HOUR_MS;
+        let mask = cs.action_mask(&config, t);
+        prop_assert!(mask.iter().any(|&m| m), "mask must never be empty");
+        for (i, action) in agent::AgentAction::ALL.iter().enumerate() {
+            if mask[i] {
+                let next = action.target_config(&config);
+                prop_assert!(next.validate().is_ok(), "{action:?} broke the config");
+                // NoOp is exempt: it is always maskable so the mask is never
+                // empty, even when the standing config predates a rule it
+                // already violates.
+                if *action != agent::AgentAction::NoOp {
+                    prop_assert!(cs.allows(*action, &config, t));
+                }
+            }
+        }
+    }
+
+    /// Telemetry percentile: result is always an element of the input and
+    /// monotone in p.
+    #[test]
+    fn percentile_selects_monotonically(
+        mut values in prop::collection::vec(0.0f64..1e6, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = telemetry::percentile(&values, lo);
+        let b = telemetry::percentile(&values, hi);
+        prop_assert!(a <= b);
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(values.contains(&a));
+    }
+
+    /// Simulator determinism under arbitrary seeds: two identical runs give
+    /// byte-identical telemetry.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..50) {
+        let run = || {
+            let mut account = Account::new();
+            let wh = account.create_warehouse(
+                "WH",
+                WarehouseConfig::new(WarehouseSize::Small)
+                    .with_auto_suspend_secs(120)
+                    .with_clusters(1, 3)
+                    .with_max_concurrency(2),
+            );
+            let mut sim = Simulator::new(account);
+            for q in keebo::generate_trace(&workload::BiWorkload::default(), 0, 6 * HOUR_MS, seed) {
+                sim.submit_query(wh, q);
+            }
+            sim.run_until(8 * HOUR_MS);
+            (
+                sim.account().ledger().warehouse("WH").total(),
+                sim.account().query_records().to_vec(),
+            )
+        };
+        let (c1, r1) = run();
+        let (c2, r2) = run();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(r1, r2);
+    }
+}
