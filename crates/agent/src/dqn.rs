@@ -211,7 +211,7 @@ impl DqnAgent {
         self.online.apply_gradients(&grads, &mut self.optimizer);
 
         self.train_steps += 1;
-        if self.train_steps % self.config.target_sync_interval == 0 {
+        if self.train_steps.is_multiple_of(self.config.target_sync_interval) {
             self.target.copy_parameters_from(&self.online);
         }
         Some(td_sum / batch.len() as f64)
@@ -225,7 +225,7 @@ fn masked_argmax(q: &[f64], mask: &[bool; AgentAction::COUNT]) -> AgentAction {
         if !m {
             continue;
         }
-        if best.map_or(true, |(_, bq)| qi > bq) {
+        if best.is_none_or(|(_, bq)| qi > bq) {
             best = Some((i, qi));
         }
     }
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn q_output_matches_action_count() {
         let a = agent(1);
-        assert_eq!(a.q_values(&vec![0.0; STATE_DIM]).len(), AgentAction::COUNT);
+        assert_eq!(a.q_values(&[0.0; STATE_DIM]).len(), AgentAction::COUNT);
     }
 
     #[test]
@@ -279,7 +279,7 @@ mod tests {
         assert_eq!(a.epsilon(), 1.0);
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..200 {
-            a.select_action(&vec![0.0; STATE_DIM], &full_mask(), &mut rng, true);
+            a.select_action(&[0.0; STATE_DIM], &full_mask(), &mut rng, true);
         }
         assert_eq!(a.epsilon(), 0.05);
     }
@@ -292,7 +292,7 @@ mod tests {
         mask[AgentAction::SuspendNow.index()] = false;
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..300 {
-            let act = a.select_action(&vec![0.1; STATE_DIM], &mask, &mut rng, true);
+            let act = a.select_action(&[0.1; STATE_DIM], &mask, &mut rng, true);
             assert_ne!(act, AgentAction::SizeDown);
             assert_ne!(act, AgentAction::SuspendNow);
         }

@@ -89,6 +89,51 @@ impl Policy for AutoSuspendRuleOfThumb {
     }
 }
 
+/// Conservative fallback for degraded operation (stale telemetry).
+///
+/// When the telemetry feed is down, windowed features describe the past,
+/// not the present — so this policy ignores them entirely and reacts only
+/// to *live* control-plane signals (queue depth from `DESCRIBE`, which
+/// stays fresh during a metadata outage). It will add capacity to protect
+/// performance but never removes any: cost optimization waits until the
+/// optimizer can see again.
+#[derive(Debug, Clone)]
+pub struct DegradedFallback {
+    /// Queue depth at which capacity is added.
+    pub queue_depth_threshold: usize,
+}
+
+impl Default for DegradedFallback {
+    fn default() -> Self {
+        Self {
+            queue_depth_threshold: 4,
+        }
+    }
+}
+
+impl Policy for DegradedFallback {
+    fn decide(
+        &mut self,
+        state: &AgentState,
+        mask: &[bool; AgentAction::COUNT],
+        _rng: &mut StdRng,
+    ) -> AgentAction {
+        if state.queue_depth >= self.queue_depth_threshold {
+            if mask[AgentAction::ClustersUp.index()] {
+                return AgentAction::ClustersUp;
+            }
+            if mask[AgentAction::SizeUp.index()] {
+                return AgentAction::SizeUp;
+            }
+        }
+        AgentAction::NoOp
+    }
+
+    fn name(&self) -> &str {
+        "degraded-fallback"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +188,34 @@ mod tests {
         mask[AgentAction::AutoSuspendDown.index()] = false;
         let high = state_with_auto_suspend(600_000);
         assert_eq!(p.decide(&high, &mask, &mut rng), AgentAction::NoOp);
+    }
+
+    #[test]
+    fn degraded_fallback_noops_without_queue_pressure() {
+        let mut p = DegradedFallback::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = state_with_auto_suspend(600_000);
+        assert_eq!(
+            p.decide(&s, &[true; AgentAction::COUNT], &mut rng),
+            AgentAction::NoOp
+        );
+    }
+
+    #[test]
+    fn degraded_fallback_adds_capacity_under_pressure() {
+        let mut p = DegradedFallback::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = state_with_auto_suspend(600_000);
+        s.queue_depth = 6;
+        let mask = [true; AgentAction::COUNT];
+        assert_eq!(p.decide(&s, &mask, &mut rng), AgentAction::ClustersUp);
+        // Clusters saturated → escalate to a resize.
+        let mut no_clusters = mask;
+        no_clusters[AgentAction::ClustersUp.index()] = false;
+        assert_eq!(p.decide(&s, &no_clusters, &mut rng), AgentAction::SizeUp);
+        // Nothing allowed → hold.
+        let mut neither = no_clusters;
+        neither[AgentAction::SizeUp.index()] = false;
+        assert_eq!(p.decide(&s, &neither, &mut rng), AgentAction::NoOp);
     }
 }

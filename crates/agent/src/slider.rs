@@ -13,24 +13,19 @@
 use serde::{Deserialize, Serialize};
 
 /// Slider position, ordered from cheapest to most performance-protective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SliderPosition {
     /// Position 1: accept noticeable slowdowns for maximum savings.
     LowestCost,
     /// Position 2: accept small slowdowns.
     LowCost,
     /// Position 3 (default): cut cost without degrading performance.
+    #[default]
     Balanced,
     /// Position 4: provision headroom for spikes.
     GoodPerformance,
     /// Position 5: performance at (almost) any price.
     BestPerformance,
-}
-
-impl Default for SliderPosition {
-    fn default() -> Self {
-        SliderPosition::Balanced
-    }
 }
 
 impl SliderPosition {

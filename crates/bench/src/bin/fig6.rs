@@ -71,7 +71,7 @@ fn main() {
         total_overhead += overhead;
         total_savings += savings;
         // Print every 4th hour to keep the table readable; totals cover all.
-        if (h - first_hour) % 4 == 0 {
+        if (h - first_hour).is_multiple_of(4) {
             rows.push(vec![
                 format!("{h}"),
                 format!("{actual:.3}"),

@@ -25,6 +25,29 @@ pub enum WarehouseCommand {
 }
 
 impl WarehouseCommand {
+    /// Rejects commands that are malformed regardless of the warehouse they
+    /// target (the per-warehouse check against the full resulting config
+    /// happens later in `apply_command`). A real CDW rejects these at parse
+    /// time, before touching any state.
+    pub fn validate(&self) -> Result<(), AlterError> {
+        match self {
+            WarehouseCommand::SetClusterRange { min, max } => {
+                if *min == 0 {
+                    return Err(AlterError::InvalidConfig(
+                        "MIN_CLUSTER_COUNT must be at least 1".into(),
+                    ));
+                }
+                if min > max {
+                    return Err(AlterError::InvalidConfig(format!(
+                        "MIN_CLUSTER_COUNT ({min}) exceeds MAX_CLUSTER_COUNT ({max})"
+                    )));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Renders the command as the SQL the actuator would send to a real CDW.
     /// Purely informational (action logs, dashboards).
     pub fn to_sql(&self, warehouse: &str) -> String {
@@ -59,6 +82,23 @@ pub enum AlterError {
     AlreadySuspended,
     /// Resuming a warehouse that is already running.
     AlreadyRunning,
+    /// Transient control-plane failure; the command was not applied and
+    /// retrying after a backoff is expected to succeed.
+    ServiceUnavailable,
+    /// The control plane rejected the request due to rate limiting; retry
+    /// after a backoff.
+    Throttled,
+}
+
+impl AlterError {
+    /// Whether retrying the same command later can reasonably succeed.
+    ///
+    /// `AlreadySuspended`/`AlreadyRunning` are benign no-ops, not retryable
+    /// failures; `UnknownWarehouse`/`InvalidConfig` are permanent — retrying
+    /// the identical command cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AlterError::ServiceUnavailable | AlterError::Throttled)
+    }
 }
 
 impl fmt::Display for AlterError {
@@ -68,6 +108,10 @@ impl fmt::Display for AlterError {
             AlterError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AlterError::AlreadySuspended => write!(f, "warehouse is already suspended"),
             AlterError::AlreadyRunning => write!(f, "warehouse is already running"),
+            AlterError::ServiceUnavailable => {
+                write!(f, "service temporarily unavailable, retry later")
+            }
+            AlterError::Throttled => write!(f, "request throttled, retry later"),
         }
     }
 }
@@ -103,5 +147,43 @@ mod tests {
         let e = AlterError::UnknownWarehouse("X".into());
         assert!(e.to_string().contains("X"));
         assert!(AlterError::AlreadySuspended.to_string().contains("suspended"));
+        assert!(AlterError::ServiceUnavailable.to_string().contains("retry"));
+        assert!(AlterError::Throttled.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(AlterError::ServiceUnavailable.is_transient());
+        assert!(AlterError::Throttled.is_transient());
+        assert!(!AlterError::UnknownWarehouse("X".into()).is_transient());
+        assert!(!AlterError::InvalidConfig("bad".into()).is_transient());
+        assert!(!AlterError::AlreadySuspended.is_transient());
+        assert!(!AlterError::AlreadyRunning.is_transient());
+    }
+
+    #[test]
+    fn cluster_range_rejects_zero_min() {
+        let err = WarehouseCommand::SetClusterRange { min: 0, max: 3 }
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, AlterError::InvalidConfig(_)));
+        assert!(err.to_string().contains("MIN_CLUSTER_COUNT"));
+    }
+
+    #[test]
+    fn cluster_range_rejects_min_above_max() {
+        let err = WarehouseCommand::SetClusterRange { min: 5, max: 2 }
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, AlterError::InvalidConfig(_)));
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn valid_commands_pass_validation() {
+        assert!(WarehouseCommand::SetClusterRange { min: 1, max: 1 }.validate().is_ok());
+        assert!(WarehouseCommand::SetClusterRange { min: 2, max: 8 }.validate().is_ok());
+        assert!(WarehouseCommand::SetSize(WarehouseSize::XSmall).validate().is_ok());
+        assert!(WarehouseCommand::Suspend.validate().is_ok());
     }
 }

@@ -1,0 +1,427 @@
+//! Deterministic fault injection — the simulator's chaos layer.
+//!
+//! A real CDW's control API is flaky: `ALTER WAREHOUSE` calls get throttled
+//! or bounce off transient service errors, commands are acknowledged but
+//! applied late, metadata (telemetry) reads time out or return partial
+//! batches, and resumes occasionally take far longer than the nominal couple
+//! of seconds. The paper's control plane is explicitly built to survive this
+//! (§4.4 monitoring backs off and freezes optimization, §4.5's actuator
+//! "reports errors"), so the simulator must be able to produce it.
+//!
+//! Faults are scheduled by a [`FaultPlan`] — a list of time windows, each
+//! with a fault kind and a per-attempt probability — and realized by a
+//! [`FaultInjector`] holding its own seeded RNG. Determinism contract:
+//!
+//! * a `(workload seed, fault seed, plan)` triple fully reproduces a run;
+//! * an **empty plan never consults the RNG**, so a simulator with an empty
+//!   injector is bit-identical to one with no injector at all.
+
+use crate::api::AlterError;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What a fault window does to the world while it is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// `ALTER WAREHOUSE` fails with [`AlterError::ServiceUnavailable`].
+    AlterServiceUnavailable,
+    /// `ALTER WAREHOUSE` fails with [`AlterError::Throttled`].
+    AlterThrottled,
+    /// `ALTER WAREHOUSE` is acknowledged but takes effect `delay_ms` later.
+    AlterDelayed { delay_ms: SimTime },
+    /// Telemetry reads fail outright (metadata query timeout).
+    TelemetryOutage,
+    /// Telemetry reads return only a prefix of the new records; the rest
+    /// arrive on a later fetch. `keep_fraction` is the fraction kept.
+    TelemetryPartial { keep_fraction: f64 },
+    /// Warehouse resumes take `extra_ms` longer than the nominal delay.
+    SlowResume { extra_ms: SimTime },
+}
+
+/// One scheduled fault window: `kind` applies to attempts in
+/// `[from, until)` with probability `probability` each.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    pub kind: FaultKind,
+    /// Per-attempt probability in `[0, 1]`; `1.0` means every attempt.
+    pub probability: f64,
+}
+
+impl FaultWindow {
+    fn covers(&self, now: SimTime) -> bool {
+        (self.from..self.until).contains(&now)
+    }
+}
+
+/// A reproducible schedule of fault windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (bit-identical behavior to no injector).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Adds an arbitrary window (builder-style).
+    pub fn with_window(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// A burst of transient `ALTER` failures.
+    pub fn with_alter_burst(
+        self,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::AlterServiceUnavailable,
+            probability,
+        })
+    }
+
+    /// A window of `ALTER` throttling.
+    pub fn with_throttle(self, from: SimTime, until: SimTime, probability: f64) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::AlterThrottled,
+            probability,
+        })
+    }
+
+    /// A total telemetry outage.
+    pub fn with_telemetry_outage(self, from: SimTime, until: SimTime) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::TelemetryOutage,
+            probability: 1.0,
+        })
+    }
+
+    /// A window of partial telemetry batches.
+    pub fn with_partial_telemetry(
+        self,
+        from: SimTime,
+        until: SimTime,
+        keep_fraction: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::TelemetryPartial { keep_fraction },
+            probability: 1.0,
+        })
+    }
+
+    /// A window of slow warehouse resumes.
+    pub fn with_slow_resumes(
+        self,
+        from: SimTime,
+        until: SimTime,
+        extra_ms: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::SlowResume { extra_ms },
+            probability,
+        })
+    }
+
+    /// A window of delayed command application.
+    pub fn with_delayed_alters(
+        self,
+        from: SimTime,
+        until: SimTime,
+        delay_ms: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            from,
+            until,
+            kind: FaultKind::AlterDelayed { delay_ms },
+            probability,
+        })
+    }
+}
+
+/// What the injector decided for one `ALTER` attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlterFault {
+    /// Command goes through normally.
+    None,
+    /// Command fails with the given transient error.
+    Fail(AlterErrorKind),
+    /// Command is acknowledged now but applied `delay_ms` later.
+    Delay { delay_ms: SimTime },
+}
+
+/// Which transient error to surface (kept separate from [`AlterError`] so
+/// the injector stays `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlterErrorKind {
+    ServiceUnavailable,
+    Throttled,
+}
+
+impl AlterErrorKind {
+    pub fn to_error(self) -> AlterError {
+        match self {
+            AlterErrorKind::ServiceUnavailable => AlterError::ServiceUnavailable,
+            AlterErrorKind::Throttled => AlterError::Throttled,
+        }
+    }
+}
+
+/// What the injector decided for one telemetry fetch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryFault {
+    /// Fetch proceeds normally.
+    None,
+    /// Fetch fails outright.
+    Outage,
+    /// Fetch returns only this fraction (prefix) of the new records.
+    Partial { keep_fraction: f64 },
+}
+
+/// Counters of what the injector actually did (diagnostics / chaos KPIs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    pub alter_failures: u64,
+    pub alter_delays: u64,
+    pub telemetry_outages: u64,
+    pub telemetry_partials: u64,
+    pub slow_resumes: u64,
+    /// Deferred commands whose eventual application errored (the original
+    /// caller already saw `Ok`; the error is only visible here).
+    pub deferred_apply_errors: u64,
+}
+
+/// Realizes a [`FaultPlan`] with a private seeded RNG.
+///
+/// The injector never draws from the RNG unless a window covers the current
+/// time and matches the attempted operation class, which keeps the empty
+/// plan bit-identical to a fault-free run and keeps fault draws from
+/// perturbing workload randomness (the workload has its own seeds).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan, fault_seed: u64) -> Self {
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(fault_seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::none(), 0)
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    pub(crate) fn note_deferred_apply_error(&mut self) {
+        self.stats.deferred_apply_errors += 1;
+    }
+
+    /// Rolls the window's probability; only called for covering windows so
+    /// an empty plan performs no draws.
+    fn roll(&mut self, probability: f64) -> bool {
+        if probability >= 1.0 {
+            return true;
+        }
+        if probability <= 0.0 {
+            return false;
+        }
+        self.rng.gen::<f64>() < probability
+    }
+
+    /// Decides the fate of an `ALTER WAREHOUSE` attempt at `now`. The first
+    /// covering window (plan order) that rolls true wins.
+    pub fn on_alter(&mut self, now: SimTime) -> AlterFault {
+        for i in 0..self.plan.windows.len() {
+            let w = self.plan.windows[i].clone();
+            if !w.covers(now) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::AlterServiceUnavailable if self.roll(w.probability) => {
+                    self.stats.alter_failures += 1;
+                    return AlterFault::Fail(AlterErrorKind::ServiceUnavailable);
+                }
+                FaultKind::AlterThrottled if self.roll(w.probability) => {
+                    self.stats.alter_failures += 1;
+                    return AlterFault::Fail(AlterErrorKind::Throttled);
+                }
+                FaultKind::AlterDelayed { delay_ms } if self.roll(w.probability) => {
+                    self.stats.alter_delays += 1;
+                    return AlterFault::Delay { delay_ms };
+                }
+                _ => {}
+            }
+        }
+        AlterFault::None
+    }
+
+    /// Decides the fate of a telemetry fetch at `now`.
+    pub fn on_telemetry_fetch(&mut self, now: SimTime) -> TelemetryFault {
+        for i in 0..self.plan.windows.len() {
+            let w = self.plan.windows[i].clone();
+            if !w.covers(now) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::TelemetryOutage if self.roll(w.probability) => {
+                    self.stats.telemetry_outages += 1;
+                    return TelemetryFault::Outage;
+                }
+                FaultKind::TelemetryPartial { keep_fraction } if self.roll(w.probability) => {
+                    self.stats.telemetry_partials += 1;
+                    return TelemetryFault::Partial {
+                        keep_fraction: keep_fraction.clamp(0.0, 1.0),
+                    };
+                }
+                _ => {}
+            }
+        }
+        TelemetryFault::None
+    }
+
+    /// Extra delay to add to a warehouse resume scheduled at `now`.
+    pub fn on_resume(&mut self, now: SimTime) -> SimTime {
+        for i in 0..self.plan.windows.len() {
+            let w = self.plan.windows[i].clone();
+            if !w.covers(now) {
+                continue;
+            }
+            if let FaultKind::SlowResume { extra_ms } = w.kind {
+                if self.roll(w.probability) {
+                    self.stats.slow_resumes += 1;
+                    return extra_ms;
+                }
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR_MS;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::disabled();
+        for t in [0, HOUR_MS, 100 * HOUR_MS] {
+            assert_eq!(inj.on_alter(t), AlterFault::None);
+            assert_eq!(inj.on_telemetry_fetch(t), TelemetryFault::None);
+            assert_eq!(inj.on_resume(t), 0);
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn windows_only_fire_inside_their_interval() {
+        let plan = FaultPlan::none().with_alter_burst(HOUR_MS, 2 * HOUR_MS, 1.0);
+        let mut inj = FaultInjector::new(plan, 7);
+        assert_eq!(inj.on_alter(HOUR_MS - 1), AlterFault::None);
+        assert_eq!(
+            inj.on_alter(HOUR_MS),
+            AlterFault::Fail(AlterErrorKind::ServiceUnavailable)
+        );
+        assert_eq!(
+            inj.on_alter(2 * HOUR_MS - 1),
+            AlterFault::Fail(AlterErrorKind::ServiceUnavailable)
+        );
+        assert_eq!(inj.on_alter(2 * HOUR_MS), AlterFault::None);
+        assert_eq!(inj.stats().alter_failures, 2);
+    }
+
+    #[test]
+    fn probability_zero_never_fires_and_one_always_fires() {
+        let plan = FaultPlan::none()
+            .with_window(FaultWindow {
+                from: 0,
+                until: HOUR_MS,
+                kind: FaultKind::AlterThrottled,
+                probability: 0.0,
+            })
+            .with_throttle(0, HOUR_MS, 1.0);
+        let mut inj = FaultInjector::new(plan, 1);
+        // The zero-probability window is skipped; the certain one fires.
+        assert_eq!(
+            inj.on_alter(10),
+            AlterFault::Fail(AlterErrorKind::Throttled)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5);
+        let decisions = |seed: u64| -> Vec<AlterFault> {
+            let mut inj = FaultInjector::new(
+                FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5),
+                seed,
+            );
+            (0..50).map(|i| inj.on_alter(i * 1000)).collect()
+        };
+        assert_eq!(decisions(42), decisions(42));
+        // And a fractional probability actually mixes outcomes.
+        let d = decisions(42);
+        assert!(d.contains(&AlterFault::None));
+        assert!(d.contains(&AlterFault::Fail(AlterErrorKind::ServiceUnavailable)));
+        let _ = plan;
+    }
+
+    #[test]
+    fn telemetry_faults_and_slow_resumes_fire() {
+        let plan = FaultPlan::none()
+            .with_telemetry_outage(0, HOUR_MS)
+            .with_partial_telemetry(HOUR_MS, 2 * HOUR_MS, 0.25)
+            .with_slow_resumes(0, HOUR_MS, 30_000, 1.0);
+        let mut inj = FaultInjector::new(plan, 3);
+        assert_eq!(inj.on_telemetry_fetch(10), TelemetryFault::Outage);
+        assert_eq!(
+            inj.on_telemetry_fetch(HOUR_MS + 10),
+            TelemetryFault::Partial {
+                keep_fraction: 0.25
+            }
+        );
+        assert_eq!(inj.on_resume(500), 30_000);
+        assert_eq!(inj.on_resume(2 * HOUR_MS), 0);
+        let s = inj.stats();
+        assert_eq!(s.telemetry_outages, 1);
+        assert_eq!(s.telemetry_partials, 1);
+        assert_eq!(s.slow_resumes, 1);
+    }
+}

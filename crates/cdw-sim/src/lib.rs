@@ -51,6 +51,7 @@ pub mod cache;
 pub mod cluster;
 pub mod config;
 pub mod exec;
+pub mod faults;
 pub mod policy;
 pub mod query;
 pub mod records;
@@ -65,6 +66,7 @@ pub use billing::{BillingLedger, HourlyCredits};
 pub use cache::CacheState;
 pub use cluster::{Cluster, ClusterState};
 pub use config::WarehouseConfig;
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow, TelemetryFault};
 pub use policy::ScalingPolicy;
 pub use query::{QuerySpec, QuerySpecBuilder};
 pub use records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord};

@@ -8,6 +8,7 @@
 
 use crate::account::{Account, WarehouseId};
 use crate::api::{AlterError, WarehouseCommand};
+use crate::faults::{AlterFault, FaultInjector, FaultPlan, FaultStats, TelemetryFault};
 use crate::query::QuerySpec;
 use crate::records::ActionSource;
 use crate::time::SimTime;
@@ -20,6 +21,14 @@ use std::collections::BinaryHeap;
 enum Event {
     Arrival { wh: WarehouseId, spec: QuerySpec },
     Warehouse { wh: WarehouseId, ev: WhEvent },
+    /// An `ALTER` the fault injector acknowledged but delayed; applied when
+    /// this event fires. The original caller already saw `Ok`, so a failure
+    /// here only surfaces in [`FaultStats::deferred_apply_errors`].
+    Deferred {
+        wh: WarehouseId,
+        cmd: WarehouseCommand,
+        source: ActionSource,
+    },
 }
 
 // QuerySpec contains f64s, so Event can't derive Ord; the heap orders only
@@ -56,17 +65,27 @@ pub struct Simulator {
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     processed_events: u64,
+    injector: FaultInjector,
 }
 
 impl Simulator {
-    /// Wraps an account in a simulator starting at t = 0.
+    /// Wraps an account in a simulator starting at t = 0, with no faults.
     pub fn new(account: Account) -> Self {
+        Self::with_faults(account, FaultPlan::none(), 0)
+    }
+
+    /// Wraps an account in a simulator with a fault schedule. The injector
+    /// has its own RNG seeded from `fault_seed`, so the same
+    /// `(workload, fault_seed, plan)` reproduces the same run and an empty
+    /// plan is bit-identical to [`Simulator::new`].
+    pub fn with_faults(account: Account, plan: FaultPlan, fault_seed: u64) -> Self {
         Self {
             account,
             clock: 0,
             queue: BinaryHeap::new(),
             next_seq: 0,
             processed_events: 0,
+            injector: FaultInjector::new(plan, fault_seed),
         }
     }
 
@@ -102,6 +121,35 @@ impl Simulator {
         self.queue.push(Reverse(Scheduled { at, seq, event }));
     }
 
+    /// Schedules a warehouse event, letting the injector stretch resumes
+    /// (a slow-resume fault adds delay to the `ResumeDone` completion).
+    fn push_wh(&mut self, wh: WarehouseId, at: SimTime, ev: WhEvent) {
+        let at = if matches!(ev, WhEvent::ResumeDone { .. }) {
+            at + self.injector.on_resume(self.clock)
+        } else {
+            at
+        };
+        self.push(at, Event::Warehouse { wh, ev });
+    }
+
+    /// Counters of faults the injector has realized so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.injector.plan()
+    }
+
+    /// Asks the injector whether a telemetry fetch attempted *now* is
+    /// faulted. The telemetry layer calls this once per fetch attempt;
+    /// with an empty plan it performs no RNG draws and returns
+    /// [`TelemetryFault::None`].
+    pub fn poll_telemetry_fault(&mut self) -> TelemetryFault {
+        self.injector.on_telemetry_fetch(self.clock)
+    }
+
     /// Schedules a query arrival at `spec.arrival` (which must not be in the
     /// simulated past).
     ///
@@ -126,18 +174,34 @@ impl Simulator {
     }
 
     /// Applies an `ALTER WAREHOUSE` command right now.
+    ///
+    /// Under an active fault plan the command may instead fail with a
+    /// transient [`AlterError::ServiceUnavailable`]/[`AlterError::Throttled`]
+    /// (nothing applied) or be acknowledged with `Ok` but applied after a
+    /// delay. Malformed commands are rejected up front, before the injector
+    /// is consulted — a real CDW validates the statement before its control
+    /// plane can flake on it.
     pub fn alter_warehouse(
         &mut self,
         wh: WarehouseId,
         cmd: WarehouseCommand,
         source: ActionSource,
     ) -> Result<(), AlterError> {
+        cmd.validate()?;
+        match self.injector.on_alter(self.clock) {
+            AlterFault::Fail(kind) => return Err(kind.to_error()),
+            AlterFault::Delay { delay_ms } => {
+                self.push(self.clock + delay_ms, Event::Deferred { wh, cmd, source });
+                return Ok(());
+            }
+            AlterFault::None => {}
+        }
         let mut schedule = Vec::new();
         let res = self
             .account
             .apply_command(wh, self.clock, cmd, source, &mut schedule);
         for (at, ev) in schedule {
-            self.push(at, Event::Warehouse { wh, ev });
+            self.push_wh(wh, at, ev);
         }
         res
     }
@@ -165,7 +229,7 @@ impl Simulator {
                             w.submit(ctx, spec)
                         });
                     for (at, ev) in schedule {
-                        self.push(at, Event::Warehouse { wh, ev });
+                        self.push_wh(wh, at, ev);
                     }
                 }
                 Event::Warehouse { wh, ev } => {
@@ -184,7 +248,18 @@ impl Simulator {
                             }
                         });
                     for (at, ev) in schedule {
-                        self.push(at, Event::Warehouse { wh, ev });
+                        self.push_wh(wh, at, ev);
+                    }
+                }
+                Event::Deferred { wh, cmd, source } => {
+                    let res =
+                        self.account
+                            .apply_command(wh, self.clock, cmd, source, &mut schedule);
+                    if res.is_err() {
+                        self.injector.note_deferred_apply_error();
+                    }
+                    for (at, ev) in schedule {
+                        self.push_wh(wh, at, ev);
                     }
                 }
             }
@@ -735,7 +810,7 @@ mod command_tests {
         sim.run_until(5 * MINUTE_MS);
         let running = sim.account().warehouse(wh).longest_running_ms(sim.now());
         assert!(
-            running >= 4 * MINUTE_MS && running <= 5 * MINUTE_MS,
+            (4 * MINUTE_MS..=5 * MINUTE_MS).contains(&running),
             "got {running}"
         );
         sim.run_until(HOUR_MS);

@@ -1,9 +1,18 @@
 //! The actuator (§4.5): translates smart-model actions into the CDW's own
 //! API, executes them, keeps a record of every action taken, and reports
 //! errors.
+//!
+//! The CDW's control plane is allowed to be flaky (see `cdw_sim::faults`),
+//! so the actuator distinguishes transient errors — retried a bounded
+//! number of times in-line, each attempt billed — from permanent ones,
+//! which fail fast. Every entry records *per-command* outcomes: a
+//! multi-command action that dies halfway shows exactly which statements
+//! landed, which failed, and which were never attempted.
 
 use agent::AgentAction;
-use cdw_sim::{ActionSource, AlterError, SimTime, Simulator, WarehouseConfig, WarehouseId};
+use cdw_sim::{
+    ActionSource, AlterError, SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseId,
+};
 use serde::{Deserialize, Serialize};
 
 /// How one action application ended.
@@ -15,6 +24,39 @@ pub enum ActionOutcome {
     NoChange,
     /// The CDW rejected a command; carries the rendered error.
     Failed(String),
+}
+
+/// How a single command within an action ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandStatus {
+    /// The command took effect.
+    Applied,
+    /// Benign state race (already suspended / already running).
+    NoChange,
+    /// The command failed after exhausting retries; carries the error.
+    Failed(String),
+    /// Never attempted: an earlier command in the same action failed.
+    Skipped,
+}
+
+/// Per-command record inside one log entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandOutcome {
+    pub sql: String,
+    pub status: CommandStatus,
+    /// Attempts made (1 for a clean apply; >1 means transient retries).
+    pub attempts: u32,
+}
+
+/// What kind of control-plane activity a log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogEntryKind {
+    /// A policy (or heuristic) action chosen by the optimizer.
+    Action,
+    /// A rollback to a previous configuration (back-off, external revert).
+    Rollback,
+    /// The reconciler re-driving the warehouse toward its desired config.
+    Reconcile,
 }
 
 /// One entry in the action log — this is what the web portal's "real-time
@@ -29,6 +71,10 @@ pub struct ActionLogEntry {
     pub outcome: ActionOutcome,
     /// Why the action was chosen ("policy", "backoff", "external-revert").
     pub reason: String,
+    /// What produced this entry (policy action, rollback, reconcile).
+    pub kind: LogEntryKind,
+    /// Outcome of each individual command, in execution order.
+    pub commands: Vec<CommandOutcome>,
 }
 
 /// Applies actions and remembers everything it did.
@@ -39,6 +85,12 @@ pub struct Actuator {
     /// metadata queries; nearly free but not zero — part of Fig. 6's
     /// overhead accounting).
     pub cost_per_command: f64,
+    /// In-line retries per command on transient control-plane errors
+    /// (`ServiceUnavailable`/`Throttled`). These model sub-second client
+    /// retries, so they don't advance sim time; longer waits are the
+    /// reconciler's job (cross-tick exponential backoff).
+    pub max_transient_retries: u32,
+    retries: u64,
 }
 
 impl Actuator {
@@ -46,12 +98,112 @@ impl Actuator {
         Self {
             log: Vec::new(),
             cost_per_command: 0.0005,
+            max_transient_retries: 2,
+            retries: 0,
         }
+    }
+
+    /// Runs one command, retrying transient errors up to
+    /// `max_transient_retries` times; every attempt is billed.
+    fn run_command(
+        &mut self,
+        sim: &mut Simulator,
+        wh: WarehouseId,
+        cmd: WarehouseCommand,
+        now: SimTime,
+    ) -> (Result<(), AlterError>, u32) {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            sim.account_mut()
+                .charge_overhead(now, self.cost_per_command);
+            match sim.alter_warehouse(wh, cmd, ActionSource::Keebo) {
+                Err(ref e) if e.is_transient() && attempts <= self.max_transient_retries => {
+                    self.retries += 1;
+                }
+                res => return (res, attempts),
+            }
+        }
+    }
+
+    /// Runs a command list, recording per-command outcomes; commands after
+    /// the first hard failure are marked `Skipped`.
+    fn run_commands(
+        &mut self,
+        sim: &mut Simulator,
+        wh: WarehouseId,
+        warehouse_name: &str,
+        commands: &[WarehouseCommand],
+    ) -> (ActionOutcome, Vec<CommandOutcome>) {
+        let now = sim.now();
+        let mut results = Vec::with_capacity(commands.len());
+        let mut failed: Option<String> = None;
+        let mut any_applied = false;
+        for cmd in commands {
+            let sql = cmd.to_sql(warehouse_name);
+            if failed.is_some() {
+                results.push(CommandOutcome {
+                    sql,
+                    status: CommandStatus::Skipped,
+                    attempts: 0,
+                });
+                continue;
+            }
+            let (res, attempts) = self.run_command(sim, wh, *cmd, now);
+            let status = match res {
+                Ok(()) => {
+                    any_applied = true;
+                    CommandStatus::Applied
+                }
+                Err(AlterError::AlreadySuspended) | Err(AlterError::AlreadyRunning) => {
+                    CommandStatus::NoChange
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    failed = Some(msg.clone());
+                    CommandStatus::Failed(msg)
+                }
+            };
+            results.push(CommandOutcome {
+                sql,
+                status,
+                attempts,
+            });
+        }
+        let outcome = match failed {
+            Some(msg) => ActionOutcome::Failed(msg),
+            None if any_applied => ActionOutcome::Applied,
+            None => ActionOutcome::NoChange,
+        };
+        (outcome, results)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_entry(
+        &mut self,
+        at: SimTime,
+        warehouse: &str,
+        action: AgentAction,
+        kind: LogEntryKind,
+        outcome: ActionOutcome,
+        commands: Vec<CommandOutcome>,
+        reason: &str,
+    ) {
+        self.log.push(ActionLogEntry {
+            at,
+            warehouse: warehouse.to_string(),
+            action,
+            sql: commands.iter().map(|c| c.sql.clone()).collect(),
+            outcome,
+            reason: reason.to_string(),
+            kind,
+            commands,
+        });
     }
 
     /// Applies `action` from `current` config, charging command overhead and
     /// logging. Benign state races (already suspended/running) count as
-    /// `NoChange`.
+    /// `NoChange`; transient control-plane errors are retried in-line.
     pub fn apply(
         &mut self,
         sim: &mut Simulator,
@@ -63,83 +215,42 @@ impl Actuator {
     ) -> ActionOutcome {
         let commands = action.to_commands(current);
         let now = sim.now();
-        let sql: Vec<String> = commands
-            .iter()
-            .map(|c| c.to_sql(warehouse_name))
-            .collect();
-        let mut outcome = if commands.is_empty() {
-            ActionOutcome::NoChange
-        } else {
-            ActionOutcome::Applied
-        };
-        for cmd in commands {
-            sim.account_mut()
-                .charge_overhead(now, self.cost_per_command);
-            match sim.alter_warehouse(wh, cmd, ActionSource::Keebo) {
-                Ok(()) => {}
-                Err(AlterError::AlreadySuspended) | Err(AlterError::AlreadyRunning) => {
-                    outcome = ActionOutcome::NoChange;
-                }
-                Err(e) => {
-                    outcome = ActionOutcome::Failed(e.to_string());
-                    break;
-                }
-            }
-        }
-        self.log.push(ActionLogEntry {
-            at: now,
-            warehouse: warehouse_name.to_string(),
+        let (outcome, per_command) = self.run_commands(sim, wh, warehouse_name, &commands);
+        self.push_entry(
+            now,
+            warehouse_name,
             action,
-            sql,
-            outcome: outcome.clone(),
-            reason: reason.to_string(),
-        });
+            LogEntryKind::Action,
+            outcome.clone(),
+            per_command,
+            reason,
+        );
         outcome
     }
 
-    /// Applies raw commands (used for §4.3-style rollback of previous
-    /// settings, which is not a single knob move). Logged as one entry
-    /// under `action = NoOp` with the given reason.
+    /// Applies raw commands under an explicit entry kind (rollbacks, §4.3
+    /// restores, reconciler re-drives — multi-knob moves that aren't a
+    /// single agent action). Logged as one entry under `action = NoOp`.
     pub fn apply_commands(
         &mut self,
         sim: &mut Simulator,
         wh: WarehouseId,
         warehouse_name: &str,
-        commands: &[cdw_sim::WarehouseCommand],
+        commands: &[WarehouseCommand],
+        kind: LogEntryKind,
         reason: &str,
     ) -> ActionOutcome {
         let now = sim.now();
-        let sql: Vec<String> = commands
-            .iter()
-            .map(|c| c.to_sql(warehouse_name))
-            .collect();
-        let mut outcome = if commands.is_empty() {
-            ActionOutcome::NoChange
-        } else {
-            ActionOutcome::Applied
-        };
-        for cmd in commands {
-            sim.account_mut()
-                .charge_overhead(now, self.cost_per_command);
-            match sim.alter_warehouse(wh, *cmd, ActionSource::Keebo) {
-                Ok(()) => {}
-                Err(AlterError::AlreadySuspended) | Err(AlterError::AlreadyRunning) => {
-                    outcome = ActionOutcome::NoChange;
-                }
-                Err(e) => {
-                    outcome = ActionOutcome::Failed(e.to_string());
-                    break;
-                }
-            }
-        }
-        self.log.push(ActionLogEntry {
-            at: now,
-            warehouse: warehouse_name.to_string(),
-            action: AgentAction::NoOp,
-            sql,
-            outcome: outcome.clone(),
-            reason: reason.to_string(),
-        });
+        let (outcome, per_command) = self.run_commands(sim, wh, warehouse_name, commands);
+        self.push_entry(
+            now,
+            warehouse_name,
+            AgentAction::NoOp,
+            kind,
+            outcome.clone(),
+            per_command,
+            reason,
+        );
         outcome
     }
 
@@ -163,18 +274,46 @@ impl Actuator {
             .filter(|e| matches!(e.outcome, ActionOutcome::Failed(_)))
             .count()
     }
+
+    /// Count of rollback entries.
+    pub fn rollback_count(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.kind == LogEntryKind::Rollback)
+            .count()
+    }
+
+    /// Count of reconcile entries.
+    pub fn reconcile_count(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.kind == LogEntryKind::Reconcile)
+            .count()
+    }
+
+    /// Total in-line transient retries performed.
+    pub fn transient_retries(&self) -> u64 {
+        self.retries
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdw_sim::{Account, WarehouseSize};
+    use cdw_sim::{Account, FaultPlan, WarehouseSize, HOUR_MS};
 
     fn setup() -> (Simulator, WarehouseId, WarehouseConfig) {
         let mut account = Account::new();
         let cfg = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
         let wh = account.create_warehouse("WH", cfg.clone());
         (Simulator::new(account), wh, cfg)
+    }
+
+    fn setup_faulted(plan: FaultPlan) -> (Simulator, WarehouseId, WarehouseConfig) {
+        let mut account = Account::new();
+        let cfg = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
+        let wh = account.create_warehouse("WH", cfg.clone());
+        (Simulator::with_faults(account, plan, 99), wh, cfg)
     }
 
     #[test]
@@ -190,6 +329,10 @@ mod tests {
         );
         assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Small);
         assert_eq!(act.applied_count(), 1);
+        assert_eq!(act.log()[0].kind, LogEntryKind::Action);
+        assert_eq!(act.log()[0].commands.len(), 1);
+        assert_eq!(act.log()[0].commands[0].status, CommandStatus::Applied);
+        assert_eq!(act.log()[0].commands[0].attempts, 1);
     }
 
     #[test]
@@ -220,6 +363,7 @@ mod tests {
             "warehouse starts suspended: AlreadySuspended is benign"
         );
         assert_eq!(act.failure_count(), 0);
+        assert_eq!(act.log()[0].commands[0].status, CommandStatus::NoChange);
     }
 
     #[test]
@@ -232,5 +376,97 @@ mod tests {
         assert_eq!(e.at, 12_345);
         assert_eq!(e.reason, "backoff");
         assert_eq!(e.action, AgentAction::ClustersUp);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_inline() {
+        // Every ALTER in the first hour fails: retries exhaust and fail.
+        let plan = FaultPlan::none().with_alter_burst(0, HOUR_MS, 1.0);
+        let (mut sim, wh, cfg) = setup_faulted(plan);
+        let mut act = Actuator::new();
+        let out = act.apply(&mut sim, wh, "WH", &cfg, AgentAction::SizeDown, "policy");
+        assert!(matches!(out, ActionOutcome::Failed(_)));
+        let e = &act.log()[0];
+        assert_eq!(e.commands[0].attempts, 1 + act.max_transient_retries);
+        assert_eq!(act.transient_retries() as u32, act.max_transient_retries);
+        assert!(matches!(e.commands[0].status, CommandStatus::Failed(_)));
+        // Config untouched.
+        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Medium);
+        // Each attempt billed.
+        let overhead = sim.account().ledger().overhead().total();
+        let expected = act.cost_per_command * (1 + act.max_transient_retries) as f64;
+        assert!((overhead - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_succeeds_when_fault_is_intermittent() {
+        // ~50% failure probability: with 2 retries most commands get through;
+        // run several and require at least one success with attempts > 1.
+        let plan = FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5);
+        let (mut sim, wh, _cfg) = setup_faulted(plan);
+        let mut act = Actuator::new();
+        for _ in 0..12 {
+            let cur = sim.account().describe(wh).config.clone();
+            let action = if cur.size == WarehouseSize::Medium {
+                AgentAction::SizeDown
+            } else {
+                AgentAction::SizeUp
+            };
+            act.apply(&mut sim, wh, "WH", &cur, action, "policy");
+        }
+        let retried_ok = act.log().iter().any(|e| {
+            e.commands
+                .iter()
+                .any(|c| c.status == CommandStatus::Applied && c.attempts > 1)
+        });
+        assert!(retried_ok, "expected at least one successful retry");
+    }
+
+    #[test]
+    fn partial_application_marks_later_commands_skipped() {
+        let (mut sim, wh, _cfg) = setup();
+        let mut act = Actuator::new();
+        let cmds = [
+            cdw_sim::WarehouseCommand::SetAutoSuspend { ms: 60_000 },
+            cdw_sim::WarehouseCommand::SetClusterRange { min: 3, max: 2 }, // invalid
+            cdw_sim::WarehouseCommand::SetSize(WarehouseSize::Small),
+        ];
+        let out = act.apply_commands(
+            &mut sim,
+            wh,
+            "WH",
+            &cmds,
+            LogEntryKind::Rollback,
+            "backoff-rollback",
+        );
+        assert!(matches!(out, ActionOutcome::Failed(_)));
+        let e = &act.log()[0];
+        assert_eq!(e.kind, LogEntryKind::Rollback);
+        assert_eq!(e.commands[0].status, CommandStatus::Applied);
+        assert!(matches!(e.commands[1].status, CommandStatus::Failed(_)));
+        assert_eq!(e.commands[2].status, CommandStatus::Skipped);
+        assert_eq!(e.commands[2].attempts, 0);
+        // The skipped resize really did not run.
+        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Medium);
+        assert_eq!(act.rollback_count(), 1);
+    }
+
+    #[test]
+    fn permanent_errors_fail_without_retry() {
+        let (mut sim, wh, _cfg) = setup();
+        let mut act = Actuator::new();
+        let cmds = [cdw_sim::WarehouseCommand::SetClusterRange { min: 0, max: 2 }];
+        let out = act.apply_commands(
+            &mut sim,
+            wh,
+            "WH",
+            &cmds,
+            LogEntryKind::Reconcile,
+            "reconcile",
+        );
+        assert!(matches!(out, ActionOutcome::Failed(_)));
+        assert_eq!(act.log()[0].commands[0].attempts, 1, "no retry on InvalidConfig");
+        assert_eq!(act.transient_retries(), 0);
+        assert_eq!(act.reconcile_count(), 1);
     }
 }

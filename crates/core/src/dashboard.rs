@@ -7,8 +7,13 @@
 //! percentile), and cost per query."
 //!
 //! This module computes those aggregates from telemetry; rendering is out of
-//! scope (the paper's Fig. 2 is a screenshot).
+//! scope (the paper's Fig. 2 is a screenshot). Alongside the cost/latency
+//! series, [`OpsKpis`] summarizes the control plane's own reliability:
+//! actuation outcomes, retries, rollbacks, reconciliations, telemetry
+//! outages, and time spent degraded or frozen.
 
+use crate::health::HealthState;
+use crate::orchestrator::WarehouseOptimizer;
 use cdw_sim::{HourlyCredits, QueryRecord, SimTime, DAY_MS};
 use serde::{Deserialize, Serialize};
 use telemetry::percentile;
@@ -27,6 +32,57 @@ pub struct DailyKpis {
     pub p99_queue_ms: f64,
     /// Credits per completed query (0 when no queries ran).
     pub cost_per_query: f64,
+}
+
+/// Operational / fault KPIs for one managed warehouse — the reliability
+/// panel next to the cost charts: is the optimizer healthy, how often did
+/// actuation fail, and how much of the time was spent flying blind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpsKpis {
+    /// Current health state.
+    pub health: HealthState,
+    pub healthy_ticks: u64,
+    pub degraded_ticks: u64,
+    pub frozen_ticks: u64,
+    /// Log entries that applied at least one command.
+    pub actions_applied: usize,
+    /// Log entries whose command list hit a hard failure.
+    pub actions_failed: usize,
+    /// Monitoring-ordered rollback entries.
+    pub rollbacks: usize,
+    /// Reconciler re-drive entries.
+    pub reconciliations: usize,
+    /// In-line retries of transient ALTER errors.
+    pub transient_retries: u64,
+    /// Telemetry fetches that failed outright.
+    pub fetch_outages: u64,
+    /// Telemetry fetches that delivered only a partial batch.
+    pub fetch_partials: u64,
+    /// Age of the freshest telemetry at collection time.
+    pub telemetry_staleness_ms: SimTime,
+}
+
+impl OpsKpis {
+    /// Snapshot of the reliability KPIs for `optimizer` as of `now`.
+    pub fn collect(optimizer: &WarehouseOptimizer, now: SimTime) -> Self {
+        let act = optimizer.actuator();
+        let fetch = optimizer.fetcher().stats();
+        let health = optimizer.health();
+        Self {
+            health: health.state(),
+            healthy_ticks: health.healthy_ticks(),
+            degraded_ticks: health.degraded_ticks(),
+            frozen_ticks: health.frozen_ticks(),
+            actions_applied: act.applied_count(),
+            actions_failed: act.failure_count(),
+            rollbacks: act.rollback_count(),
+            reconciliations: act.reconcile_count(),
+            transient_retries: act.transient_retries(),
+            fetch_outages: fetch.failed_fetches,
+            fetch_partials: fetch.partial_fetches,
+            telemetry_staleness_ms: optimizer.store().staleness_ms(now),
+        }
+    }
 }
 
 /// Computes KPI series from query records and billing history.

@@ -1,0 +1,304 @@
+//! Control-plane health: graceful degradation instead of flying blind.
+//!
+//! §4.4's monitoring already handles *workload* anomalies (back-off on
+//! latency spikes). This module handles *platform* anomalies — the
+//! optimizer's own inputs and outputs failing:
+//!
+//! * telemetry goes stale (fetch outages) → don't retrain, don't trust
+//!   model features computed from old data; fall back to the last-known-good
+//!   policy and conservative heuristics;
+//! * actuation keeps failing → stop proposing new optimizations entirely
+//!   (frozen) and let the reconciler probe until the control plane heals;
+//! * recovery is automatic: the state machine is re-evaluated from live
+//!   signals every tick, so when the signals clear, optimization resumes.
+
+use cdw_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why the optimizer is degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// Telemetry older than the staleness threshold: model features and
+    /// training data can't be trusted.
+    StaleTelemetry,
+    /// Recent actuation failures below the freeze threshold: act cautiously.
+    ActuationFailures,
+    /// Observed config differs from intent (reconciler is mid-repair).
+    ConfigDrift,
+}
+
+/// The optimizer's operating state for one warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Full optimization: train, predict, act.
+    Healthy,
+    /// Reduced operation; the reason picks what is withheld.
+    Degraded(DegradeReason),
+    /// Repeated actuation failures: no new optimization actions at all;
+    /// only reconcile probes run until the control plane heals.
+    Frozen,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded(DegradeReason::StaleTelemetry) => {
+                write!(f, "degraded (stale telemetry)")
+            }
+            HealthState::Degraded(DegradeReason::ActuationFailures) => {
+                write!(f, "degraded (actuation failures)")
+            }
+            HealthState::Degraded(DegradeReason::ConfigDrift) => {
+                write!(f, "degraded (config drift)")
+            }
+            HealthState::Frozen => write!(f, "frozen"),
+        }
+    }
+}
+
+/// Thresholds for the health evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthSettings {
+    /// Telemetry older than this marks the optimizer degraded.
+    pub stale_telemetry_after_ms: SimTime,
+    /// Consecutive actuation failures at which optimization freezes.
+    pub freeze_after_failures: u32,
+}
+
+impl Default for HealthSettings {
+    fn default() -> Self {
+        Self {
+            // Two hours ≈ several realtime ticks and two training fetches.
+            stale_telemetry_after_ms: 2 * 60 * 60 * 1000,
+            freeze_after_failures: 4,
+        }
+    }
+}
+
+/// The live signals the state machine is evaluated from each tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthSignals {
+    /// Age of the telemetry store's data.
+    pub telemetry_staleness_ms: SimTime,
+    /// Consecutive failed actuation/reconcile attempts.
+    pub consecutive_actuation_failures: u32,
+    /// Whether observed config currently differs from intent.
+    pub config_drift: bool,
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    pub at: SimTime,
+    pub from: HealthState,
+    pub to: HealthState,
+}
+
+/// Evaluates [`HealthSignals`] into a [`HealthState`] and keeps history.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    settings: HealthSettings,
+    state: HealthState,
+    transitions: Vec<HealthTransition>,
+    healthy_ticks: u64,
+    degraded_ticks: u64,
+    frozen_ticks: u64,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new(HealthSettings::default())
+    }
+}
+
+impl HealthMonitor {
+    pub fn new(settings: HealthSettings) -> Self {
+        Self {
+            settings,
+            state: HealthState::Healthy,
+            transitions: Vec::new(),
+            healthy_ticks: 0,
+            degraded_ticks: 0,
+            frozen_ticks: 0,
+        }
+    }
+
+    /// Re-evaluates the state from live signals at `now`. The evaluation is
+    /// memoryless — recovery needs no explicit reset, the state simply
+    /// follows the signals — and severity is ordered: frozen beats stale
+    /// telemetry beats actuation trouble beats drift.
+    pub fn evaluate(&mut self, now: SimTime, signals: HealthSignals) -> HealthState {
+        let next = if signals.consecutive_actuation_failures >= self.settings.freeze_after_failures
+        {
+            HealthState::Frozen
+        } else if signals.telemetry_staleness_ms > self.settings.stale_telemetry_after_ms {
+            HealthState::Degraded(DegradeReason::StaleTelemetry)
+        } else if signals.consecutive_actuation_failures > 0 {
+            HealthState::Degraded(DegradeReason::ActuationFailures)
+        } else if signals.config_drift {
+            HealthState::Degraded(DegradeReason::ConfigDrift)
+        } else {
+            HealthState::Healthy
+        };
+        if next != self.state {
+            self.transitions.push(HealthTransition {
+                at: now,
+                from: self.state,
+                to: next,
+            });
+            self.state = next;
+        }
+        match self.state {
+            HealthState::Healthy => self.healthy_ticks += 1,
+            HealthState::Degraded(_) => self.degraded_ticks += 1,
+            HealthState::Frozen => self.frozen_ticks += 1,
+        }
+        self.state
+    }
+
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether new optimization actions may be proposed at all.
+    pub fn can_optimize(&self) -> bool {
+        self.state != HealthState::Frozen
+    }
+
+    /// Whether model (re)training on stored telemetry is trustworthy.
+    pub fn can_train(&self) -> bool {
+        !matches!(
+            self.state,
+            HealthState::Degraded(DegradeReason::StaleTelemetry) | HealthState::Frozen
+        )
+    }
+
+    /// Every state change observed so far.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    pub fn healthy_ticks(&self) -> u64 {
+        self.healthy_ticks
+    }
+
+    pub fn degraded_ticks(&self) -> u64 {
+        self.degraded_ticks
+    }
+
+    pub fn frozen_ticks(&self) -> u64 {
+        self.frozen_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> HealthMonitor {
+        HealthMonitor::default()
+    }
+
+    #[test]
+    fn starts_healthy_and_stays_healthy_on_clean_signals() {
+        let mut m = fresh();
+        assert_eq!(m.evaluate(0, HealthSignals::default()), HealthState::Healthy);
+        assert!(m.can_optimize());
+        assert!(m.can_train());
+        assert!(m.transitions().is_empty());
+        assert_eq!(m.healthy_ticks(), 1);
+    }
+
+    #[test]
+    fn stale_telemetry_degrades_and_blocks_training() {
+        let mut m = fresh();
+        let s = HealthSignals {
+            telemetry_staleness_ms: 3 * 60 * 60 * 1000,
+            ..Default::default()
+        };
+        assert_eq!(
+            m.evaluate(100, s),
+            HealthState::Degraded(DegradeReason::StaleTelemetry)
+        );
+        assert!(m.can_optimize(), "degraded still acts (conservatively)");
+        assert!(!m.can_train(), "stale data must not retrain models");
+    }
+
+    #[test]
+    fn repeated_failures_freeze_then_recover() {
+        let mut m = fresh();
+        let mut t = 0;
+        for fails in 1..4 {
+            t += 1;
+            assert_eq!(
+                m.evaluate(
+                    t,
+                    HealthSignals {
+                        consecutive_actuation_failures: fails,
+                        ..Default::default()
+                    }
+                ),
+                HealthState::Degraded(DegradeReason::ActuationFailures)
+            );
+        }
+        t += 1;
+        assert_eq!(
+            m.evaluate(
+                t,
+                HealthSignals {
+                    consecutive_actuation_failures: 4,
+                    ..Default::default()
+                }
+            ),
+            HealthState::Frozen
+        );
+        assert!(!m.can_optimize());
+        assert!(!m.can_train());
+        // Control plane heals → a successful probe zeroes the failure count
+        // and the machine recovers by itself.
+        t += 1;
+        assert_eq!(m.evaluate(t, HealthSignals::default()), HealthState::Healthy);
+        assert!(m.can_optimize());
+        // Transitions: Healthy→Degraded→Frozen→Healthy.
+        let tos: Vec<HealthState> = m.transitions().iter().map(|tr| tr.to).collect();
+        assert_eq!(
+            tos,
+            vec![
+                HealthState::Degraded(DegradeReason::ActuationFailures),
+                HealthState::Frozen,
+                HealthState::Healthy
+            ]
+        );
+        assert_eq!(m.frozen_ticks(), 1);
+    }
+
+    #[test]
+    fn drift_is_the_mildest_degradation() {
+        let mut m = fresh();
+        assert_eq!(
+            m.evaluate(
+                0,
+                HealthSignals {
+                    config_drift: true,
+                    ..Default::default()
+                }
+            ),
+            HealthState::Degraded(DegradeReason::ConfigDrift)
+        );
+        assert!(m.can_train(), "drift alone doesn't invalidate telemetry");
+        // Stale telemetry takes precedence over drift.
+        assert_eq!(
+            m.evaluate(
+                1,
+                HealthSignals {
+                    config_drift: true,
+                    telemetry_staleness_ms: 9 * 60 * 60 * 1000,
+                    ..Default::default()
+                }
+            ),
+            HealthState::Degraded(DegradeReason::StaleTelemetry)
+        );
+    }
+}

@@ -15,7 +15,14 @@
 //! * [`monitoring`] — real-time state, load-spike detection, and
 //!   external-change detection (§4.4);
 //! * [`actuator`] — translates agent actions into `ALTER WAREHOUSE`
-//!   commands, keeps the action log, and reports errors (§4.5);
+//!   commands, keeps the action log, retries transient control-plane
+//!   errors, and reports errors (§4.5);
+//! * [`reconciler`] — records the intended configuration and re-drives any
+//!   drift (failed, dropped, or delayed ALTERs) under capped exponential
+//!   backoff with deterministic jitter;
+//! * [`health`] — the `Healthy → Degraded → Frozen` state machine that
+//!   gates training and optimization on telemetry staleness and actuation
+//!   failures, with automatic recovery;
 //! * [`dashboard`] — the KPI aggregates behind the web portal's charts
 //!   (§4.1): spend, savings, latency percentiles, queue times, cost per
 //!   query;
@@ -54,15 +61,23 @@
 pub mod actuator;
 pub mod consolidation;
 pub mod dashboard;
+pub mod health;
 pub mod monitoring;
 pub mod orchestrator;
 pub mod pricing;
+pub mod reconciler;
 
-pub use actuator::{ActionLogEntry, ActionOutcome, Actuator};
+pub use actuator::{
+    ActionLogEntry, ActionOutcome, Actuator, CommandOutcome, CommandStatus, LogEntryKind,
+};
 pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
-pub use dashboard::{DailyKpis, Dashboard};
-pub use monitoring::{Monitor, RealTimeState};
+pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
+pub use health::{
+    DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState, HealthTransition,
+};
+pub use monitoring::{is_external_config_change, Monitor, RealTimeState};
 pub use orchestrator::{KwoSetup, Orchestrator, WarehouseOptimizer};
+pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
 pub use pricing::{Invoice, ValueBasedPricing};
 
 // Re-export the user-facing configuration surface so downstream users need

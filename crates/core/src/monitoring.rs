@@ -8,9 +8,26 @@
 //! pause optimization.
 
 use agent::SliderPosition;
-use cdw_sim::{QueryRecord, SimTime, WarehouseConfig};
+use cdw_sim::{QueryRecord, SimTime, WarehouseEventKind, WarehouseEventRecord};
 use serde::{Deserialize, Serialize};
 use telemetry::WindowFeatures;
+
+/// Whether a telemetry event records a *configuration* change made by
+/// someone other than Keebo. Creation is setup, not interference; and
+/// Keebo's own commands (and the simulator's internal scaling) must never
+/// count as external.
+pub fn is_external_config_change(event: &WarehouseEventRecord) -> bool {
+    event.source == cdw_sim::ActionSource::External
+        && matches!(
+            event.kind,
+            WarehouseEventKind::Resized
+                | WarehouseEventKind::AutoSuspendChanged
+                | WarehouseEventKind::ClusterRangeChanged
+                | WarehouseEventKind::PolicyChanged
+                | WarehouseEventKind::Suspended
+                | WarehouseEventKind::Resumed
+        )
+}
 
 /// What monitoring observed over the last feedback interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,22 +88,25 @@ impl Monitor {
 
     /// Assesses the interval `[now - interval, now)`.
     ///
-    /// `records` are completed queries overlapping the interval;
+    /// `records` are completed queries overlapping the interval; `events`
+    /// are the warehouse lifecycle events fetched for the same span —
+    /// external-change detection is *event-based*: it fires on an
+    /// External-source configuration event, not on a config diff. (A diff
+    /// can't tell an admin's change from Keebo's own command applied late
+    /// or half-applied; those are the reconciler's business, not a pause.)
     /// `queue_depth` and `longest_running_ms` are live readings (a query
     /// slowed 8x by an undersizing does not *complete* for a long time —
-    /// its elapsed in-flight time is the early warning); `expected` vs
-    /// `described` configs drive external-change detection; `slider` sets
+    /// its elapsed in-flight time is the early warning); `slider` sets
     /// the back-off thresholds.
     #[allow(clippy::too_many_arguments)]
     pub fn assess(
         &mut self,
         records: &[&QueryRecord],
+        events: &[&WarehouseEventRecord],
         now: SimTime,
         interval_ms: SimTime,
         queue_depth: usize,
         longest_running_ms: SimTime,
-        expected: &WarehouseConfig,
-        described: &WarehouseConfig,
         slider: SliderPosition,
     ) -> RealTimeState {
         let window = WindowFeatures::compute(records, now.saturating_sub(interval_ms), interval_ms);
@@ -105,7 +125,7 @@ impl Monitor {
         // at least that much slower than normal.
         let inflight_ratio = longest_running_ms as f64 / self.baseline_p99_ms;
         let latency_ratio = completed_ratio.max(inflight_ratio);
-        let external_change = expected != described;
+        let external_change = events.iter().any(|e| is_external_config_change(e));
         let queue_pressure_s = window.mean_queue_ms / 1000.0;
         let should_back_off = !external_change
             && (queue_pressure_s > slider.backoff_queue_threshold_s()
@@ -127,10 +147,25 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdw_sim::{WarehouseSize, MINUTE_MS};
+    use cdw_sim::{ActionSource, ScalingPolicy, WarehouseSize, MINUTE_MS};
 
-    fn cfg() -> WarehouseConfig {
-        WarehouseConfig::new(WarehouseSize::Medium)
+    fn event(
+        at: SimTime,
+        kind: WarehouseEventKind,
+        source: ActionSource,
+    ) -> WarehouseEventRecord {
+        WarehouseEventRecord {
+            warehouse: "WH".into(),
+            at,
+            kind,
+            source,
+            size: WarehouseSize::Medium,
+            running_clusters: 1,
+            auto_suspend_ms: 600_000,
+            min_clusters: 1,
+            max_clusters: 1,
+            scaling_policy: ScalingPolicy::Standard,
+        }
     }
 
     fn rec(id: u64, arrival: SimTime, start: SimTime, end: SimTime) -> QueryRecord {
@@ -157,12 +192,11 @@ mod tests {
     ) -> RealTimeState {
         m.assess(
             records,
+            &[],
             now,
             10 * MINUTE_MS,
             queue,
             0,
-            &cfg(),
-            &cfg(),
             SliderPosition::Balanced,
         )
     }
@@ -177,18 +211,17 @@ mod tests {
     }
 
     #[test]
-    fn external_change_detected_on_config_mismatch() {
+    fn external_change_detected_from_external_events() {
         let mut m = Monitor::new(10_000.0);
-        let mut described = cfg();
-        described.size = WarehouseSize::Small; // someone downsized it
+        // Someone resized the warehouse by hand mid-interval.
+        let ev = event(5 * MINUTE_MS, WarehouseEventKind::Resized, ActionSource::External);
         let s = m.assess(
             &[],
+            &[&ev],
             10 * MINUTE_MS,
             10 * MINUTE_MS,
             0,
             0,
-            &cfg(),
-            &described,
             SliderPosition::Balanced,
         );
         assert!(s.external_change);
@@ -196,6 +229,48 @@ mod tests {
             !s.should_back_off,
             "external change pauses optimization; back-off is separate"
         );
+    }
+
+    #[test]
+    fn keebo_and_system_events_are_not_external_changes() {
+        let mut m = Monitor::new(10_000.0);
+        let keebo = event(MINUTE_MS, WarehouseEventKind::Resized, ActionSource::Keebo);
+        let system = event(2 * MINUTE_MS, WarehouseEventKind::ClusterStarted, ActionSource::System);
+        let created = event(0, WarehouseEventKind::Created, ActionSource::External);
+        let s = m.assess(
+            &[],
+            &[&keebo, &system, &created],
+            10 * MINUTE_MS,
+            10 * MINUTE_MS,
+            0,
+            0,
+            SliderPosition::Balanced,
+        );
+        assert!(
+            !s.external_change,
+            "own actions, autoscaling, and creation must not pause optimization"
+        );
+    }
+
+    #[test]
+    fn external_classifier_covers_all_config_kinds() {
+        for kind in [
+            WarehouseEventKind::Resized,
+            WarehouseEventKind::AutoSuspendChanged,
+            WarehouseEventKind::ClusterRangeChanged,
+            WarehouseEventKind::PolicyChanged,
+            WarehouseEventKind::Suspended,
+            WarehouseEventKind::Resumed,
+        ] {
+            assert!(is_external_config_change(&event(0, kind, ActionSource::External)));
+            assert!(!is_external_config_change(&event(0, kind, ActionSource::Keebo)));
+            assert!(!is_external_config_change(&event(0, kind, ActionSource::System)));
+        }
+        assert!(!is_external_config_change(&event(
+            0,
+            WarehouseEventKind::Created,
+            ActionSource::External
+        )));
     }
 
     #[test]
@@ -219,12 +294,11 @@ mod tests {
         // six times the baseline, well past Balanced's 1.6x threshold.
         let s = m.assess(
             &[],
+            &[],
             10 * MINUTE_MS,
             10 * MINUTE_MS,
             0,
             60_000,
-            &cfg(),
-            &cfg(),
             SliderPosition::Balanced,
         );
         assert!(s.latency_ratio > 5.0);
@@ -255,9 +329,9 @@ mod tests {
             .collect();
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let mut m1 = Monitor::new(1_000_000.0);
-        let balanced = m1.assess(&refs, now, 10 * MINUTE_MS, 0, 0, &cfg(), &cfg(), SliderPosition::Balanced);
+        let balanced = m1.assess(&refs, &[], now, 10 * MINUTE_MS, 0, 0, SliderPosition::Balanced);
         let mut m2 = Monitor::new(1_000_000.0);
-        let cheap = m2.assess(&refs, now, 10 * MINUTE_MS, 0, 0, &cfg(), &cfg(), SliderPosition::LowestCost);
+        let cheap = m2.assess(&refs, &[], now, 10 * MINUTE_MS, 0, 0, SliderPosition::LowestCost);
         assert!(balanced.should_back_off);
         assert!(!cheap.should_back_off);
     }

@@ -15,15 +15,26 @@
 //!   savings ← cm.estimateSavings(...)                # cost model
 //!   report(...)
 //! ```
+//!
+//! The loop is fault-aware: every tick first evaluates a [`HealthMonitor`]
+//! from live signals (telemetry staleness, reconciler failures, config
+//! drift) and the resulting state gates what runs — training is skipped on
+//! stale data, decisions fall back to a conservative live-signal policy
+//! while degraded, and repeated actuation failures freeze optimization
+//! entirely while the [`Reconciler`] keeps probing the control plane.
 
-use crate::actuator::Actuator;
+use crate::actuator::{Actuator, LogEntryKind};
+use crate::health::{DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState};
 use crate::monitoring::{Monitor, RealTimeState};
+use crate::reconciler::{Reconciler, ReconcilerSettings};
 use agent::{
     baseline_p99, reconstruct_specs, train_on_workload, AgentAction, AgentState, ConstraintSet,
-    DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, SliderPosition, Transition,
+    DegradedFallback, DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, Policy, SliderPosition,
+    Transition,
 };
 use cdw_sim::{
-    QueryRecord, SimTime, Simulator, WarehouseConfig, WarehouseId, DAY_MS, HOUR_MS, MINUTE_MS,
+    QueryRecord, SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseEventRecord,
+    WarehouseId, DAY_MS, HOUR_MS, MINUTE_MS,
 };
 use costmodel::{estimate_savings, ReplayConfig, SavingsReport, WarehouseCostModel};
 use rand::rngs::StdRng;
@@ -52,6 +63,10 @@ pub struct KwoSetup {
     /// Optimization pause after an external change (the admin can also
     /// resume explicitly via [`Orchestrator::admin_resume`]).
     pub external_pause_ms: SimTime,
+    /// Degradation thresholds for the health state machine.
+    pub health: HealthSettings,
+    /// Retry/backoff tuning for the desired-state reconciler.
+    pub reconciler: ReconcilerSettings,
 }
 
 impl Default for KwoSetup {
@@ -65,8 +80,30 @@ impl Default for KwoSetup {
             refresh_episodes: 1,
             train_window_ms: 3 * DAY_MS,
             external_pause_ms: 12 * HOUR_MS,
+            health: HealthSettings::default(),
+            reconciler: ReconcilerSettings::default(),
         }
     }
+}
+
+/// The configuration `commands` would produce starting from `cfg` — the
+/// *intent* recorded with the reconciler even when the control plane drops
+/// or delays the actual ALTERs. Suspend/resume are runtime state, not
+/// configuration, and pass through unchanged.
+fn intended_config(mut cfg: WarehouseConfig, commands: &[WarehouseCommand]) -> WarehouseConfig {
+    for cmd in commands {
+        match *cmd {
+            WarehouseCommand::SetSize(size) => cfg.size = size,
+            WarehouseCommand::SetAutoSuspend { ms } => cfg.auto_suspend_ms = ms,
+            WarehouseCommand::SetClusterRange { min, max } => {
+                cfg.min_clusters = min;
+                cfg.max_clusters = max;
+            }
+            WarehouseCommand::SetScalingPolicy(p) => cfg.scaling_policy = p,
+            WarehouseCommand::Suspend | WarehouseCommand::Resume => {}
+        }
+    }
+    cfg
 }
 
 /// The per-warehouse optimization state: smart model, cost model, telemetry,
@@ -77,8 +114,7 @@ pub struct WarehouseOptimizer {
     /// The customer's configuration at onboarding — the without-Keebo
     /// state every replay compares against.
     original_config: WarehouseConfig,
-    /// What KWO believes the current configuration is; divergence from the
-    /// described config means an external change.
+    /// The most recently observed configuration (feeds training).
     expected_config: WarehouseConfig,
     setup: KwoSetup,
     agent: DqnAgent,
@@ -87,6 +123,9 @@ pub struct WarehouseOptimizer {
     fetcher: TelemetryFetcher,
     monitor: Monitor,
     actuator: Actuator,
+    reconciler: Reconciler,
+    health: HealthMonitor,
+    fallback: DegradedFallback,
     rng: StdRng,
     onboarded: bool,
     last_train: SimTime,
@@ -96,6 +135,10 @@ pub struct WarehouseOptimizer {
     prev_dropped: u64,
     paused_until: Option<SimTime>,
     baseline_p99_ms: f64,
+    /// Warehouse events before this time have already been scanned for
+    /// external changes; advances only when a fetch succeeds, so events
+    /// delivered late (after an outage) are still inspected.
+    events_cursor: SimTime,
     /// The most recent configuration under which performance was healthy
     /// (latency near baseline, no queue buildup). Back-off rolls back to
     /// this — "roll back the previous settings of the warehouse" (§4.3).
@@ -118,6 +161,11 @@ impl WarehouseOptimizer {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let agent = DqnAgent::new(DqnConfig::default(), &mut rng);
+        // The reconciler's jitter stream is derived from the optimizer seed
+        // but independent of the learning stream, so adding or removing
+        // retries never perturbs training randomness.
+        let reconciler = Reconciler::with_settings(seed ^ 0xD6E8_FEB8_6659_FD93, setup.reconciler);
+        let health = HealthMonitor::new(setup.health);
         Self {
             wh,
             expected_config: original_config.clone(),
@@ -129,6 +177,9 @@ impl WarehouseOptimizer {
             fetcher: TelemetryFetcher::new(),
             monitor: Monitor::new(10_000.0),
             actuator: Actuator::new(),
+            reconciler,
+            health,
+            fallback: DegradedFallback::default(),
             rng,
             onboarded: false,
             last_train: 0,
@@ -138,6 +189,7 @@ impl WarehouseOptimizer {
             prev_dropped: 0,
             paused_until: None,
             baseline_p99_ms: 10_000.0,
+            events_cursor: 0,
             last_good_config: None,
             pending_auto_suspend: None,
             healthy_streak: 0,
@@ -170,6 +222,21 @@ impl WarehouseOptimizer {
         &self.cost_model
     }
 
+    /// The health state machine (degradation history and tick counters).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// The desired-state reconciler.
+    pub fn reconciler(&self) -> &Reconciler {
+        &self.reconciler
+    }
+
+    /// Telemetry fetch statistics (including outages and partial batches).
+    pub fn fetcher(&self) -> &TelemetryFetcher {
+        &self.fetcher
+    }
+
     /// Whether optimization is currently paused due to an external change.
     pub fn is_paused(&self, now: SimTime) -> bool {
         self.paused_until.is_some_and(|t| now < t)
@@ -181,9 +248,13 @@ impl WarehouseOptimizer {
         self.setup.slider = slider;
     }
 
-    fn fetch(&mut self, sim: &mut Simulator) {
+    /// One telemetry pull; returns whether the metadata service answered.
+    fn fetch(&mut self, sim: &mut Simulator) -> bool {
         let now = sim.now();
-        self.fetcher.fetch(sim.account_mut(), &mut self.store, now);
+        let fault = sim.poll_telemetry_fault();
+        self.fetcher
+            .fetch(sim.account_mut(), &mut self.store, now, fault)
+            .is_ok()
     }
 
     /// Trains the cost model and smart model from accumulated telemetry.
@@ -262,40 +333,43 @@ impl WarehouseOptimizer {
         self.last_train = now;
     }
 
-    /// One real-time step of Algorithm 1 (lines 17–23).
+    /// The live health signals at `now` (pre-reconcile: this tick's repair
+    /// outcome is seen next tick).
+    fn health_signals(&self, sim: &Simulator, now: SimTime) -> HealthSignals {
+        let config_drift = self.reconciler.desired().is_some_and(|want| {
+            !Reconciler::drift_commands(want, &sim.account().describe(self.wh).config).is_empty()
+        });
+        HealthSignals {
+            telemetry_staleness_ms: self.store.staleness_ms(now),
+            consecutive_actuation_failures: self.reconciler.consecutive_failures(),
+            config_drift,
+        }
+    }
+
+    /// One real-time step of Algorithm 1 (lines 17–23), gated by health.
     fn tick(&mut self, sim: &mut Simulator) {
         let now = sim.now();
-        self.fetch(sim);
+        let fetched = self.fetch(sim);
 
-        // Periodic retraining (lines 14–16).
-        if self.onboarded && now.saturating_sub(self.last_train) >= self.setup.train_interval_ms {
+        let signals = self.health_signals(sim, now);
+        let health = self.health.evaluate(now, signals);
+
+        // Periodic retraining (lines 14–16) — never on stale telemetry: a
+        // model refreshed on pre-outage data would silently learn that the
+        // world stopped.
+        if self.onboarded
+            && self.health.can_train()
+            && now.saturating_sub(self.last_train) >= self.setup.train_interval_ms
+        {
             self.train(now, self.setup.refresh_episodes);
         }
         if !self.onboarded {
-            return; // observation mode: learn the workload before acting
-        }
-
-        // Apply the analytically chosen auto-suspend (once per retrain),
-        // respecting constraints by checking the equivalent knob move.
-        if let Some(target) = self.pending_auto_suspend.take() {
-            let desc = sim.account().describe(self.wh);
-            if target != desc.config.auto_suspend_ms {
-                let probe = if target < desc.config.auto_suspend_ms {
-                    AgentAction::AutoSuspendDown
-                } else {
-                    AgentAction::AutoSuspendUp
-                };
-                if self.setup.constraints.allows(probe, &desc.config, now) {
-                    self.actuator.apply_commands(
-                        sim,
-                        self.wh,
-                        &self.name,
-                        &[cdw_sim::WarehouseCommand::SetAutoSuspend { ms: target }],
-                        "auto-suspend-optimizer",
-                    );
-                    self.expected_config = sim.account().describe(self.wh).config;
-                }
+            // Observation mode: learn the workload before acting. Events
+            // seen before onboarding are setup, not interference.
+            if fetched {
+                self.events_cursor = now;
             }
+            return;
         }
 
         let interval = self.setup.realtime_interval_ms;
@@ -305,20 +379,30 @@ impl WarehouseOptimizer {
             .queries_in(&self.name, now.saturating_sub(interval), now)
             .iter()
             .collect();
+        // External-change detection is event-based and outage-tolerant: the
+        // cursor only advances on successful fetches, so an admin's ALTER
+        // issued during a telemetry outage is still caught when the events
+        // are finally delivered.
+        let window_events: Vec<&WarehouseEventRecord> =
+            self.store.events_in(&self.name, self.events_cursor, now);
 
         // Line 18: feedback from monitoring.
         let rts = self.monitor.assess(
             &window_records,
+            &window_events,
             now,
             interval,
             desc.queued_queries,
             sim.account().warehouse(self.wh).longest_running_ms(now),
-            &self.expected_config,
-            &desc.config,
             self.setup.slider,
         );
+        if fetched {
+            self.events_cursor = now;
+        }
 
-        // External changes pause optimization (§4.4).
+        // External changes pause optimization (§4.4). The external config
+        // is the new truth: drop our own intent so the reconciler never
+        // fights the admin.
         if rts.external_change {
             if !self.is_paused(now) {
                 // Revert our own last action, then step aside.
@@ -331,8 +415,7 @@ impl WarehouseOptimizer {
                 self.last_action = None;
             }
             self.paused_until = Some(now + self.setup.external_pause_ms);
-            // Acknowledge the externally-set configuration as the new
-            // expectation so we detect *further* changes, not this one.
+            self.reconciler.clear();
             self.expected_config = sim.account().describe(self.wh).config;
             self.prev_state = None;
             return;
@@ -341,6 +424,62 @@ impl WarehouseOptimizer {
             self.prev_state = None;
             return;
         }
+
+        // Re-drive any drift between intent and observation (failed,
+        // dropped, or delayed ALTERs). This runs in every health state —
+        // when frozen it is the *only* thing that runs, probing the control
+        // plane under its own backoff until it heals.
+        self.reconciler
+            .reconcile(sim, &mut self.actuator, self.wh, &self.name);
+
+        if !self.health.can_optimize() {
+            self.prev_state = None;
+            self.healthy_streak = 0;
+            return;
+        }
+        if matches!(
+            health,
+            HealthState::Degraded(DegradeReason::ActuationFailures)
+                | HealthState::Degraded(DegradeReason::ConfigDrift)
+        ) {
+            // Mid-repair: proposing new moves now would thrash the intent
+            // the reconciler is still converging on.
+            self.prev_state = None;
+            self.healthy_streak = 0;
+            return;
+        }
+
+        // Apply the analytically chosen auto-suspend (once per retrain),
+        // respecting constraints by checking the equivalent knob move.
+        // Healthy ticks only: the target stays pending through degradation
+        // rather than racing a mid-repair reconciler.
+        if health == HealthState::Healthy {
+            if let Some(target) = self.pending_auto_suspend.take() {
+                if target != desc.config.auto_suspend_ms {
+                    let probe = if target < desc.config.auto_suspend_ms {
+                        AgentAction::AutoSuspendDown
+                    } else {
+                        AgentAction::AutoSuspendUp
+                    };
+                    if self.setup.constraints.allows(probe, &desc.config, now) {
+                        let cmds = [WarehouseCommand::SetAutoSuspend { ms: target }];
+                        self.actuator.apply_commands(
+                            sim,
+                            self.wh,
+                            &self.name,
+                            &cmds,
+                            LogEntryKind::Action,
+                            "auto-suspend-optimizer",
+                        );
+                        self.reconciler
+                            .set_desired(intended_config(desc.config.clone(), &cmds));
+                        self.expected_config = sim.account().describe(self.wh).config;
+                    }
+                }
+            }
+        }
+
+        let desc = sim.account().describe(self.wh);
 
         // Learning bookkeeping: reward the previous action with what the
         // interval actually cost and how it performed.
@@ -360,6 +499,38 @@ impl WarehouseOptimizer {
         // size and parallelism (and SuspendNow for mid-interval idleness).
         mask[AgentAction::AutoSuspendUp.index()] = false;
         mask[AgentAction::AutoSuspendDown.index()] = false;
+
+        // Stale telemetry: windowed features describe the past, not the
+        // present. Hold the last-known-good policy (no training, no new
+        // transitions) and decide from live control-plane signals only —
+        // capacity may be added to protect performance, never removed.
+        if !self.health.can_train() {
+            for a in [
+                AgentAction::SizeDown,
+                AgentAction::ClustersDown,
+                AgentAction::SuspendNow,
+            ] {
+                mask[a.index()] = false;
+            }
+            let action = self.fallback.decide(&state, &mask, &mut self.rng);
+            if action != AgentAction::NoOp {
+                let cmds = action.to_commands(&desc.config);
+                self.actuator.apply(
+                    sim,
+                    self.wh,
+                    &self.name,
+                    &desc.config,
+                    action,
+                    "degraded-fallback",
+                );
+                self.reconciler
+                    .set_desired(intended_config(desc.config.clone(), &cmds));
+                self.expected_config = sim.account().describe(self.wh).config;
+            }
+            self.prev_state = None;
+            self.healthy_streak = 0;
+            return;
+        }
 
         // C4 guardrail: while the warehouse is already behind on
         // performance, capacity-reducing moves are off the table — the
@@ -484,12 +655,12 @@ impl WarehouseOptimizer {
                 Some(good) => {
                     let mut cmds = Vec::new();
                     if good.size != desc.config.size {
-                        cmds.push(cdw_sim::WarehouseCommand::SetSize(good.size));
+                        cmds.push(WarehouseCommand::SetSize(good.size));
                     }
                     if good.max_clusters != desc.config.max_clusters
                         || good.min_clusters != desc.config.min_clusters
                     {
-                        cmds.push(cdw_sim::WarehouseCommand::SetClusterRange {
+                        cmds.push(WarehouseCommand::SetClusterRange {
                             min: good.min_clusters,
                             max: good.max_clusters,
                         });
@@ -497,13 +668,24 @@ impl WarehouseOptimizer {
                     // Auto-suspend is deliberately not rolled back: it is
                     // not capacity, and the cold-cache cost it implies is a
                     // one-shot the policy re-weighs on its own.
-                    self.actuator
-                        .apply_commands(sim, self.wh, &self.name, &cmds, "backoff-rollback");
+                    self.actuator.apply_commands(
+                        sim,
+                        self.wh,
+                        &self.name,
+                        &cmds,
+                        LogEntryKind::Rollback,
+                        "backoff-rollback",
+                    );
+                    self.reconciler
+                        .set_desired(intended_config(desc.config.clone(), &cmds));
                 }
                 None => {
                     let action = backoff_action(&rts, &mask, self.last_action);
+                    let cmds = action.to_commands(&desc.config);
                     self.actuator
                         .apply(sim, self.wh, &self.name, &desc.config, action, "backoff");
+                    self.reconciler
+                        .set_desired(intended_config(desc.config.clone(), &cmds));
                 }
             }
             self.expected_config = sim.account().describe(self.wh).config;
@@ -533,8 +715,11 @@ impl WarehouseOptimizer {
         } else {
             self.agent.greedy_action(&state_vec, &mask)
         };
+        let cmds = action.to_commands(&desc.config);
         self.actuator
             .apply(sim, self.wh, &self.name, &desc.config, action, "policy");
+        self.reconciler
+            .set_desired(intended_config(desc.config.clone(), &cmds));
         self.expected_config = sim.account().describe(self.wh).config;
         if action != AgentAction::NoOp {
             self.last_action = Some(action);
@@ -699,7 +884,7 @@ impl Orchestrator {
         while t <= until {
             sim.run_until(t);
             for o in &mut self.optimizers {
-                if t % o.setup.realtime_interval_ms == 0 {
+                if t.is_multiple_of(o.setup.realtime_interval_ms) {
                     o.tick(sim);
                 }
             }
@@ -725,15 +910,19 @@ impl Orchestrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdw_sim::{Account, QuerySpec, WarehouseSize};
+    use cdw_sim::{Account, FaultPlan, QuerySpec, WarehouseSize};
 
     fn idle_heavy_sim() -> (Simulator, WarehouseId) {
+        idle_heavy_sim_with(FaultPlan::none())
+    }
+
+    fn idle_heavy_sim_with(plan: FaultPlan) -> (Simulator, WarehouseId) {
         let mut account = Account::new();
         let wh = account.create_warehouse(
             "WH",
             WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
         );
-        let mut sim = Simulator::new(account);
+        let mut sim = Simulator::with_faults(account, plan, 0);
         // 4 days of hourly 30-second queries: mostly idle.
         for h in 0..(4 * 24) {
             sim.submit_query(
@@ -822,6 +1011,10 @@ mod tests {
         kwo.run_until(&mut sim, DAY_MS + 4 * HOUR_MS);
         let o = kwo.optimizer("WH").unwrap();
         assert!(o.is_paused(sim.now()), "external change pauses optimization");
+        assert!(
+            o.reconciler().desired().is_none(),
+            "external config becomes the truth; intent is dropped"
+        );
         let actions_at_pause = o.actuator().log().len();
         kwo.run_until(&mut sim, DAY_MS + 8 * HOUR_MS);
         assert_eq!(
@@ -856,6 +1049,76 @@ mod tests {
             report.estimated_savings > 0.0,
             "KWO should save on this workload: {report:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_outage_degrades_and_blocks_retraining() {
+        // A 6-hour metadata outage starting mid-optimization.
+        let outage_from = 2 * DAY_MS + 4 * HOUR_MS;
+        let outage_until = outage_from + 6 * HOUR_MS;
+        let (mut sim, _) =
+            idle_heavy_sim_with(FaultPlan::none().with_telemetry_outage(outage_from, outage_until));
+        let mut kwo = Orchestrator::new(11);
+        kwo.manage(
+            &sim,
+            "WH",
+            KwoSetup {
+                // Retrain cadence that lands inside the outage window.
+                train_interval_ms: DAY_MS,
+                ..fast_setup()
+            },
+        );
+        kwo.observe_until(&mut sim, 2 * DAY_MS);
+        kwo.onboard(&mut sim);
+        kwo.run_until(&mut sim, outage_until + HOUR_MS);
+        let o = kwo.optimizer("WH").unwrap();
+        assert!(o.fetcher().stats().failed_fetches > 0, "outage was hit");
+        assert!(
+            o.health().degraded_ticks() > 0,
+            "stale telemetry degraded the optimizer"
+        );
+        assert!(
+            !(outage_from + o.setup.health.stale_telemetry_after_ms..outage_until)
+                .contains(&o.last_train),
+            "no retraining on stale data inside the outage"
+        );
+        // After the outage clears, health recovers on its own.
+        kwo.run_until(&mut sim, outage_until + 3 * HOUR_MS);
+        let o = kwo.optimizer("WH").unwrap();
+        assert_eq!(o.health().state(), crate::health::HealthState::Healthy);
+    }
+
+    #[test]
+    fn alter_burst_drives_reconciler_and_recovery() {
+        // Every ALTER fails for 12 hours starting shortly after onboarding.
+        let burst_from = 2 * DAY_MS + HOUR_MS;
+        let burst_until = burst_from + 12 * HOUR_MS;
+        let (mut sim, wh) =
+            idle_heavy_sim_with(FaultPlan::none().with_alter_burst(burst_from, burst_until, 1.0));
+        let mut kwo = Orchestrator::new(5);
+        kwo.manage(&sim, "WH", fast_setup());
+        kwo.observe_until(&mut sim, 2 * DAY_MS);
+        kwo.onboard(&mut sim);
+        kwo.run_until(&mut sim, 4 * DAY_MS);
+        let o = kwo.optimizer("WH").unwrap();
+        assert!(
+            o.actuator().failure_count() > 0,
+            "the burst produced failed actuations"
+        );
+        assert!(
+            o.actuator().transient_retries() > 0,
+            "transient errors were retried in-line"
+        );
+        // Well after the burst the reconciler has converged the config back
+        // onto the recorded intent and health is clean again.
+        assert_eq!(o.reconciler().consecutive_failures(), 0);
+        if let Some(want) = o.reconciler().desired() {
+            assert!(
+                Reconciler::drift_commands(want, &sim.account().describe(wh).config).is_empty(),
+                "reconciler converged after the burst"
+            );
+        }
+        assert_eq!(o.health().state(), crate::health::HealthState::Healthy);
     }
 
     #[test]

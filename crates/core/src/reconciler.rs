@@ -1,0 +1,359 @@
+//! Desired-state reconciliation for warehouse configuration.
+//!
+//! The actuator fires commands; this module remembers what the
+//! configuration is *supposed* to be and keeps re-driving the warehouse
+//! toward it until the observed config matches. That closes the two gaps a
+//! flaky control plane opens:
+//!
+//! * a command that failed transiently (service blip, throttling) is not
+//!   lost — the intent is recorded and retried next tick;
+//! * a command the CDW acknowledged but applied late, or a partially
+//!   applied multi-command action, converges instead of drifting.
+//!
+//! Retries follow capped exponential backoff with deterministic jitter
+//! drawn from the reconciler's own seeded RNG, so a run is reproducible
+//! and simultaneous reconcilers don't retry in lockstep.
+
+use crate::actuator::{ActionOutcome, Actuator, LogEntryKind};
+use cdw_sim::{
+    SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseId, MINUTE_MS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Backoff and convergence tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconcilerSettings {
+    /// First retry delay after a failure.
+    pub base_backoff_ms: SimTime,
+    /// Backoff ceiling.
+    pub max_backoff_ms: SimTime,
+    /// Jitter as a fraction of the computed backoff (± this fraction).
+    pub jitter_fraction: f64,
+}
+
+impl Default for ReconcilerSettings {
+    fn default() -> Self {
+        Self {
+            base_backoff_ms: 10 * MINUTE_MS,
+            max_backoff_ms: 2 * 60 * MINUTE_MS,
+            jitter_fraction: 0.2,
+        }
+    }
+}
+
+/// What one reconciliation pass concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconcileOutcome {
+    /// No desired config recorded; nothing to do.
+    Idle,
+    /// Observed config already matches the desired config.
+    InSync,
+    /// A retry is scheduled later; this pass did nothing.
+    Backoff { until: SimTime },
+    /// Drift was found and the repair commands all applied.
+    Repaired,
+    /// Drift was found but re-driving it failed; backoff extended.
+    Failed,
+}
+
+/// Tracks the desired configuration of one warehouse and re-drives drift.
+#[derive(Debug)]
+pub struct Reconciler {
+    desired: Option<WarehouseConfig>,
+    next_attempt_at: SimTime,
+    consecutive_failures: u32,
+    settings: ReconcilerSettings,
+    rng: StdRng,
+}
+
+impl Reconciler {
+    pub fn new(seed: u64) -> Self {
+        Self::with_settings(seed, ReconcilerSettings::default())
+    }
+
+    pub fn with_settings(seed: u64, settings: ReconcilerSettings) -> Self {
+        Self {
+            desired: None,
+            next_attempt_at: 0,
+            consecutive_failures: 0,
+            settings,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records the configuration the control plane intends the warehouse to
+    /// have. Replacing the intent clears any pending backoff — new intent
+    /// is actionable immediately.
+    pub fn set_desired(&mut self, cfg: WarehouseConfig) {
+        self.desired = Some(cfg);
+        self.next_attempt_at = 0;
+        self.consecutive_failures = 0;
+    }
+
+    /// The recorded intent, if any.
+    pub fn desired(&self) -> Option<&WarehouseConfig> {
+        self.desired.as_ref()
+    }
+
+    /// Drops the intent (e.g. when an external change wins and the observed
+    /// config becomes the new truth).
+    pub fn clear(&mut self) {
+        self.desired = None;
+        self.next_attempt_at = 0;
+        self.consecutive_failures = 0;
+    }
+
+    /// Consecutive failed repair attempts (feeds the health state machine).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// When the next repair attempt is allowed (0 = immediately).
+    pub fn next_attempt_at(&self) -> SimTime {
+        self.next_attempt_at
+    }
+
+    /// Commands that transform `observed` into `desired`, knob by knob.
+    /// Ordering matters for validity: cluster range and scaling policy are
+    /// interdependent (Maximized requires min == max), so the range moves
+    /// first when widening and the policy first when it must relax.
+    pub fn drift_commands(
+        desired: &WarehouseConfig,
+        observed: &WarehouseConfig,
+    ) -> Vec<WarehouseCommand> {
+        let mut cmds = Vec::new();
+        if observed.scaling_policy != desired.scaling_policy {
+            cmds.push(WarehouseCommand::SetScalingPolicy(desired.scaling_policy));
+        }
+        if (observed.min_clusters, observed.max_clusters)
+            != (desired.min_clusters, desired.max_clusters)
+        {
+            cmds.push(WarehouseCommand::SetClusterRange {
+                min: desired.min_clusters,
+                max: desired.max_clusters,
+            });
+        }
+        if observed.size != desired.size {
+            cmds.push(WarehouseCommand::SetSize(desired.size));
+        }
+        if observed.auto_suspend_ms != desired.auto_suspend_ms {
+            cmds.push(WarehouseCommand::SetAutoSuspend {
+                ms: desired.auto_suspend_ms,
+            });
+        }
+        cmds
+    }
+
+    fn schedule_backoff(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        let exp = self.consecutive_failures.saturating_sub(1).min(16);
+        let base = self
+            .settings
+            .base_backoff_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.settings.max_backoff_ms);
+        // Deterministic jitter in [-f, +f] of the base, never below base/2.
+        let f = self.settings.jitter_fraction.clamp(0.0, 0.9);
+        let jittered = if f > 0.0 {
+            let scale = 1.0 + self.rng.gen_range(-f..f);
+            ((base as f64) * scale) as SimTime
+        } else {
+            base
+        };
+        self.next_attempt_at = now + jittered.max(self.settings.base_backoff_ms / 2);
+    }
+
+    /// One reconciliation pass at `now`: diff observed vs desired and, if
+    /// the backoff window allows, re-drive the difference through the
+    /// actuator (logged with [`LogEntryKind::Reconcile`]).
+    pub fn reconcile(
+        &mut self,
+        sim: &mut Simulator,
+        actuator: &mut Actuator,
+        wh: WarehouseId,
+        warehouse_name: &str,
+    ) -> ReconcileOutcome {
+        let now = sim.now();
+        let Some(desired) = self.desired.clone() else {
+            return ReconcileOutcome::Idle;
+        };
+        let observed = sim.account().describe(wh).config.clone();
+        let cmds = Self::drift_commands(&desired, &observed);
+        if cmds.is_empty() {
+            self.consecutive_failures = 0;
+            self.next_attempt_at = 0;
+            return ReconcileOutcome::InSync;
+        }
+        if now < self.next_attempt_at {
+            return ReconcileOutcome::Backoff {
+                until: self.next_attempt_at,
+            };
+        }
+        match actuator.apply_commands(
+            sim,
+            wh,
+            warehouse_name,
+            &cmds,
+            LogEntryKind::Reconcile,
+            "reconcile-drift",
+        ) {
+            ActionOutcome::Failed(_) => {
+                self.schedule_backoff(now);
+                ReconcileOutcome::Failed
+            }
+            _ => {
+                self.consecutive_failures = 0;
+                self.next_attempt_at = 0;
+                ReconcileOutcome::Repaired
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{Account, FaultPlan, ScalingPolicy, WarehouseSize, HOUR_MS};
+
+    fn setup(plan: FaultPlan) -> (Simulator, WarehouseId, WarehouseConfig) {
+        let mut account = Account::new();
+        let cfg = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
+        let wh = account.create_warehouse("WH", cfg.clone());
+        (Simulator::with_faults(account, plan, 5), wh, cfg)
+    }
+
+    #[test]
+    fn drift_commands_cover_every_knob() {
+        let desired = WarehouseConfig::new(WarehouseSize::Small)
+            .with_auto_suspend_secs(120)
+            .with_clusters(2, 4)
+            .with_policy(ScalingPolicy::Economy);
+        let observed = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
+        let cmds = Reconciler::drift_commands(&desired, &observed);
+        assert_eq!(cmds.len(), 4);
+        assert!(cmds.contains(&WarehouseCommand::SetSize(WarehouseSize::Small)));
+        assert!(cmds.contains(&WarehouseCommand::SetAutoSuspend { ms: 120_000 }));
+        assert!(cmds.contains(&WarehouseCommand::SetClusterRange { min: 2, max: 4 }));
+        assert!(cmds.contains(&WarehouseCommand::SetScalingPolicy(ScalingPolicy::Economy)));
+        assert!(Reconciler::drift_commands(&desired, &desired).is_empty());
+    }
+
+    #[test]
+    fn in_sync_when_no_drift() {
+        let (mut sim, wh, cfg) = setup(FaultPlan::none());
+        let mut rec = Reconciler::new(1);
+        let mut act = Actuator::new();
+        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Idle);
+        rec.set_desired(cfg);
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::InSync
+        );
+        assert!(act.log().is_empty(), "no commands issued when in sync");
+    }
+
+    #[test]
+    fn repairs_drift_toward_desired() {
+        let (mut sim, wh, cfg) = setup(FaultPlan::none());
+        let mut rec = Reconciler::new(1);
+        let mut act = Actuator::new();
+        let mut want = cfg;
+        want.size = WarehouseSize::Small;
+        want.auto_suspend_ms = 60_000;
+        rec.set_desired(want.clone());
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Repaired
+        );
+        assert_eq!(sim.account().describe(wh).config, want);
+        assert_eq!(act.reconcile_count(), 1);
+        // And the next pass sees it in sync.
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::InSync
+        );
+    }
+
+    #[test]
+    fn failure_schedules_exponential_backoff() {
+        // ALTERs always fail for the first 12 hours.
+        let (mut sim, wh, cfg) = setup(FaultPlan::none().with_alter_burst(0, 12 * HOUR_MS, 1.0));
+        let mut rec = Reconciler::new(1);
+        let mut act = Actuator::new();
+        let mut want = cfg;
+        want.size = WarehouseSize::Small;
+        rec.set_desired(want.clone());
+
+        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+        assert_eq!(rec.consecutive_failures(), 1);
+        let first_retry = rec.next_attempt_at();
+        assert!(first_retry > 0);
+
+        // Until the backoff elapses the reconciler stays quiet.
+        assert!(matches!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Backoff { .. }
+        ));
+
+        // Step past each retry: failures accumulate, gaps grow (up to jitter).
+        let mut gaps = Vec::new();
+        for _ in 0..3 {
+            let at = rec.next_attempt_at();
+            sim.run_until(at);
+            assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+            gaps.push(rec.next_attempt_at() - at);
+        }
+        assert!(
+            gaps[2] > gaps[0],
+            "backoff should grow: {gaps:?}"
+        );
+
+        // Once the fault window ends, the next due attempt repairs.
+        let at = rec.next_attempt_at().max(12 * HOUR_MS);
+        sim.run_until(at);
+        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Repaired);
+        assert_eq!(rec.consecutive_failures(), 0);
+        assert_eq!(sim.account().describe(wh).config, want);
+    }
+
+    #[test]
+    fn same_seed_same_backoff_schedule() {
+        let schedule = |seed: u64| {
+            let (mut sim, wh, cfg) =
+                setup(FaultPlan::none().with_alter_burst(0, 24 * HOUR_MS, 1.0));
+            let mut rec = Reconciler::new(seed);
+            let mut act = Actuator::new();
+            let mut want = cfg;
+            want.size = WarehouseSize::XSmall;
+            rec.set_desired(want);
+            let mut times = Vec::new();
+            for _ in 0..4 {
+                rec.reconcile(&mut sim, &mut act, wh, "WH");
+                times.push(rec.next_attempt_at());
+                sim.run_until(rec.next_attempt_at());
+            }
+            times
+        };
+        assert_eq!(schedule(9), schedule(9));
+        assert_ne!(schedule(9), schedule(10), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn new_intent_clears_backoff() {
+        let (mut sim, wh, cfg) = setup(FaultPlan::none().with_alter_burst(0, HOUR_MS, 1.0));
+        let mut rec = Reconciler::new(1);
+        let mut act = Actuator::new();
+        let mut want = cfg.clone();
+        want.size = WarehouseSize::Small;
+        rec.set_desired(want);
+        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+        assert!(rec.next_attempt_at() > 0);
+        let mut want2 = cfg;
+        want2.size = WarehouseSize::Large;
+        rec.set_desired(want2);
+        assert_eq!(rec.next_attempt_at(), 0, "fresh intent is immediately actionable");
+        assert_eq!(rec.consecutive_failures(), 0);
+    }
+}

@@ -390,11 +390,13 @@ mod tests {
         // Chained ETL observed on Medium: q2 arrives 5 s after q1 ends.
         // Replayed on X-Small (4x slower), q2 should still arrive 5 s after
         // the *replayed* q1 end — stretching the overall timeline.
-        let mut m = WarehouseCostModel::default();
-        m.gaps = GapModel {
-            dependency_threshold_ms: 30_000,
-            median_dependent_gap_ms: 5_000,
-            dependent_fraction: 1.0,
+        let m = WarehouseCostModel {
+            gaps: GapModel {
+                dependency_threshold_ms: 30_000,
+                median_dependent_gap_ms: 5_000,
+                dependent_fraction: 1.0,
+            },
+            ..WarehouseCostModel::default()
         };
         let recs = vec![
             rec(1, 0, 10 * MINUTE_MS, WarehouseSize::Medium),

@@ -195,8 +195,8 @@ impl Matrix {
         // Back substitution.
         for col in (0..n).rev() {
             let mut sum = x[col];
-            for c in (col + 1)..n {
-                sum -= a.get(col, c) * x[c];
+            for (c, xc) in x.iter().enumerate().take(n).skip(col + 1) {
+                sum -= a.get(col, c) * xc;
             }
             x[col] = sum / a.get(col, col);
         }

@@ -75,6 +75,7 @@ pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<LinearModel
         for i in 0..dim {
             let xi = if i < d { x[i] } else { 1.0 };
             xty[i] += xi * y;
+            #[allow(clippy::needless_range_loop)]
             for j in i..dim {
                 let xj = if j < d { x[j] } else { 1.0 };
                 let v = xtx.get(i, j) + xi * xj;

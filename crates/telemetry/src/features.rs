@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn latency_stats_use_completions() {
-        let recs = vec![
+        let recs = [
             rec(1, 0, 1_000, 11_000),  // latency 11 s, queued 1 s
             rec(2, 0, 3_000, 23_000),  // latency 23 s, queued 3 s
         ];
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn concurrency_integrates_overlap() {
         // Two queries each busy for half the window: mean concurrency 1.0.
-        let recs = vec![rec(1, 0, 0, 30_000), rec(2, 0, 30_000, 60_000)];
+        let recs = [rec(1, 0, 0, 30_000), rec(2, 0, 30_000, 60_000)];
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let f = WindowFeatures::compute(&refs, 0, 60_000);
         assert!((f.mean_concurrency - 1.0).abs() < 1e-9);
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn concurrency_clips_to_window() {
         // A query spanning far beyond the window contributes only its overlap.
-        let recs = vec![rec(1, 0, 0, 600_000)];
+        let recs = [rec(1, 0, 0, 600_000)];
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let f = WindowFeatures::compute(&refs, 0, 60_000);
         assert!((f.mean_concurrency - 1.0).abs() < 1e-9);

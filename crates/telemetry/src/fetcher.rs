@@ -9,8 +9,9 @@
 //! ledger — which is exactly the red series of Fig. 6.
 
 use crate::store::TelemetryStore;
-use cdw_sim::{Account, SimTime};
+use cdw_sim::{Account, SimTime, TelemetryFault};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Cumulative fetcher statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -18,7 +19,29 @@ pub struct FetchStats {
     pub fetches: u64,
     pub records_fetched: u64,
     pub overhead_credits: f64,
+    /// Fetch attempts that failed outright (telemetry outage).
+    pub failed_fetches: u64,
+    /// Fetches that succeeded but delivered only part of the new records.
+    pub partial_fetches: u64,
 }
+
+/// A telemetry fetch attempt that produced no usable data. The cursors are
+/// unmoved, so the next attempt re-reads from the same position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchError {
+    /// The metadata queries timed out or the service was unreachable.
+    Outage,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Outage => write!(f, "telemetry fetch failed: service outage"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
 
 /// Pulls telemetry from an [`Account`] into a [`TelemetryStore`].
 #[derive(Debug, Clone)]
@@ -55,16 +78,48 @@ impl TelemetryFetcher {
         Self::default()
     }
 
-    /// Fetches all new records from the account into the store, charging
-    /// overhead credits at `now`. Returns the number of new query records.
-    pub fn fetch(&mut self, account: &mut Account, store: &mut TelemetryStore, now: SimTime) -> usize {
+    /// Fetches new records from the account into the store, charging
+    /// overhead credits at `now`. Returns the number of new query records
+    /// ingested.
+    ///
+    /// `fault` is what the control plane did to this attempt (callers probe
+    /// it via `Simulator::poll_telemetry_fault`; pass
+    /// [`TelemetryFault::None`] when fetching outside a simulator):
+    ///
+    /// * `Outage` — the metadata queries failed. The base round-trip cost is
+    ///   still charged (the queries ran and timed out), the cursors stay
+    ///   put, and the store keeps its previous staleness.
+    /// * `Partial { keep_fraction }` — only a prefix of the new records
+    ///   arrives; the cursors advance past exactly what was delivered, so
+    ///   the remainder comes on a later fetch. The store still counts this
+    ///   as a successful (fresh) fetch — data is delayed, not lost.
+    pub fn fetch(
+        &mut self,
+        account: &mut Account,
+        store: &mut TelemetryStore,
+        now: SimTime,
+        fault: TelemetryFault,
+    ) -> Result<usize, FetchError> {
+        if let TelemetryFault::Outage = fault {
+            account.charge_overhead(now, self.base_cost_per_fetch);
+            self.stats.failed_fetches += 1;
+            self.stats.overhead_credits += self.base_cost_per_fetch;
+            return Err(FetchError::Outage);
+        }
+
         let queries = &account.query_records()[self.query_cursor..];
         let events = &account.event_records()[self.event_cursor..];
-        let n_queries = queries.len();
-        let n_events = events.len();
+        let mut n_queries = queries.len();
+        let mut n_events = events.len();
+        if let TelemetryFault::Partial { keep_fraction } = fault {
+            let f = keep_fraction.clamp(0.0, 1.0);
+            n_queries = (n_queries as f64 * f).floor() as usize;
+            n_events = (n_events as f64 * f).floor() as usize;
+            self.stats.partial_fetches += 1;
+        }
 
-        store.ingest_queries(queries.iter().cloned());
-        store.ingest_events(events.iter().cloned());
+        store.ingest_queries(queries[..n_queries].iter().cloned());
+        store.ingest_events(events[..n_events].iter().cloned());
         self.query_cursor += n_queries;
         self.event_cursor += n_events;
 
@@ -86,7 +141,8 @@ impl TelemetryFetcher {
         self.stats.fetches += 1;
         self.stats.records_fetched += records;
         self.stats.overhead_credits += cost;
-        n_queries
+        store.note_fetch_success(now);
+        Ok(n_queries)
     }
 
     /// Cumulative statistics.
@@ -128,11 +184,11 @@ mod tests {
         let mut sim = sim_with_queries(5);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        let n = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        let n = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         assert_eq!(n, 5);
         assert_eq!(store.total_queries(), 5);
         // Second fetch with nothing new.
-        let n2 = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        let n2 = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         assert_eq!(n2, 0);
         assert_eq!(store.total_queries(), 5, "no duplicates");
     }
@@ -142,7 +198,7 @@ mod tests {
         let mut sim = sim_with_queries(3);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         let overhead = sim.account().ledger().overhead().total();
         assert!(overhead > 0.0);
         assert!(
@@ -158,7 +214,7 @@ mod tests {
         let mut sim = sim_with_queries(2);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         // More work arrives.
         let wh = sim.account().warehouse_id("WH").unwrap();
         sim.submit_query(
@@ -169,7 +225,7 @@ mod tests {
                 .build(),
         );
         sim.run_until(2 * HOUR_MS);
-        let n = fetcher.fetch(sim.account_mut(), &mut store, 2 * HOUR_MS);
+        let n = fetcher.fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None).unwrap();
         assert_eq!(n, 1);
         assert_eq!(store.total_queries(), 3);
     }
@@ -179,7 +235,7 @@ mod tests {
         let mut sim = sim_with_queries(2);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         let billed = store.billing("WH").map(|h| h.total()).unwrap_or(0.0);
         assert!(billed > 0.0, "billing history present");
     }
@@ -192,11 +248,79 @@ mod tests {
             .unwrap();
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS);
+        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
         let events = store.events_in("WH", 0, 2 * HOUR_MS);
         assert!(
             events.iter().any(|e| e.source == ActionSource::External),
             "external resize event visible to monitoring"
         );
+    }
+
+    #[test]
+    fn outage_leaves_cursors_unmoved_but_charges_base_cost() {
+        let mut sim = sim_with_queries(4);
+        let mut store = TelemetryStore::new();
+        let mut fetcher = TelemetryFetcher::new();
+        let err = fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::Outage)
+            .unwrap_err();
+        assert_eq!(err, FetchError::Outage);
+        assert_eq!(store.total_queries(), 0);
+        assert_eq!(store.last_fetch_at(), None);
+        assert_eq!(fetcher.stats().failed_fetches, 1);
+        let overhead = sim.account().ledger().overhead().total();
+        assert!(overhead > 0.0, "attempt still billed");
+        // Retry succeeds and picks up everything.
+        let n = fetcher
+            .fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None)
+            .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(store.last_fetch_at(), Some(2 * HOUR_MS));
+    }
+
+    #[test]
+    fn partial_fetch_delivers_prefix_and_rest_later() {
+        let mut sim = sim_with_queries(10);
+        let mut store = TelemetryStore::new();
+        let mut fetcher = TelemetryFetcher::new();
+        let n = fetcher
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                HOUR_MS,
+                TelemetryFault::Partial { keep_fraction: 0.5 },
+            )
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(store.total_queries(), 5);
+        assert_eq!(fetcher.stats().partial_fetches, 1);
+        // Undelivered records arrive on the next clean fetch, no duplicates.
+        let n2 = fetcher
+            .fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None)
+            .unwrap();
+        assert_eq!(n2, 5);
+        assert_eq!(store.total_queries(), 10);
+    }
+
+    #[test]
+    fn staleness_grows_across_outages_and_resets_on_success() {
+        let mut sim = sim_with_queries(2);
+        let mut store = TelemetryStore::new();
+        let mut fetcher = TelemetryFetcher::new();
+        fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
+        assert_eq!(store.staleness_ms(HOUR_MS), 0);
+        for k in 1..=3 {
+            let at = HOUR_MS + k * HOUR_MS;
+            assert!(fetcher
+                .fetch(sim.account_mut(), &mut store, at, TelemetryFault::Outage)
+                .is_err());
+            assert_eq!(store.staleness_ms(at), k * HOUR_MS);
+        }
+        fetcher
+            .fetch(sim.account_mut(), &mut store, 5 * HOUR_MS, TelemetryFault::None)
+            .unwrap();
+        assert_eq!(store.staleness_ms(5 * HOUR_MS), 0);
     }
 }

@@ -21,6 +21,6 @@ pub mod hashing;
 pub mod store;
 
 pub use features::{percentile, WindowFeatures};
-pub use fetcher::{FetchStats, TelemetryFetcher};
+pub use fetcher::{FetchError, FetchStats, TelemetryFetcher};
 pub use hashing::{hash_query_text, hash_query_template, strip_literals};
 pub use store::TelemetryStore;

@@ -17,6 +17,9 @@ pub struct TelemetryStore {
     events: BTreeMap<String, Vec<WarehouseEventRecord>>,
     /// Completion time of the newest query record ingested.
     high_watermark: SimTime,
+    /// Time of the last successful fetch into this store, if any. Drives
+    /// staleness-aware degradation in the control plane.
+    last_fetch_at: Option<SimTime>,
 }
 
 impl TelemetryStore {
@@ -61,6 +64,26 @@ impl TelemetryStore {
     /// Completion time of the newest ingested record.
     pub fn high_watermark(&self) -> SimTime {
         self.high_watermark
+    }
+
+    /// Records a successful fetch at `now` (called by the fetcher).
+    pub fn note_fetch_success(&mut self, now: SimTime) {
+        self.last_fetch_at = Some(self.last_fetch_at.map_or(now, |t| t.max(now)));
+    }
+
+    /// Time of the last successful fetch, if any.
+    pub fn last_fetch_at(&self) -> Option<SimTime> {
+        self.last_fetch_at
+    }
+
+    /// Age of the store's data at `now`: elapsed time since the last
+    /// successful fetch. A store that has never been fetched into is
+    /// maximally stale (`now`).
+    pub fn staleness_ms(&self, now: SimTime) -> SimTime {
+        match self.last_fetch_at {
+            Some(t) => now.saturating_sub(t),
+            None => now,
+        }
     }
 
     /// All query records for a warehouse, completion-ordered.

@@ -148,7 +148,7 @@ impl WorkloadGenerator for BiWorkload {
             start,
             end,
             self.peak_refreshes_per_hour.max(self.base_refreshes_per_hour),
-            |t| rate(t),
+            rate,
             rng,
         );
         let mut out = Vec::new();

@@ -1,0 +1,172 @@
+//! Chaos suite: the fault-injection layer driving the resilient control
+//! plane end to end.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. an empty `FaultPlan` is bit-identical to a simulator built without an
+//!    injector at all (the injector must never consult its RNG);
+//! 2. a `(workload seed, fault seed, plan)` triple fully reproduces a run —
+//!    action log, billing, final config, and fault stats;
+//! 3. a 14-day run through overlapping fault windows (ALTER bursts,
+//!    throttling, a 6 h telemetry outage, partial batches, slow resumes,
+//!    delayed command application) finishes with the reconciler converged,
+//!    a valid warehouse config, and positive — if reduced — savings.
+
+use cdw_sim::{
+    Account, FaultPlan, Simulator, WarehouseConfig, WarehouseId, WarehouseSize, DAY_MS, HOUR_MS,
+    MINUTE_MS,
+};
+use keebo::{generate_trace, HealthState, KwoSetup, OpsKpis, Orchestrator};
+use workload::BiWorkload;
+
+const WAREHOUSE: &str = "BI_WH";
+
+struct Run {
+    sim: Simulator,
+    kwo: Orchestrator,
+    wh: WarehouseId,
+}
+
+/// Builds the standard chaos scenario: an oversized BI warehouse managed by
+/// KWO, observed for `observe_days` and optimized through `total_days`, on a
+/// simulator produced by `build_sim` (with or without an injector).
+fn run_kwo(
+    build_sim: impl FnOnce(Account) -> Simulator,
+    total_days: u64,
+    observe_days: u64,
+    seed: u64,
+) -> Run {
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        WAREHOUSE,
+        WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+    );
+    let mut sim = build_sim(account);
+    for q in generate_trace(&BiWorkload::default(), 0, total_days * DAY_MS, seed) {
+        sim.submit_query(wh, q);
+    }
+    let mut kwo = Orchestrator::new(seed);
+    kwo.manage(
+        &sim,
+        WAREHOUSE,
+        KwoSetup {
+            realtime_interval_ms: 30 * MINUTE_MS,
+            onboarding_episodes: 3,
+            refresh_episodes: 0,
+            ..KwoSetup::default()
+        },
+    );
+    kwo.observe_until(&mut sim, observe_days * DAY_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, total_days * DAY_MS);
+    Run { sim, kwo, wh }
+}
+
+/// Everything that must be identical between two reproducible runs.
+fn fingerprint(run: &Run) -> String {
+    let o = run.kwo.optimizer(WAREHOUSE).unwrap();
+    format!(
+        "log={:?} billed={:.9} config={:?} faults={:?}",
+        o.actuator().log(),
+        run.sim.account().ledger().warehouse(WAREHOUSE).total(),
+        run.sim.account().describe(run.wh).config,
+        run.sim.fault_stats(),
+    )
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_the_plain_simulator() {
+    let plain = run_kwo(Simulator::new, 7, 3, 41);
+    let empty = run_kwo(
+        |account| Simulator::with_faults(account, FaultPlan::none(), 999),
+        7,
+        3,
+        41,
+    );
+    assert_eq!(fingerprint(&plain), fingerprint(&empty));
+    // The savings report — the user-facing number — is byte-identical too.
+    let a = plain.kwo.savings_report(&plain.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
+    let b = empty.kwo.savings_report(&empty.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn same_seed_and_fault_plan_reproduce_the_same_run() {
+    let plan = || {
+        FaultPlan::none()
+            .with_alter_burst(4 * DAY_MS, 4 * DAY_MS + 12 * HOUR_MS, 0.7)
+            .with_telemetry_outage(5 * DAY_MS, 5 * DAY_MS + 4 * HOUR_MS)
+            .with_slow_resumes(6 * DAY_MS, 6 * DAY_MS + 6 * HOUR_MS, 120_000, 0.5)
+    };
+    let go = || {
+        run_kwo(
+            |account| Simulator::with_faults(account, plan(), 7),
+            8,
+            3,
+            41,
+        )
+    };
+    assert_eq!(fingerprint(&go()), fingerprint(&go()));
+}
+
+#[test]
+fn fourteen_day_chaos_run_converges_and_still_saves() {
+    const TOTAL: u64 = 14;
+    const OBSERVE: u64 = 5;
+    // All windows open after onboarding so both runs share the same
+    // observation phase.
+    let plan = FaultPlan::none()
+        .with_alter_burst(6 * DAY_MS, 7 * DAY_MS, 0.9)
+        .with_throttle(7 * DAY_MS, 7 * DAY_MS + 6 * HOUR_MS, 0.5)
+        .with_telemetry_outage(8 * DAY_MS, 8 * DAY_MS + 6 * HOUR_MS)
+        .with_partial_telemetry(9 * DAY_MS, 9 * DAY_MS + 3 * HOUR_MS, 0.5)
+        .with_slow_resumes(10 * DAY_MS, 10 * DAY_MS + 6 * HOUR_MS, 120_000, 0.5)
+        .with_delayed_alters(11 * DAY_MS, 11 * DAY_MS + 3 * HOUR_MS, 20 * MINUTE_MS, 0.5);
+
+    let clean = run_kwo(Simulator::new, TOTAL, OBSERVE, 41);
+    let faulted = run_kwo(
+        |account| Simulator::with_faults(account, plan, 7),
+        TOTAL,
+        OBSERVE,
+        41,
+    );
+
+    // The injector actually fired.
+    let stats = faulted.sim.fault_stats();
+    assert!(stats.alter_failures > 0, "no ALTER faults fired: {stats:?}");
+    assert!(stats.telemetry_outages > 0, "no outages fired: {stats:?}");
+
+    // The control plane felt it and recovered: time was spent degraded, yet
+    // by the end of the run health is back to Healthy and the reconciler has
+    // no outstanding drift or failure streak.
+    let o = faulted.kwo.optimizer(WAREHOUSE).unwrap();
+    let kpis = OpsKpis::collect(o, faulted.sim.now());
+    assert!(kpis.degraded_ticks > 0, "never degraded: {kpis:?}");
+    assert!(kpis.fetch_outages > 0, "fetcher never saw the outage");
+    assert_eq!(kpis.health, HealthState::Healthy, "did not recover: {kpis:?}");
+    assert_eq!(o.reconciler().consecutive_failures(), 0);
+
+    // No constraint violations: the warehouse ends in a valid configuration.
+    let final_config = faulted.sim.account().describe(faulted.wh).config;
+    final_config.validate().expect("final config must be valid");
+
+    // Savings survive the chaos: positive, but no better than fault-free
+    // (faults can only cost money — failed downsizes, slow resumes, blind
+    // degraded ticks). Allow 10% tolerance for decision-path divergence.
+    let clean_savings = clean
+        .kwo
+        .savings_report(&clean.sim, WAREHOUSE, OBSERVE * DAY_MS, TOTAL * DAY_MS)
+        .estimated_savings;
+    let faulted_savings = faulted
+        .kwo
+        .savings_report(&faulted.sim, WAREHOUSE, OBSERVE * DAY_MS, TOTAL * DAY_MS)
+        .estimated_savings;
+    assert!(
+        faulted_savings > 0.0,
+        "chaos run must still save credits, got {faulted_savings:.2}"
+    );
+    assert!(
+        faulted_savings <= clean_savings * 1.1,
+        "faults should not increase savings: faulted {faulted_savings:.2} vs clean {clean_savings:.2}"
+    );
+}

@@ -57,7 +57,9 @@ fn telemetry_pipeline_reflects_simulator_truth() {
     let mut store = TelemetryStore::new();
     let mut fetcher = TelemetryFetcher::new();
     let now = sim.now();
-    let n = fetcher.fetch(sim.account_mut(), &mut store, now);
+    let n = fetcher
+        .fetch(sim.account_mut(), &mut store, now, cdw_sim::TelemetryFault::None)
+        .unwrap();
     assert_eq!(n, sim.account().query_records().len());
     // Billing snapshot must match the ledger.
     let ledger_total = sim.account().ledger().warehouse("WH").total();
