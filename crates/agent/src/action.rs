@@ -108,7 +108,10 @@ impl AgentAction {
             AgentAction::SizeDown => next.size = config.size.step_down(),
             AgentAction::ClustersUp => next.max_clusters = (config.max_clusters + 1).min(10),
             AgentAction::ClustersDown => {
-                next.max_clusters = config.max_clusters.saturating_sub(1).max(config.min_clusters)
+                next.max_clusters = config
+                    .max_clusters
+                    .saturating_sub(1)
+                    .max(config.min_clusters)
             }
             AgentAction::AutoSuspendUp => {
                 let p = Self::ladder_pos(config.auto_suspend_ms);

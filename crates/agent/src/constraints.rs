@@ -113,8 +113,7 @@ impl Rule {
             RuleEffect::MaxSize(max) => next.size <= *max,
             RuleEffect::NoDownsize => next.size >= current.size,
             RuleEffect::NoSuspend => {
-                action != AgentAction::SuspendNow
-                    && next.auto_suspend_ms >= current.auto_suspend_ms
+                action != AgentAction::SuspendNow && next.auto_suspend_ms >= current.auto_suspend_ms
             }
             RuleEffect::MinClusters(min) => next.max_clusters >= *min,
             RuleEffect::MaxClusters(max) => next.max_clusters <= *max,
@@ -286,7 +285,11 @@ mod tests {
                 TimeWindow::always(),
                 RuleEffect::MaxSize(WarehouseSize::XSmall),
             ))
-            .with_rule(Rule::new("d", TimeWindow::always(), RuleEffect::MaxClusters(1)));
+            .with_rule(Rule::new(
+                "d",
+                TimeWindow::always(),
+                RuleEffect::MaxClusters(1),
+            ));
         let c = WarehouseConfig::new(WarehouseSize::XSmall);
         let mask = cs.action_mask(&c, 0);
         assert!(mask[AgentAction::NoOp.index()]);
@@ -307,7 +310,11 @@ mod tests {
     #[test]
     fn violations_name_the_offending_rules() {
         let cs = ConstraintSet::new()
-            .with_rule(Rule::new("keep-big", TimeWindow::always(), RuleEffect::NoDownsize))
+            .with_rule(Rule::new(
+                "keep-big",
+                TimeWindow::always(),
+                RuleEffect::NoDownsize,
+            ))
             .with_rule(Rule::new(
                 "floor",
                 TimeWindow::always(),

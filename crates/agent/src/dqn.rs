@@ -211,7 +211,10 @@ impl DqnAgent {
         self.online.apply_gradients(&grads, &mut self.optimizer);
 
         self.train_steps += 1;
-        if self.train_steps.is_multiple_of(self.config.target_sync_interval) {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_interval)
+        {
             self.target.copy_parameters_from(&self.online);
         }
         Some(td_sum / batch.len() as f64)

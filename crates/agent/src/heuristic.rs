@@ -173,7 +173,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mask = [true; AgentAction::COUNT];
         let high = state_with_auto_suspend(600_000);
-        assert_eq!(p.decide(&high, &mask, &mut rng), AgentAction::AutoSuspendDown);
+        assert_eq!(
+            p.decide(&high, &mask, &mut rng),
+            AgentAction::AutoSuspendDown
+        );
         let low = state_with_auto_suspend(30_000);
         assert_eq!(p.decide(&low, &mask, &mut rng), AgentAction::AutoSuspendUp);
         let there = state_with_auto_suspend(60_000);

@@ -66,7 +66,10 @@ mod tests {
     #[test]
     fn no_penalty_at_baseline_performance() {
         assert_eq!(perf_penalty(&ok_perf()), 0.0);
-        assert_eq!(compute_reward(2.0, &ok_perf(), SliderPosition::Balanced), -2.0);
+        assert_eq!(
+            compute_reward(2.0, &ok_perf(), SliderPosition::Balanced),
+            -2.0
+        );
     }
 
     #[test]
@@ -102,7 +105,10 @@ mod tests {
         // At BestPerformance, this slowdown outweighs a full credit saved.
         let saved_but_slow = compute_reward(0.0, &slow, SliderPosition::BestPerformance);
         let spent_but_fast = compute_reward(1.0, &ok_perf(), SliderPosition::BestPerformance);
-        assert!(spent_but_fast > saved_but_slow, "C4: performance over savings");
+        assert!(
+            spent_but_fast > saved_but_slow,
+            "C4: performance over savings"
+        );
     }
 
     #[test]
@@ -114,7 +120,10 @@ mod tests {
         };
         let saved_but_slow = compute_reward(0.0, &slow, SliderPosition::LowestCost);
         let spent_but_fast = compute_reward(1.0, &ok_perf(), SliderPosition::LowestCost);
-        assert!(saved_but_slow > spent_but_fast, "cost slider tolerates slowdown");
+        assert!(
+            saved_but_slow > spent_but_fast,
+            "cost slider tolerates slowdown"
+        );
     }
 
     #[test]

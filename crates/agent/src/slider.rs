@@ -13,7 +13,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Slider position, ordered from cheapest to most performance-protective.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum SliderPosition {
     /// Position 1: accept noticeable slowdowns for maximum savings.
     LowestCost,

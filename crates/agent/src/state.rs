@@ -37,8 +37,7 @@ impl AgentState {
     pub fn to_vec(&self) -> Vec<f64> {
         let two_pi = std::f64::consts::TAU;
         let day_frac = cdw_sim::time::time_of_day_fraction(self.now);
-        let week_frac =
-            (cdw_sim::time::day_index(self.now) % 7) as f64 / 7.0 + day_frac / 7.0;
+        let week_frac = (cdw_sim::time::day_index(self.now) % 7) as f64 / 7.0 + day_frac / 7.0;
         let v = vec![
             (two_pi * day_frac).sin(),
             (two_pi * day_frac).cos(),

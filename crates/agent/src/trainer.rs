@@ -20,8 +20,8 @@ use crate::reward::{compute_reward, PerfSignals};
 use crate::slider::SliderPosition;
 use crate::state::AgentState;
 use cdw_sim::{
-    Account, ActionSource, AlterError, QuerySpec, QueryRecord, SimTime, Simulator,
-    WarehouseConfig, HOUR_MS, MINUTE_MS,
+    Account, ActionSource, AlterError, QueryRecord, QuerySpec, SimTime, Simulator, WarehouseConfig,
+    HOUR_MS, MINUTE_MS,
 };
 use costmodel::LatencyScaler;
 use rand::rngs::StdRng;
@@ -79,8 +79,7 @@ pub fn reconstruct_specs(records: &[QueryRecord], scaler: &LatencyScaler) -> Vec
             // record keeps the warm fraction it saw); the simulator will
             // re-apply cache effects from the replayed warehouse's state.
             let cold_factor = 1.0
-                + 0.5 * (cdw_sim::exec::COLD_READ_MULTIPLIER - 1.0)
-                    * (1.0 - r.cache_warm_fraction);
+                + 0.5 * (cdw_sim::exec::COLD_READ_MULTIPLIER - 1.0) * (1.0 - r.cache_warm_fraction);
             let work_xs = (r.execution_ms().max(1) as f64) / cold_factor
                 * (-slope * r.size.index() as f64).exp2();
             QuerySpec::builder(r.query_id)
@@ -104,7 +103,10 @@ pub fn reconstruct_specs(records: &[QueryRecord], scaler: &LatencyScaler) -> Vec
 /// compares against).
 pub fn baseline_p99(specs: &[QuerySpec], config: &WarehouseConfig) -> f64 {
     let (records, _) = rollout_static(specs, config);
-    let lats: Vec<f64> = records.iter().map(|r| r.total_latency_ms() as f64).collect();
+    let lats: Vec<f64> = records
+        .iter()
+        .map(|r| r.total_latency_ms() as f64)
+        .collect();
     percentile(&lats, 99.0)
 }
 

@@ -9,8 +9,8 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig4 -- [--variant a|b] [--seed N]`
 
-use bench::{daily_credits, daily_p99_latency, mean, run_with_kwo};
 use bench::report::{bar_row, header, pct, table};
+use bench::{daily_credits, daily_p99_latency, mean, run_with_kwo};
 use cdw_sim::{WarehouseConfig, WarehouseSize};
 use keebo::{KwoSetup, SliderPosition};
 use workload::{AdhocWorkload, EtlWorkload, WorkloadGenerator};
@@ -83,7 +83,11 @@ fn report(
 
     println!("daily credits (days 1-7 = before Keebo, days 8-14 = with Keebo):");
     for (d, (&c, &l)) in credits.iter().zip(&p99).enumerate() {
-        let tag = if (d as u64) < OBSERVE_DAYS { "pre " } else { "KWO " };
+        let tag = if (d as u64) < OBSERVE_DAYS {
+            "pre "
+        } else {
+            "KWO "
+        };
         bar_row(&format!("{tag}day {:2}", d + 1), c, max, 40);
         println!("{:>12} |   p99 latency {:>8.1} s", "", l / 1000.0);
     }
@@ -94,7 +98,12 @@ fn report(
     let p99_after = mean(&p99[OBSERVE_DAYS as usize..]);
     println!();
     table(&[
-        vec!["metric".into(), "before".into(), "with KWO".into(), "change".into()],
+        vec![
+            "metric".into(),
+            "before".into(),
+            "with KWO".into(),
+            "change".into(),
+        ],
         vec![
             "credits/day".into(),
             format!("{before:.1}"),

@@ -86,9 +86,7 @@ fn main() {
         ]);
     }
     table(&rows);
-    println!(
-        "\n(paper: 0.67%, 4.09%, 20.9%, 3.12% — the low-spend warehouse is the outlier)"
-    );
+    println!("\n(paper: 0.67%, 4.09%, 20.9%, 3.12% — the low-spend warehouse is the outlier)");
 }
 
 /// Returns (actual credits, estimated credits) for the evaluation window.

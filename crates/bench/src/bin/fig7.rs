@@ -68,7 +68,12 @@ fn main() {
 
     let max_credits = results.iter().map(|r| r.1).fold(0.0, f64::max);
     for (slider, credits, _) in &results {
-        bar_row(&format!("slider {}", slider.value()), *credits, max_credits, 40);
+        bar_row(
+            &format!("slider {}", slider.value()),
+            *credits,
+            max_credits,
+            40,
+        );
     }
     println!();
     let mut rows = vec![vec![

@@ -1,0 +1,190 @@
+//! Fleet-scale control-plane benchmark.
+//!
+//! Builds an N-tenant × M-warehouse fleet with mixed archetypes, drives it
+//! through observe → onboard → optimize at several worker-thread counts,
+//! and reports throughput (warehouses simulated per second), speedup vs a
+//! single thread, and the fleet savings rollup. The same fleet must produce
+//! *bit-identical* aggregates at every thread count — the run aborts if the
+//! report digests disagree.
+//!
+//! Usage: `fleet [--smoke]` — `--smoke` runs a tiny 2×2 fleet over 2 days
+//! (the CI configuration); the default is 4 tenants × 4 warehouses over
+//! 3 days.
+
+use bench::report::{header, pct, table};
+use cdw_sim::{WarehouseConfig, WarehouseSize, DAY_MS, MINUTE_MS};
+use keebo::{
+    derive_stream_seed, FleetController, FleetReport, KwoSetup, TenantSpec, WarehouseSpec,
+};
+use serde::Serialize;
+use std::time::Instant;
+use workload::{fleet_mix, generate_trace};
+
+const SEED: u64 = 42;
+
+#[derive(Serialize)]
+struct RunRow {
+    threads: usize,
+    wall_secs: f64,
+    warehouses_per_sec: f64,
+    speedup_vs_1: f64,
+    digest: String,
+}
+
+#[derive(Serialize)]
+struct FleetShape {
+    tenants: usize,
+    warehouses_per_tenant: usize,
+    warehouses: usize,
+    observe_days: u64,
+    total_days: u64,
+    seed: u64,
+    smoke: bool,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    fleet: FleetShape,
+    runs: Vec<RunRow>,
+    aggregates_bit_identical: bool,
+    estimated_without_keebo: f64,
+    actual_with_keebo: f64,
+    fleet_savings_credits: f64,
+    savings_fraction: f64,
+    invoice: keebo::Invoice,
+    ops: keebo::OpsKpis,
+}
+
+fn bench_setup() -> KwoSetup {
+    KwoSetup {
+        realtime_interval_ms: 30 * MINUTE_MS,
+        onboarding_episodes: 2,
+        refresh_episodes: 0,
+        train_interval_ms: 2 * DAY_MS,
+        ..KwoSetup::default()
+    }
+}
+
+fn build_fleet(tenants: usize, per_tenant: usize, total_days: u64, light: bool) -> FleetController {
+    let mut fleet = FleetController::new(SEED);
+    let members = fleet_mix(tenants, per_tenant, light);
+    let mut current: Option<TenantSpec> = None;
+    for m in members {
+        let spec = WarehouseSpec {
+            name: m.warehouse.clone(),
+            config: WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+            setup: bench_setup(),
+            queries: generate_trace(
+                m.generator.as_ref(),
+                0,
+                total_days * DAY_MS,
+                derive_stream_seed(SEED, &m.warehouse),
+            ),
+        };
+        match current.take() {
+            Some(t) if t.name == m.tenant => current = Some(t.add_warehouse(spec)),
+            Some(t) => {
+                fleet.add_tenant(t);
+                current = Some(TenantSpec::new(&m.tenant).add_warehouse(spec));
+            }
+            None => current = Some(TenantSpec::new(&m.tenant).add_warehouse(spec)),
+        }
+    }
+    if let Some(t) = current {
+        fleet.add_tenant(t);
+    }
+    fleet
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (tenants, per_tenant, observe_days, total_days) =
+        if smoke { (2, 2, 1, 2) } else { (4, 4, 1, 3) };
+    let fleet = build_fleet(tenants, per_tenant, total_days, true);
+    let warehouses = fleet.warehouse_count();
+    header(&format!(
+        "fleet bench: {tenants} tenants x {per_tenant} warehouses, \
+         {total_days} days ({observe_days} observed), seed {SEED}"
+    ));
+
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let mut runs: Vec<RunRow> = Vec::new();
+    let mut reports: Vec<FleetReport> = Vec::new();
+    for &threads in thread_counts {
+        let start = Instant::now();
+        let report = fleet.run(observe_days * DAY_MS, total_days * DAY_MS, threads);
+        let wall = start.elapsed().as_secs_f64();
+        runs.push(RunRow {
+            threads,
+            wall_secs: wall,
+            warehouses_per_sec: warehouses as f64 / wall,
+            speedup_vs_1: runs.first().map_or(1.0, |r| r.wall_secs / wall),
+            digest: format!("{:016x}", report.digest()),
+        });
+        reports.push(report);
+    }
+
+    let identical = reports.iter().all(|r| r.digest() == reports[0].digest());
+    assert!(
+        identical,
+        "fleet aggregates diverged across thread counts: {:?}",
+        runs.iter().map(|r| &r.digest).collect::<Vec<_>>()
+    );
+
+    let rep = &reports[0];
+    let savings_fraction = if rep.estimated_without_keebo > 0.0 {
+        rep.estimated_savings / rep.estimated_without_keebo
+    } else {
+        0.0
+    };
+
+    let mut rows = vec![vec![
+        "threads".to_string(),
+        "wall_s".to_string(),
+        "wh/s".to_string(),
+        "speedup".to_string(),
+        "digest".to_string(),
+    ]];
+    for r in &runs {
+        rows.push(vec![
+            r.threads.to_string(),
+            format!("{:.2}", r.wall_secs),
+            format!("{:.2}", r.warehouses_per_sec),
+            format!("{:.2}x", r.speedup_vs_1),
+            r.digest.clone(),
+        ]);
+    }
+    table(&rows);
+    println!();
+    println!(
+        "fleet savings: {:.1} of {:.1} credits ({}), keebo charge {:.1}, health {:?}",
+        rep.estimated_savings,
+        rep.estimated_without_keebo,
+        pct(savings_fraction),
+        rep.invoice.charge_credits,
+        rep.ops.health,
+    );
+
+    let out = BenchOutput {
+        fleet: FleetShape {
+            tenants,
+            warehouses_per_tenant: per_tenant,
+            warehouses,
+            observe_days,
+            total_days,
+            seed: SEED,
+            smoke,
+        },
+        runs,
+        aggregates_bit_identical: identical,
+        estimated_without_keebo: rep.estimated_without_keebo,
+        actual_with_keebo: rep.actual_with_keebo,
+        fleet_savings_credits: rep.estimated_savings,
+        savings_fraction,
+        invoice: rep.invoice.clone(),
+        ops: rep.ops.clone(),
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialize bench output");
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

@@ -24,7 +24,11 @@ pub struct TemplateExecEstimator {
 impl TemplateExecEstimator {
     /// Trains from history, normalizing every observation to `reference`
     /// size via `scaler`.
-    pub fn train(records: &[QueryRecord], scaler: &LatencyScaler, reference: WarehouseSize) -> Self {
+    pub fn train(
+        records: &[QueryRecord],
+        scaler: &LatencyScaler,
+        reference: WarehouseSize,
+    ) -> Self {
         let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
         let mut total = 0.0;
         let mut count = 0usize;
@@ -33,8 +37,7 @@ impl TemplateExecEstimator {
             if exec == 0 {
                 continue;
             }
-            let at_ref =
-                scaler.scale_execution_ms(r.template_hash, exec as f64, r.size, reference);
+            let at_ref = scaler.scale_execution_ms(r.template_hash, exec as f64, r.size, reference);
             let e = sums.entry(r.template_hash).or_insert((0.0, 0));
             e.0 += at_ref;
             e.1 += 1;
@@ -47,7 +50,11 @@ impl TemplateExecEstimator {
                 .into_iter()
                 .map(|(k, (s, n))| (k, s / n as f64))
                 .collect(),
-            global_ms: if count > 0 { total / count as f64 } else { 10_000.0 },
+            global_ms: if count > 0 {
+                total / count as f64
+            } else {
+                10_000.0
+            },
         }
     }
 
@@ -157,7 +164,10 @@ mod tests {
             &scaler,
             WarehouseSize::XSmall,
         );
-        let specs = vec![QuerySpec::builder(7).template_hash(1).arrival_ms(42_000).build()];
+        let specs = vec![QuerySpec::builder(7)
+            .template_hash(1)
+            .arrival_ms(42_000)
+            .build()];
         let cfg = WarehouseConfig::new(WarehouseSize::XSmall);
         let out = est.predict_records(&specs, &cfg, &scaler, "WH");
         assert_eq!(out.len(), 1);

@@ -6,7 +6,9 @@
 //! helpers here keep those binaries small and make the setups reusable from
 //! integration tests.
 
-use cdw_sim::{Account, QueryRecord, SimTime, Simulator, WarehouseConfig, WarehouseId, DAY_MS, HOUR_MS};
+use cdw_sim::{
+    Account, QueryRecord, SimTime, Simulator, WarehouseConfig, WarehouseId, DAY_MS, HOUR_MS,
+};
 use keebo::{KwoSetup, Orchestrator};
 use workload::{generate_trace, WorkloadGenerator};
 
@@ -113,10 +115,7 @@ pub fn daily_credits(sim: &Simulator, warehouse: &str, wh: WarehouseId, days: u6
         .map(|d| hourly.range_total(d * 24, (d + 1) * 24))
         .collect();
     // Open-session residue lands on the last day so totals stay honest.
-    let open = sim
-        .account()
-        .warehouse(wh)
-        .open_session_credits(sim.now());
+    let open = sim.account().warehouse(wh).open_session_credits(sim.now());
     if let Some(last) = by_day.last_mut() {
         *last += open;
     }

@@ -64,10 +64,7 @@ mod tests {
         header("t");
         bar_row("a", 5.0, 10.0, 20);
         bar_row("b", 0.0, 0.0, 20);
-        table(&[
-            vec!["h1".into(), "h2".into()],
-            vec!["1".into(), "2".into()],
-        ]);
+        table(&[vec!["h1".into(), "h2".into()], vec!["1".into(), "2".into()]]);
         table(&[]);
     }
 }

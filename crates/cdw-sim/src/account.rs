@@ -48,6 +48,25 @@ impl Account {
         Self::default()
     }
 
+    /// Builds an account holding `warehouses` in one shot — the fleet
+    /// controller stamps out many shard-local accounts from spec lists, so
+    /// construction takes `(name, config)` pairs directly.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or invalid configs, like
+    /// [`Account::create_warehouse`].
+    pub fn with_warehouses<'a, I>(warehouses: I) -> (Self, Vec<WarehouseId>)
+    where
+        I: IntoIterator<Item = (&'a str, WarehouseConfig)>,
+    {
+        let mut account = Self::new();
+        let ids = warehouses
+            .into_iter()
+            .map(|(name, config)| account.create_warehouse(name, config))
+            .collect();
+        (account, ids)
+    }
+
     /// Creates a warehouse. Names must be unique.
     ///
     /// # Panics
@@ -118,7 +137,9 @@ impl Account {
     /// real-time spend dashboard (or a reward computation) sees.
     pub fn accrued_credits(&self, id: WarehouseId, now: SimTime) -> f64 {
         let wh = &self.warehouses[id.0];
-        self.ledger.warehouse_ref(wh.name()).map_or(0.0, |h| h.total())
+        self.ledger
+            .warehouse_ref(wh.name())
+            .map_or(0.0, |h| h.total())
             + wh.open_session_credits(now)
     }
 
@@ -187,6 +208,18 @@ mod tests {
         assert_eq!(acc.warehouse_id("BI_WH"), Some(id));
         assert_eq!(acc.warehouse_id("NOPE"), None);
         assert_eq!(acc.warehouse(id).name(), "BI_WH");
+    }
+
+    #[test]
+    fn with_warehouses_builds_in_order() {
+        let (acc, ids) = Account::with_warehouses([
+            ("WH_A", WarehouseConfig::new(WarehouseSize::Small)),
+            ("WH_B", WarehouseConfig::new(WarehouseSize::Large)),
+        ]);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(acc.warehouse_id("WH_A"), Some(ids[0]));
+        assert_eq!(acc.warehouse_id("WH_B"), Some(ids[1]));
+        assert_eq!(acc.warehouse(ids[1]).name(), "WH_B");
     }
 
     #[test]

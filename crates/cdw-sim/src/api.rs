@@ -53,7 +53,10 @@ impl WarehouseCommand {
     pub fn to_sql(&self, warehouse: &str) -> String {
         match self {
             WarehouseCommand::SetSize(s) => {
-                format!("ALTER WAREHOUSE {warehouse} SET WAREHOUSE_SIZE={}", s.sql_name())
+                format!(
+                    "ALTER WAREHOUSE {warehouse} SET WAREHOUSE_SIZE={}",
+                    s.sql_name()
+                )
             }
             WarehouseCommand::SetAutoSuspend { ms } => {
                 format!("ALTER WAREHOUSE {warehouse} SET AUTO_SUSPEND={}", ms / 1000)
@@ -62,7 +65,10 @@ impl WarehouseCommand {
                 "ALTER WAREHOUSE {warehouse} SET MIN_CLUSTER_COUNT={min} MAX_CLUSTER_COUNT={max}"
             ),
             WarehouseCommand::SetScalingPolicy(p) => {
-                format!("ALTER WAREHOUSE {warehouse} SET SCALING_POLICY={}", p.sql_name())
+                format!(
+                    "ALTER WAREHOUSE {warehouse} SET SCALING_POLICY={}",
+                    p.sql_name()
+                )
             }
             WarehouseCommand::Suspend => format!("ALTER WAREHOUSE {warehouse} SUSPEND"),
             WarehouseCommand::Resume => format!("ALTER WAREHOUSE {warehouse} RESUME"),
@@ -146,7 +152,9 @@ mod tests {
     fn error_display_is_informative() {
         let e = AlterError::UnknownWarehouse("X".into());
         assert!(e.to_string().contains("X"));
-        assert!(AlterError::AlreadySuspended.to_string().contains("suspended"));
+        assert!(AlterError::AlreadySuspended
+            .to_string()
+            .contains("suspended"));
         assert!(AlterError::ServiceUnavailable.to_string().contains("retry"));
         assert!(AlterError::Throttled.to_string().contains("retry"));
     }
@@ -181,9 +189,15 @@ mod tests {
 
     #[test]
     fn valid_commands_pass_validation() {
-        assert!(WarehouseCommand::SetClusterRange { min: 1, max: 1 }.validate().is_ok());
-        assert!(WarehouseCommand::SetClusterRange { min: 2, max: 8 }.validate().is_ok());
-        assert!(WarehouseCommand::SetSize(WarehouseSize::XSmall).validate().is_ok());
+        assert!(WarehouseCommand::SetClusterRange { min: 1, max: 1 }
+            .validate()
+            .is_ok());
+        assert!(WarehouseCommand::SetClusterRange { min: 2, max: 8 }
+            .validate()
+            .is_ok());
+        assert!(WarehouseCommand::SetSize(WarehouseSize::XSmall)
+            .validate()
+            .is_ok());
         assert!(WarehouseCommand::Suspend.validate().is_ok());
     }
 }

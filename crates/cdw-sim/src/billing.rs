@@ -39,7 +39,10 @@ impl HourlyCredits {
         if credits == 0.0 {
             return;
         }
-        assert!(credits > 0.0 && credits.is_finite(), "bad credit amount {credits}");
+        assert!(
+            credits > 0.0 && credits.is_finite(),
+            "bad credit amount {credits}"
+        );
         *self.buckets.entry(hour_index(at)).or_insert(0.0) += credits;
     }
 
@@ -61,7 +64,10 @@ impl HourlyCredits {
             let hour_end = (hour_index(t) + 1) * crate::time::HOUR_MS;
             let slice_end = hour_end.min(end);
             let slice_ms = slice_end - t;
-            self.add(t, slice_ms as f64 / SECOND_MS as f64 * size.credits_per_second());
+            self.add(
+                t,
+                slice_ms as f64 / SECOND_MS as f64 * size.credits_per_second(),
+            );
             t = slice_end;
         }
         if duration == 0 && min_topup_secs == 0 {
@@ -83,10 +89,7 @@ impl HourlyCredits {
 
     /// Total credits in the hour range `[from_hour, to_hour)`.
     pub fn range_total(&self, from_hour: u64, to_hour: u64) -> f64 {
-        self.buckets
-            .range(from_hour..to_hour)
-            .map(|(_, v)| v)
-            .sum()
+        self.buckets.range(from_hour..to_hour).map(|(_, v)| v).sum()
     }
 
     /// Iterates (hour, credits) in hour order.
@@ -208,7 +211,11 @@ mod tests {
         let mut h = HourlyCredits::new();
         // 10 s session just before the hour boundary: 10 s spill into usage,
         // 50 s of top-up charged at the start hour.
-        h.add_session(WarehouseSize::XSmall, HOUR_MS - 5 * SECOND_MS, HOUR_MS + 5 * SECOND_MS);
+        h.add_session(
+            WarehouseSize::XSmall,
+            HOUR_MS - 5 * SECOND_MS,
+            HOUR_MS + 5 * SECOND_MS,
+        );
         let per_sec = WarehouseSize::XSmall.credits_per_second();
         assert!((h.hour(0) - 55.0 * per_sec).abs() < 1e-12);
         assert!((h.hour(1) - 5.0 * per_sec).abs() < 1e-12);

@@ -90,7 +90,11 @@ mod tests {
     fn one_tau_of_execution_is_about_63_percent() {
         let mut c = CacheState::cold(60_000.0);
         c.record_execution(60_000);
-        assert!((c.warm_fraction() - 0.632).abs() < 0.01, "{}", c.warm_fraction());
+        assert!(
+            (c.warm_fraction() - 0.632).abs() < 0.01,
+            "{}",
+            c.warm_fraction()
+        );
     }
 
     #[test]

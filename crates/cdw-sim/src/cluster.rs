@@ -83,7 +83,11 @@ impl Cluster {
     /// # Panics
     /// Panics if no query was running.
     pub fn end_query(&mut self, now: SimTime) {
-        assert!(self.running_queries > 0, "no query to end on cluster {}", self.id);
+        assert!(
+            self.running_queries > 0,
+            "no query to end on cluster {}",
+            self.id
+        );
         self.running_queries -= 1;
         if self.running_queries == 0 {
             self.idle_since = Some(now);

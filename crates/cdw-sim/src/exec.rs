@@ -114,7 +114,10 @@ mod tests {
     fn partial_warmth_interpolates() {
         let query = q(1_000.0, 1.0, 1.0);
         let half = execution_ms(&query, WarehouseSize::XSmall, 0.5);
-        assert!((half - 2_000.0).abs() < 1e-9, "1 + 1*2*0.5 = 2x, got {half}");
+        assert!(
+            (half - 2_000.0).abs() < 1e-9,
+            "1 + 1*2*0.5 = 2x, got {half}"
+        );
     }
 
     #[test]

@@ -80,12 +80,7 @@ impl FaultPlan {
     }
 
     /// A burst of transient `ALTER` failures.
-    pub fn with_alter_burst(
-        self,
-        from: SimTime,
-        until: SimTime,
-        probability: f64,
-    ) -> Self {
+    pub fn with_alter_burst(self, from: SimTime, until: SimTime, probability: f64) -> Self {
         self.with_window(FaultWindow {
             from,
             until,
@@ -115,12 +110,7 @@ impl FaultPlan {
     }
 
     /// A window of partial telemetry batches.
-    pub fn with_partial_telemetry(
-        self,
-        from: SimTime,
-        until: SimTime,
-        keep_fraction: f64,
-    ) -> Self {
+    pub fn with_partial_telemetry(self, from: SimTime, until: SimTime, keep_fraction: f64) -> Self {
         self.with_window(FaultWindow {
             from,
             until,
@@ -389,10 +379,8 @@ mod tests {
     fn same_seed_same_decisions() {
         let plan = FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5);
         let decisions = |seed: u64| -> Vec<AlterFault> {
-            let mut inj = FaultInjector::new(
-                FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5),
-                seed,
-            );
+            let mut inj =
+                FaultInjector::new(FaultPlan::none().with_alter_burst(0, HOUR_MS, 0.5), seed);
             (0..50).map(|i| inj.on_alter(i * 1000)).collect()
         };
         assert_eq!(decisions(42), decisions(42));

@@ -95,9 +95,7 @@ mod tests {
 
     #[test]
     fn economy_retires_more_lazily_than_standard() {
-        assert!(
-            ScalingPolicy::Economy.idle_retire_ms() > ScalingPolicy::Standard.idle_retire_ms()
-        );
+        assert!(ScalingPolicy::Economy.idle_retire_ms() > ScalingPolicy::Standard.idle_retire_ms());
         assert_eq!(ScalingPolicy::Maximized.idle_retire_ms(), u64::MAX);
     }
 

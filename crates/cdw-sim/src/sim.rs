@@ -19,8 +19,14 @@ use std::collections::BinaryHeap;
 /// An event addressed to one warehouse.
 #[derive(Debug, Clone, PartialEq)]
 enum Event {
-    Arrival { wh: WarehouseId, spec: QuerySpec },
-    Warehouse { wh: WarehouseId, ev: WhEvent },
+    Arrival {
+        wh: WarehouseId,
+        spec: QuerySpec,
+    },
+    Warehouse {
+        wh: WarehouseId,
+        ev: WhEvent,
+    },
     /// An `ALTER` the fault injector acknowledged but delayed; applied when
     /// this event fires. The original caller already saw `Ok`, so a failure
     /// here only surfaces in [`FaultStats::deferred_apply_errors`].
@@ -236,9 +242,7 @@ impl Simulator {
                     self.account
                         .with_warehouse(wh, self.clock, &mut schedule, |w, ctx| match ev {
                             WhEvent::QueryDone { run_id } => w.on_query_done(ctx, run_id),
-                            WhEvent::ResumeDone { generation } => {
-                                w.on_resume_done(ctx, generation)
-                            }
+                            WhEvent::ResumeDone { generation } => w.on_resume_done(ctx, generation),
                             WhEvent::ClusterReady { cluster_id } => {
                                 w.on_cluster_ready(ctx, cluster_id)
                             }
@@ -288,7 +292,7 @@ mod tests {
     use crate::records::WarehouseEventKind;
     use crate::size::WarehouseSize;
     use crate::time::{HOUR_MS, MINUTE_MS, SECOND_MS};
-    use crate::warehouse::{RESUME_DELAY_MS, WarehouseState};
+    use crate::warehouse::{WarehouseState, RESUME_DELAY_MS};
 
     fn single_wh_sim(config: WarehouseConfig) -> (Simulator, WarehouseId) {
         let mut acc = Account::new();
@@ -396,8 +400,15 @@ mod tests {
         sim.run_until(HOUR_MS);
         let rec = sim.account().query_records();
         assert_eq!(rec.len(), 3);
-        let (e1, e2, e3) = (rec[0].execution_ms(), rec[1].execution_ms(), rec[2].execution_ms());
-        assert!(e2 < e1, "second query benefits from warmed cache: {e1} vs {e2}");
+        let (e1, e2, e3) = (
+            rec[0].execution_ms(),
+            rec[1].execution_ms(),
+            rec[2].execution_ms(),
+        );
+        assert!(
+            e2 < e1,
+            "second query benefits from warmed cache: {e1} vs {e2}"
+        );
         assert!(
             e3 > e2,
             "third query is cold again after suspend: {e2} vs {e3}"
@@ -456,7 +467,10 @@ mod tests {
         sim.run_until(HOUR_MS);
         let rec = sim.account().query_records();
         assert_eq!(rec.len(), 2);
-        assert!(rec[1].queued_ms() >= 10_000, "second query waited for the first");
+        assert!(
+            rec[1].queued_ms() >= 10_000,
+            "second query waited for the first"
+        );
     }
 
     #[test]
@@ -500,8 +514,12 @@ mod tests {
             single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(3600));
         sim.submit_query(wh, q(1, 0, 16_000.0));
         sim.run_until(30 * SECOND_MS);
-        sim.alter_warehouse(wh, WarehouseCommand::SetSize(WarehouseSize::Medium), ActionSource::Keebo)
-            .unwrap();
+        sim.alter_warehouse(
+            wh,
+            WarehouseCommand::SetSize(WarehouseSize::Medium),
+            ActionSource::Keebo,
+        )
+        .unwrap();
         sim.submit_query(wh, q(2, 31 * SECOND_MS, 16_000.0));
         sim.run_until(10 * MINUTE_MS);
         let rec = sim.account().query_records();
@@ -518,8 +536,12 @@ mod tests {
             single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(3600));
         sim.submit_query(wh, q(1, 0, 1_000.0));
         sim.run_until(2 * MINUTE_MS);
-        sim.alter_warehouse(wh, WarehouseCommand::SetSize(WarehouseSize::Small), ActionSource::Keebo)
-            .unwrap();
+        sim.alter_warehouse(
+            wh,
+            WarehouseCommand::SetSize(WarehouseSize::Small),
+            ActionSource::Keebo,
+        )
+        .unwrap();
         sim.run_until(4 * MINUTE_MS);
         sim.alter_warehouse(wh, WarehouseCommand::Suspend, ActionSource::Keebo)
             .unwrap();
@@ -545,8 +567,15 @@ mod tests {
         // Query still running: warehouse not suspended yet.
         assert_eq!(sim.account().warehouse(wh).state(), WarehouseState::Running);
         sim.run_until(2 * MINUTE_MS);
-        assert_eq!(sim.account().warehouse(wh).state(), WarehouseState::Suspended);
-        assert_eq!(sim.account().query_records().len(), 1, "query completed first");
+        assert_eq!(
+            sim.account().warehouse(wh).state(),
+            WarehouseState::Suspended
+        );
+        assert_eq!(
+            sim.account().query_records().len(),
+            1,
+            "query completed first"
+        );
     }
 
     #[test]
@@ -580,7 +609,10 @@ mod tests {
                 .with_auto_suspend_secs(120);
             let (mut sim, wh) = single_wh_sim(cfg);
             for i in 0..50 {
-                sim.submit_query(wh, q(i, (i % 7) * 10 * SECOND_MS, 5_000.0 + i as f64 * 100.0));
+                sim.submit_query(
+                    wh,
+                    q(i, (i % 7) * 10 * SECOND_MS, 5_000.0 + i as f64 * 100.0),
+                );
             }
             sim.run_until(HOUR_MS);
             (
@@ -629,14 +661,16 @@ mod tests {
 
     #[test]
     fn run_to_completion_drains_queue() {
-        let (mut sim, wh) = single_wh_sim(
-            WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60),
-        );
+        let (mut sim, wh) =
+            single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60));
         sim.submit_query(wh, q(1, 0, 5_000.0));
         let end = sim.run_to_completion();
         assert!(end > 0);
         assert_eq!(sim.account().query_records().len(), 1);
-        assert_eq!(sim.account().warehouse(wh).state(), WarehouseState::Suspended);
+        assert_eq!(
+            sim.account().warehouse(wh).state(),
+            WarehouseState::Suspended
+        );
     }
 
     #[test]
@@ -780,7 +814,10 @@ mod command_tests {
         .unwrap();
         sim.run_until(HOUR_MS);
         assert_eq!(sim.account().ledger().total_credits(), 0.0);
-        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::X2Large);
+        assert_eq!(
+            sim.account().describe(wh).config.size,
+            WarehouseSize::X2Large
+        );
     }
 
     #[test]
@@ -799,7 +836,10 @@ mod command_tests {
         )
         .unwrap();
         sim.run_until(3 * MINUTE_MS);
-        assert_eq!(sim.account().warehouse(wh).state(), WarehouseState::Suspended);
+        assert_eq!(
+            sim.account().warehouse(wh).state(),
+            WarehouseState::Suspended
+        );
     }
 
     #[test]

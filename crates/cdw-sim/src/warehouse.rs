@@ -15,9 +15,7 @@ use crate::config::WarehouseConfig;
 use crate::exec::execution_ms;
 use crate::policy::ScalingPolicy;
 use crate::query::QuerySpec;
-use crate::records::{
-    ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord,
-};
+use crate::records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord};
 use crate::size::WarehouseSize;
 use crate::time::SimTime;
 use std::collections::{HashMap, VecDeque};
@@ -309,7 +307,11 @@ impl Warehouse {
         cluster.session_start = ctx.now;
         cluster.session_size = self.config.size;
         cluster.idle_since = Some(ctx.now);
-        self.emit_event(ctx, WarehouseEventKind::ClusterStarted, ActionSource::System);
+        self.emit_event(
+            ctx,
+            WarehouseEventKind::ClusterStarted,
+            ActionSource::System,
+        );
         self.drain_queue(ctx);
         self.maybe_scale_out(ctx);
         self.after_activity(ctx);
@@ -477,7 +479,11 @@ impl Warehouse {
         self.next_cluster_id += 1;
         self.clusters
             .push(Cluster::running(id, self.config.size, ctx.now));
-        self.emit_event(ctx, WarehouseEventKind::ClusterStarted, ActionSource::System);
+        self.emit_event(
+            ctx,
+            WarehouseEventKind::ClusterStarted,
+            ActionSource::System,
+        );
         self.schedule_retire_check(ctx, id, ctx.now);
     }
 
@@ -716,4 +722,3 @@ impl Warehouse {
         });
     }
 }
-

@@ -391,7 +391,10 @@ mod tests {
         assert_eq!(act.transient_retries() as u32, act.max_transient_retries);
         assert!(matches!(e.commands[0].status, CommandStatus::Failed(_)));
         // Config untouched.
-        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Medium);
+        assert_eq!(
+            sim.account().describe(wh).config.size,
+            WarehouseSize::Medium
+        );
         // Each attempt billed.
         let overhead = sim.account().ledger().overhead().total();
         let expected = act.cost_per_command * (1 + act.max_transient_retries) as f64;
@@ -447,7 +450,10 @@ mod tests {
         assert_eq!(e.commands[2].status, CommandStatus::Skipped);
         assert_eq!(e.commands[2].attempts, 0);
         // The skipped resize really did not run.
-        assert_eq!(sim.account().describe(wh).config.size, WarehouseSize::Medium);
+        assert_eq!(
+            sim.account().describe(wh).config.size,
+            WarehouseSize::Medium
+        );
         assert_eq!(act.rollback_count(), 1);
     }
 
@@ -465,7 +471,11 @@ mod tests {
             "reconcile",
         );
         assert!(matches!(out, ActionOutcome::Failed(_)));
-        assert_eq!(act.log()[0].commands[0].attempts, 1, "no retry on InvalidConfig");
+        assert_eq!(
+            act.log()[0].commands[0].attempts,
+            1,
+            "no retry on InvalidConfig"
+        );
         assert_eq!(act.transient_retries(), 0);
         assert_eq!(act.reconcile_count(), 1);
     }

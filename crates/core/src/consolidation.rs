@@ -100,8 +100,7 @@ pub fn evaluate_consolidation(
     }
 
     let estimated_savings = separate - merged_outcome.estimated_credits;
-    let capacity =
-        (target.max_clusters as usize) * (target.max_concurrency as usize);
+    let capacity = (target.max_clusters as usize) * (target.max_concurrency as usize);
     let recommended = estimated_savings > 0.05 * separate && peak as usize <= capacity;
     ConsolidationReport {
         separate_credits: separate,
@@ -154,8 +153,16 @@ mod tests {
         let report = evaluate_consolidation(
             &model,
             &[
-                ConsolidationInput { name: "A", config: cfg.clone(), records: &a },
-                ConsolidationInput { name: "B", config: cfg.clone(), records: &b },
+                ConsolidationInput {
+                    name: "A",
+                    config: cfg.clone(),
+                    records: &a,
+                },
+                ConsolidationInput {
+                    name: "B",
+                    config: cfg.clone(),
+                    records: &b,
+                },
             ],
             &cfg,
             0,
@@ -178,8 +185,16 @@ mod tests {
         let report = evaluate_consolidation(
             &model,
             &[
-                ConsolidationInput { name: "A", config: cfg.clone(), records: &a },
-                ConsolidationInput { name: "B", config: cfg.clone(), records: &b },
+                ConsolidationInput {
+                    name: "A",
+                    config: cfg.clone(),
+                    records: &a,
+                },
+                ConsolidationInput {
+                    name: "B",
+                    config: cfg.clone(),
+                    records: &b,
+                },
             ],
             &cfg,
             0,
@@ -196,7 +211,11 @@ mod tests {
         let model = WarehouseCostModel::default();
         let report = evaluate_consolidation(
             &model,
-            &[ConsolidationInput { name: "A", config: cfg.clone(), records: &a }],
+            &[ConsolidationInput {
+                name: "A",
+                config: cfg.clone(),
+                records: &a,
+            }],
             &cfg,
             0,
             3 * HOUR_MS,
@@ -207,12 +226,18 @@ mod tests {
 
     #[test]
     fn single_warehouse_consolidation_is_a_wash() {
-        let a: Vec<QueryRecord> = (0..5).map(|i| rec(i, "A", i * HOUR_MS, MINUTE_MS)).collect();
+        let a: Vec<QueryRecord> = (0..5)
+            .map(|i| rec(i, "A", i * HOUR_MS, MINUTE_MS))
+            .collect();
         let cfg = WarehouseConfig::new(WarehouseSize::Small).with_auto_suspend_secs(300);
         let model = WarehouseCostModel::default();
         let report = evaluate_consolidation(
             &model,
-            &[ConsolidationInput { name: "A", config: cfg.clone(), records: &a }],
+            &[ConsolidationInput {
+                name: "A",
+                config: cfg.clone(),
+                records: &a,
+            }],
             &cfg,
             0,
             6 * HOUR_MS,

@@ -83,6 +83,60 @@ impl OpsKpis {
             telemetry_staleness_ms: optimizer.store().staleness_ms(now),
         }
     }
+
+    /// Severity rank for fleet rollups: `Healthy < Degraded < Frozen`.
+    fn severity(state: HealthState) -> u8 {
+        match state {
+            HealthState::Healthy => 0,
+            HealthState::Degraded(_) => 1,
+            HealthState::Frozen => 2,
+        }
+    }
+
+    /// Folds another warehouse's KPIs into this one: counters add, the
+    /// rolled-up health is the *worst* member state, and staleness is the
+    /// oldest telemetry anywhere in the group.
+    pub fn merge(&mut self, other: &OpsKpis) {
+        if Self::severity(other.health) > Self::severity(self.health) {
+            self.health = other.health;
+        }
+        self.healthy_ticks += other.healthy_ticks;
+        self.degraded_ticks += other.degraded_ticks;
+        self.frozen_ticks += other.frozen_ticks;
+        self.actions_applied += other.actions_applied;
+        self.actions_failed += other.actions_failed;
+        self.rollbacks += other.rollbacks;
+        self.reconciliations += other.reconciliations;
+        self.transient_retries += other.transient_retries;
+        self.fetch_outages += other.fetch_outages;
+        self.fetch_partials += other.fetch_partials;
+        self.telemetry_staleness_ms = self
+            .telemetry_staleness_ms
+            .max(other.telemetry_staleness_ms);
+    }
+
+    /// Rolls a group of per-warehouse KPI snapshots up into one row (an
+    /// all-healthy zero row when the group is empty).
+    pub fn rollup<'a>(kpis: impl IntoIterator<Item = &'a OpsKpis>) -> OpsKpis {
+        let mut acc = OpsKpis {
+            health: HealthState::Healthy,
+            healthy_ticks: 0,
+            degraded_ticks: 0,
+            frozen_ticks: 0,
+            actions_applied: 0,
+            actions_failed: 0,
+            rollbacks: 0,
+            reconciliations: 0,
+            transient_retries: 0,
+            fetch_outages: 0,
+            fetch_partials: 0,
+            telemetry_staleness_ms: 0,
+        };
+        for k in kpis {
+            acc.merge(k);
+        }
+        acc
+    }
 }
 
 /// Computes KPI series from query records and billing history.
@@ -114,8 +168,7 @@ impl Dashboard {
                     .iter()
                     .map(|r| r.total_latency_ms() as f64)
                     .collect();
-                let queues: Vec<f64> =
-                    completed.iter().map(|r| r.queued_ms() as f64).collect();
+                let queues: Vec<f64> = completed.iter().map(|r| r.queued_ms() as f64).collect();
                 let spend = spend_by_day.get(&day).copied().unwrap_or(0.0);
                 let n = completed.len();
                 DailyKpis {
@@ -144,9 +197,8 @@ impl Dashboard {
                     if total_q > 0 {
                         let wa = acc.queries as f64;
                         let wb = row.queries as f64;
-                        acc.avg_latency_ms = (acc.avg_latency_ms * wa
-                            + row.avg_latency_ms * wb)
-                            / total_q as f64;
+                        acc.avg_latency_ms =
+                            (acc.avg_latency_ms * wa + row.avg_latency_ms * wb) / total_q as f64;
                         acc.avg_queue_ms =
                             (acc.avg_queue_ms * wa + row.avg_queue_ms * wb) / total_q as f64;
                         acc.p99_latency_ms = acc.p99_latency_ms.max(row.p99_latency_ms);
@@ -204,7 +256,9 @@ mod tests {
     fn daily_rows_cover_the_window_without_holes() {
         let rows = Dashboard::daily(&[], &HourlyCredits::new(), 0, 3 * DAY_MS);
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| r.queries == 0 && r.spend_credits == 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.queries == 0 && r.spend_credits == 0.0));
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! Fleet-scale parallel control plane.
+//!
+//! The paper's deployment manages *fleets*: many customer accounts, each
+//! with many warehouses, all optimized by independent control loops ("Keebo
+//! currently manages and optimizes millions of queries" across customers).
+//! One `(Simulator, Orchestrator)` pair models one tenant; tenants never
+//! share warehouses, telemetry, or models, so the fleet is embarrassingly
+//! parallel across tenants.
+//!
+//! [`FleetController`] shards tenants into independent simulator/optimizer
+//! pairs and drives the shards concurrently with `std::thread::scope`.
+//! Determinism is preserved by construction:
+//!
+//! * every random stream is derived from the fleet seed and a *name* via
+//!   [`derive_stream_seed`] — the tenant name for the orchestrator and
+//!   fault injector, the warehouse name (within the tenant stream) for each
+//!   optimizer — never from creation order or thread identity;
+//! * each shard's result lands in a slot indexed by its spec order, and
+//!   aggregation folds the slots in that order;
+//!
+//! so a fleet run produces bit-identical [`FleetReport`]s whether it runs
+//! on 1 thread or 16, and each warehouse behaves exactly as it would if it
+//! were the only thing the controller managed.
+
+use crate::dashboard::OpsKpis;
+use crate::orchestrator::{derive_stream_seed, KwoSetup, Orchestrator};
+use crate::pricing::{Invoice, ValueBasedPricing};
+use cdw_sim::{Account, FaultPlan, QuerySpec, SimTime, Simulator, WarehouseConfig};
+use costmodel::SavingsReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// One warehouse a tenant brings to the fleet: its name, starting
+/// configuration, optimizer setup, and query trace.
+#[derive(Debug, Clone)]
+pub struct WarehouseSpec {
+    pub name: String,
+    pub config: WarehouseConfig,
+    pub setup: KwoSetup,
+    /// The workload replayed on this warehouse (arrival-ordered or not;
+    /// the simulator orders events itself).
+    pub queries: Vec<QuerySpec>,
+}
+
+/// One tenant: an isolated account whose warehouses are optimized by one
+/// shard-local orchestrator.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: String,
+    pub warehouses: Vec<WarehouseSpec>,
+    /// Faults injected into this tenant's control/telemetry plane.
+    pub fault_plan: FaultPlan,
+}
+
+impl TenantSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            warehouses: Vec::new(),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    pub fn add_warehouse(mut self, spec: WarehouseSpec) -> Self {
+        self.warehouses.push(spec);
+        self
+    }
+}
+
+/// Per-warehouse outcome inside a tenant report.
+#[derive(Debug, Clone)]
+pub struct WarehouseOutcome {
+    pub warehouse: String,
+    pub savings: SavingsReport,
+    pub ops: OpsKpis,
+    pub invoice: Invoice,
+}
+
+/// One tenant's rollup: per-warehouse outcomes plus tenant totals.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub tenant: String,
+    pub warehouses: Vec<WarehouseOutcome>,
+    /// Sum of per-warehouse without-Keebo estimates.
+    pub estimated_without_keebo: f64,
+    /// Sum of per-warehouse with-Keebo actuals.
+    pub actual_with_keebo: f64,
+    /// Sum of per-warehouse estimated savings (may be negative).
+    pub estimated_savings: f64,
+    /// Sum of per-warehouse invoices (each clamped at zero individually:
+    /// a warehouse that regressed never discounts another's charge).
+    pub invoice: Invoice,
+    pub ops: OpsKpis,
+}
+
+/// Fleet-wide rollup across every tenant.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Tenant reports in spec order (deterministic across thread counts).
+    pub tenants: Vec<TenantReport>,
+    pub warehouses: usize,
+    pub estimated_without_keebo: f64,
+    pub actual_with_keebo: f64,
+    pub estimated_savings: f64,
+    pub invoice: Invoice,
+    pub ops: OpsKpis,
+}
+
+impl FleetReport {
+    /// Order-sensitive FNV-1a digest over every float bit pattern and
+    /// counter in the report. Two runs of the same fleet are *bit-identical*
+    /// iff their digests match — the determinism contract the bench and
+    /// tests check across thread counts.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for t in &self.tenants {
+            for w in &t.warehouses {
+                eat(w.savings.estimated_without_keebo.to_bits());
+                eat(w.savings.actual_with_keebo.to_bits());
+                eat(w.savings.estimated_savings.to_bits());
+                eat(w.invoice.charge_credits.to_bits());
+                eat(w.ops.actions_applied as u64);
+                eat(w.ops.actions_failed as u64);
+                eat(w.ops.rollbacks as u64);
+                eat(w.ops.reconciliations as u64);
+                eat(w.ops.transient_retries);
+                eat(w.ops.fetch_outages);
+            }
+        }
+        eat(self.warehouses as u64);
+        eat(self.estimated_savings.to_bits());
+        eat(self.invoice.charge_credits.to_bits());
+        h
+    }
+}
+
+fn zero_invoice() -> Invoice {
+    Invoice {
+        billable_savings_credits: 0.0,
+        charge_credits: 0.0,
+        customer_net_credits: 0.0,
+    }
+}
+
+fn add_invoice(acc: &mut Invoice, inv: &Invoice) {
+    acc.billable_savings_credits += inv.billable_savings_credits;
+    acc.charge_credits += inv.charge_credits;
+    acc.customer_net_credits += inv.customer_net_credits;
+}
+
+/// Drives a fleet of tenants, each on its own shard, in parallel.
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    seed: u64,
+    pricing: ValueBasedPricing,
+    tenants: Vec<TenantSpec>,
+}
+
+/// One shard: a tenant's isolated simulator plus its orchestrator.
+struct FleetShard {
+    sim: Simulator,
+    kwo: Orchestrator,
+    warehouses: Vec<String>,
+}
+
+impl FleetController {
+    /// A fleet with the given root seed and default value-based pricing.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            pricing: ValueBasedPricing::default(),
+            tenants: Vec::new(),
+        }
+    }
+
+    pub fn with_pricing(mut self, pricing: ValueBasedPricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    pub fn add_tenant(&mut self, tenant: TenantSpec) -> &mut Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn warehouse_count(&self) -> usize {
+        self.tenants.iter().map(|t| t.warehouses.len()).sum()
+    }
+
+    /// Builds one tenant's shard: an account with the tenant's warehouses,
+    /// a fault-injecting simulator, the submitted traces, and a shard-local
+    /// orchestrator managing every warehouse. All seeds derive from names.
+    fn build_shard(&self, tenant: &TenantSpec) -> FleetShard {
+        let tenant_seed = derive_stream_seed(self.seed, &tenant.name);
+        let (account, ids) = Account::with_warehouses(
+            tenant
+                .warehouses
+                .iter()
+                .map(|w| (w.name.as_str(), w.config.clone())),
+        );
+        let fault_seed = derive_stream_seed(tenant_seed, "faults");
+        let mut sim = Simulator::with_faults(account, tenant.fault_plan.clone(), fault_seed);
+        for (w, id) in tenant.warehouses.iter().zip(ids) {
+            sim.submit_trace(w.queries.iter().cloned().map(|q| (id, q)));
+        }
+        let mut kwo = Orchestrator::new(tenant_seed);
+        for w in &tenant.warehouses {
+            kwo.manage(&sim, &w.name, w.setup.clone());
+        }
+        FleetShard {
+            sim,
+            kwo,
+            warehouses: tenant.warehouses.iter().map(|w| w.name.clone()).collect(),
+        }
+    }
+
+    /// Drives one shard through the full lifecycle and rolls up its report.
+    fn run_shard(&self, index: usize, observe_until: SimTime, until: SimTime) -> TenantReport {
+        let tenant = &self.tenants[index];
+        let mut shard = self.build_shard(tenant);
+        shard.kwo.observe_until(&mut shard.sim, observe_until);
+        shard.kwo.onboard(&mut shard.sim);
+        shard.kwo.run_until(&mut shard.sim, until);
+
+        let now = shard.sim.now();
+        let mut warehouses = Vec::with_capacity(shard.warehouses.len());
+        for name in &shard.warehouses {
+            let savings = shard
+                .kwo
+                .savings_report(&shard.sim, name, observe_until, until);
+            let invoice = self.pricing.invoice(&savings);
+            let ops = OpsKpis::collect(shard.kwo.optimizer(name).expect("managed warehouse"), now);
+            warehouses.push(WarehouseOutcome {
+                warehouse: name.clone(),
+                savings,
+                ops,
+                invoice,
+            });
+        }
+        let mut invoice = zero_invoice();
+        for w in &warehouses {
+            add_invoice(&mut invoice, &w.invoice);
+        }
+        TenantReport {
+            tenant: tenant.name.clone(),
+            estimated_without_keebo: warehouses
+                .iter()
+                .map(|w| w.savings.estimated_without_keebo)
+                .sum(),
+            actual_with_keebo: warehouses.iter().map(|w| w.savings.actual_with_keebo).sum(),
+            estimated_savings: warehouses.iter().map(|w| w.savings.estimated_savings).sum(),
+            ops: OpsKpis::rollup(warehouses.iter().map(|w| &w.ops)),
+            invoice,
+            warehouses,
+        }
+    }
+
+    /// Runs the whole fleet: every tenant observes until `observe_until`,
+    /// onboards, then optimizes until `until`. Shards run concurrently on
+    /// up to `threads` workers pulling from a shared work queue; the report
+    /// is bit-identical for any `threads >= 1`.
+    ///
+    /// # Panics
+    /// Panics if the fleet has no tenants or `threads == 0`.
+    pub fn run(&self, observe_until: SimTime, until: SimTime, threads: usize) -> FleetReport {
+        assert!(!self.tenants.is_empty(), "fleet has no tenants");
+        assert!(threads > 0, "need at least one worker thread");
+        let shards = self.tenants.len();
+        let workers = threads.min(shards);
+
+        let results: Mutex<Vec<Option<TenantReport>>> = Mutex::new(vec![None; shards]);
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work-stealing queue: assignment order is racy, but
+                    // each shard is self-contained and results land in
+                    // spec-order slots, so the report does not depend on
+                    // which worker ran what.
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= shards {
+                        break;
+                    }
+                    let report = self.run_shard(index, observe_until, until);
+                    results.lock().expect("results lock")[index] = Some(report);
+                });
+            }
+        });
+
+        let tenants: Vec<TenantReport> = results
+            .into_inner()
+            .expect("results lock")
+            .into_iter()
+            .map(|r| r.expect("every shard reports"))
+            .collect();
+
+        let mut invoice = zero_invoice();
+        for t in &tenants {
+            add_invoice(&mut invoice, &t.invoice);
+        }
+        FleetReport {
+            warehouses: tenants.iter().map(|t| t.warehouses.len()).sum(),
+            estimated_without_keebo: tenants.iter().map(|t| t.estimated_without_keebo).sum(),
+            actual_with_keebo: tenants.iter().map(|t| t.actual_with_keebo).sum(),
+            estimated_savings: tenants.iter().map(|t| t.estimated_savings).sum(),
+            ops: OpsKpis::rollup(tenants.iter().map(|t| &t.ops)),
+            invoice,
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthState;
+    use cdw_sim::{WarehouseSize, DAY_MS, HOUR_MS, MINUTE_MS};
+    use workload::{generate_trace, BiWorkload, EtlWorkload};
+
+    fn fast_setup() -> KwoSetup {
+        KwoSetup {
+            realtime_interval_ms: 30 * MINUTE_MS,
+            onboarding_episodes: 2,
+            refresh_episodes: 0,
+            train_interval_ms: 2 * DAY_MS,
+            ..KwoSetup::default()
+        }
+    }
+
+    fn warehouse_spec(name: &str, archetype: usize, seed: u64, days: u64) -> WarehouseSpec {
+        let queries = match archetype % 2 {
+            0 => generate_trace(
+                &EtlWorkload {
+                    pipelines: 2,
+                    queries_per_run: 2,
+                    period_ms: 2 * HOUR_MS,
+                    ..EtlWorkload::default()
+                },
+                0,
+                days * DAY_MS,
+                seed,
+            ),
+            _ => generate_trace(
+                &BiWorkload {
+                    dashboards: 2,
+                    queries_per_refresh: 2,
+                    peak_refreshes_per_hour: 4.0,
+                    ..BiWorkload::default()
+                },
+                0,
+                days * DAY_MS,
+                seed,
+            ),
+        };
+        WarehouseSpec {
+            name: name.to_string(),
+            config: WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(1800),
+            setup: fast_setup(),
+            queries,
+        }
+    }
+
+    fn small_fleet(seed: u64, days: u64) -> FleetController {
+        let mut fleet = FleetController::new(seed);
+        for t in 0..2 {
+            let tenant_name = format!("tenant-{t}");
+            let mut tenant = TenantSpec::new(&tenant_name);
+            for w in 0..2 {
+                let name = format!("T{t}_WH{w}");
+                let wh_seed = derive_stream_seed(seed, &name);
+                tenant = tenant.add_warehouse(warehouse_spec(&name, t * 2 + w, wh_seed, days));
+            }
+            fleet.add_tenant(tenant);
+        }
+        fleet
+    }
+
+    #[test]
+    fn fleet_reports_every_warehouse() {
+        let fleet = small_fleet(11, 2);
+        let report = fleet.run(DAY_MS, 2 * DAY_MS, 2);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.warehouses, 4);
+        assert!(report.estimated_without_keebo > 0.0);
+        assert!(report.actual_with_keebo > 0.0);
+        // Invoice identity: charge + customer net == billable savings.
+        let inv = &report.invoice;
+        assert!(
+            (inv.charge_credits + inv.customer_net_credits - inv.billable_savings_credits).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_across_thread_counts() {
+        let fleet = small_fleet(7, 2);
+        let one = fleet.run(DAY_MS, 2 * DAY_MS, 1);
+        let two = fleet.run(DAY_MS, 2 * DAY_MS, 2);
+        let four = fleet.run(DAY_MS, 2 * DAY_MS, 4);
+        assert_eq!(one.digest(), two.digest());
+        assert_eq!(one.digest(), four.digest());
+        // Digest covers the rollups; spot-check raw bits too.
+        assert_eq!(
+            one.estimated_savings.to_bits(),
+            four.estimated_savings.to_bits()
+        );
+        assert_eq!(one.ops.actions_applied, four.ops.actions_applied);
+    }
+
+    #[test]
+    fn tenant_results_do_not_depend_on_fleet_composition() {
+        // A tenant's report is identical whether it is the only tenant or
+        // one of several: shard streams derive from names, not indices.
+        let days = 2;
+        let seed = 5;
+        let spec = |t: usize| {
+            let tenant_name = format!("tenant-{t}");
+            let mut tenant = TenantSpec::new(&tenant_name);
+            for w in 0..2 {
+                let name = format!("T{t}_WH{w}");
+                let wh_seed = derive_stream_seed(seed, &name);
+                tenant = tenant.add_warehouse(warehouse_spec(&name, w, wh_seed, days));
+            }
+            tenant
+        };
+
+        let mut solo = FleetController::new(seed);
+        solo.add_tenant(spec(1));
+        let solo_report = solo.run(DAY_MS, days * DAY_MS, 1);
+
+        let mut both = FleetController::new(seed);
+        both.add_tenant(spec(0));
+        both.add_tenant(spec(1));
+        let both_report = both.run(DAY_MS, days * DAY_MS, 2);
+
+        let solo_t = &solo_report.tenants[0];
+        let both_t = &both_report.tenants[1];
+        assert_eq!(solo_t.tenant, both_t.tenant);
+        assert_eq!(
+            solo_t.estimated_savings.to_bits(),
+            both_t.estimated_savings.to_bits()
+        );
+        assert_eq!(
+            solo_t.warehouses[0].savings.actual_with_keebo.to_bits(),
+            both_t.warehouses[0].savings.actual_with_keebo.to_bits()
+        );
+    }
+
+    #[test]
+    fn rollup_health_is_worst_of_members() {
+        let healthy = OpsKpis {
+            health: HealthState::Healthy,
+            healthy_ticks: 5,
+            degraded_ticks: 0,
+            frozen_ticks: 0,
+            actions_applied: 3,
+            actions_failed: 0,
+            rollbacks: 0,
+            reconciliations: 0,
+            transient_retries: 0,
+            fetch_outages: 0,
+            fetch_partials: 0,
+            telemetry_staleness_ms: 10,
+        };
+        let mut frozen = healthy.clone();
+        frozen.health = HealthState::Frozen;
+        frozen.telemetry_staleness_ms = 99;
+        let rolled = OpsKpis::rollup([&healthy, &frozen]);
+        assert_eq!(rolled.health, HealthState::Frozen);
+        assert_eq!(rolled.healthy_ticks, 10);
+        assert_eq!(rolled.actions_applied, 6);
+        assert_eq!(rolled.telemetry_staleness_ms, 99);
+    }
+}

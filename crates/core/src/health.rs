@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn starts_healthy_and_stays_healthy_on_clean_signals() {
         let mut m = fresh();
-        assert_eq!(m.evaluate(0, HealthSignals::default()), HealthState::Healthy);
+        assert_eq!(
+            m.evaluate(0, HealthSignals::default()),
+            HealthState::Healthy
+        );
         assert!(m.can_optimize());
         assert!(m.can_train());
         assert!(m.transitions().is_empty());
@@ -259,7 +262,10 @@ mod tests {
         // Control plane heals → a successful probe zeroes the failure count
         // and the machine recovers by itself.
         t += 1;
-        assert_eq!(m.evaluate(t, HealthSignals::default()), HealthState::Healthy);
+        assert_eq!(
+            m.evaluate(t, HealthSignals::default()),
+            HealthState::Healthy
+        );
         assert!(m.can_optimize());
         // Transitions: Healthy→Degraded→Frozen→Healthy.
         let tos: Vec<HealthState> = m.transitions().iter().map(|tr| tr.to).collect();

@@ -61,6 +61,7 @@
 pub mod actuator;
 pub mod consolidation;
 pub mod dashboard;
+pub mod fleet;
 pub mod health;
 pub mod monitoring;
 pub mod orchestrator;
@@ -72,13 +73,16 @@ pub use actuator::{
 };
 pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
 pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
+pub use fleet::{FleetController, FleetReport, TenantReport, TenantSpec, WarehouseSpec};
 pub use health::{
     DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState, HealthTransition,
 };
 pub use monitoring::{is_external_config_change, Monitor, RealTimeState};
-pub use orchestrator::{KwoSetup, Orchestrator, WarehouseOptimizer};
-pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
+pub use orchestrator::{
+    derive_stream_seed, KwoSetup, ManageError, Orchestrator, WarehouseOptimizer,
+};
 pub use pricing::{Invoice, ValueBasedPricing};
+pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
 
 // Re-export the user-facing configuration surface so downstream users need
 // only this crate for common setups.

@@ -149,11 +149,7 @@ mod tests {
     use super::*;
     use cdw_sim::{ActionSource, ScalingPolicy, WarehouseSize, MINUTE_MS};
 
-    fn event(
-        at: SimTime,
-        kind: WarehouseEventKind,
-        source: ActionSource,
-    ) -> WarehouseEventRecord {
+    fn event(at: SimTime, kind: WarehouseEventKind, source: ActionSource) -> WarehouseEventRecord {
         WarehouseEventRecord {
             warehouse: "WH".into(),
             at,
@@ -214,7 +210,11 @@ mod tests {
     fn external_change_detected_from_external_events() {
         let mut m = Monitor::new(10_000.0);
         // Someone resized the warehouse by hand mid-interval.
-        let ev = event(5 * MINUTE_MS, WarehouseEventKind::Resized, ActionSource::External);
+        let ev = event(
+            5 * MINUTE_MS,
+            WarehouseEventKind::Resized,
+            ActionSource::External,
+        );
         let s = m.assess(
             &[],
             &[&ev],
@@ -235,7 +235,11 @@ mod tests {
     fn keebo_and_system_events_are_not_external_changes() {
         let mut m = Monitor::new(10_000.0);
         let keebo = event(MINUTE_MS, WarehouseEventKind::Resized, ActionSource::Keebo);
-        let system = event(2 * MINUTE_MS, WarehouseEventKind::ClusterStarted, ActionSource::System);
+        let system = event(
+            2 * MINUTE_MS,
+            WarehouseEventKind::ClusterStarted,
+            ActionSource::System,
+        );
         let created = event(0, WarehouseEventKind::Created, ActionSource::External);
         let s = m.assess(
             &[],
@@ -262,9 +266,21 @@ mod tests {
             WarehouseEventKind::Suspended,
             WarehouseEventKind::Resumed,
         ] {
-            assert!(is_external_config_change(&event(0, kind, ActionSource::External)));
-            assert!(!is_external_config_change(&event(0, kind, ActionSource::Keebo)));
-            assert!(!is_external_config_change(&event(0, kind, ActionSource::System)));
+            assert!(is_external_config_change(&event(
+                0,
+                kind,
+                ActionSource::External
+            )));
+            assert!(!is_external_config_change(&event(
+                0,
+                kind,
+                ActionSource::Keebo
+            )));
+            assert!(!is_external_config_change(&event(
+                0,
+                kind,
+                ActionSource::System
+            )));
         }
         assert!(!is_external_config_change(&event(
             0,
@@ -279,7 +295,14 @@ mod tests {
         // Queries queued ~60 s each (Balanced threshold is 15 s).
         let now = 10 * MINUTE_MS;
         let recs: Vec<QueryRecord> = (0..5)
-            .map(|i| rec(i, now - 300_000, now - 300_000 + 60_000, now - 100_000 + i * 1000))
+            .map(|i| {
+                rec(
+                    i,
+                    now - 300_000,
+                    now - 300_000 + 60_000,
+                    now - 100_000 + i * 1000,
+                )
+            })
             .collect();
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let s = assess_simple(&mut m, &refs, now, 3);
@@ -290,8 +313,8 @@ mod tests {
     #[test]
     fn long_inflight_query_triggers_backoff_before_completion() {
         let mut m = Monitor::new(10_000.0); // baseline p99 = 10 s
-        // No completions at all, but one query has been running for 60 s —
-        // six times the baseline, well past Balanced's 1.6x threshold.
+                                            // No completions at all, but one query has been running for 60 s —
+                                            // six times the baseline, well past Balanced's 1.6x threshold.
         let s = m.assess(
             &[],
             &[],
@@ -329,9 +352,25 @@ mod tests {
             .collect();
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let mut m1 = Monitor::new(1_000_000.0);
-        let balanced = m1.assess(&refs, &[], now, 10 * MINUTE_MS, 0, 0, SliderPosition::Balanced);
+        let balanced = m1.assess(
+            &refs,
+            &[],
+            now,
+            10 * MINUTE_MS,
+            0,
+            0,
+            SliderPosition::Balanced,
+        );
         let mut m2 = Monitor::new(1_000_000.0);
-        let cheap = m2.assess(&refs, &[], now, 10 * MINUTE_MS, 0, 0, SliderPosition::LowestCost);
+        let cheap = m2.assess(
+            &refs,
+            &[],
+            now,
+            10 * MINUTE_MS,
+            0,
+            0,
+            SliderPosition::LowestCost,
+        );
         assert!(balanced.should_back_off);
         assert!(!cheap.should_back_off);
     }

@@ -86,6 +86,50 @@ impl Default for KwoSetup {
     }
 }
 
+/// Derives an independent deterministic RNG seed for a named stream (a
+/// managed warehouse, a fleet shard) from a root seed.
+///
+/// The seed depends only on `(root, key)` — never on how many other streams
+/// exist or in what order they were created — so a warehouse's learning
+/// randomness is identical whether it is managed alone or alongside a whole
+/// fleet (C5 isolation by construction), and fleet results are bit-identical
+/// regardless of worker-thread count.
+pub fn derive_stream_seed(root: u64, key: &str) -> u64 {
+    // FNV-1a over the key, then a splitmix64 finalizer to decorrelate
+    // nearby roots and short keys.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = root ^ h;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Why [`Orchestrator::try_manage`] refused to manage a warehouse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManageError {
+    /// No warehouse with that name exists in the simulator's account.
+    UnknownWarehouse(String),
+    /// The warehouse already has an optimizer; managing it twice would
+    /// create two models fighting over one warehouse.
+    AlreadyManaged(String),
+}
+
+impl std::fmt::Display for ManageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManageError::UnknownWarehouse(w) => write!(f, "unknown warehouse {w}"),
+            ManageError::AlreadyManaged(w) => write!(f, "warehouse {w} is already managed"),
+        }
+    }
+}
+
+impl std::error::Error for ManageError {}
+
 /// The configuration `commands` would produce starting from `cfg` — the
 /// *intent* recorded with the reconciler even when the control plane drops
 /// or delays the actual ALTERs. Suspend/resume are runtime state, not
@@ -264,13 +308,8 @@ impl WarehouseOptimizer {
             return;
         }
         let cfg = &self.expected_config;
-        self.cost_model = WarehouseCostModel::train(
-            &records,
-            0,
-            now,
-            cfg.max_concurrency,
-            cfg.max_clusters,
-        );
+        self.cost_model =
+            WarehouseCostModel::train(&records, 0, now, cfg.max_concurrency, cfg.max_clusters);
         // Offline episodes on the recent reconstructed workload.
         let from = now.saturating_sub(self.setup.train_window_ms);
         let recent: Vec<QueryRecord> = records
@@ -408,8 +447,14 @@ impl WarehouseOptimizer {
                 // Revert our own last action, then step aside.
                 if let Some(inv) = self.last_action.and_then(AgentAction::inverse) {
                     if inv.is_applicable(&desc.config) {
-                        self.actuator
-                            .apply(sim, self.wh, &self.name, &desc.config, inv, "external-revert");
+                        self.actuator.apply(
+                            sim,
+                            self.wh,
+                            &self.name,
+                            &desc.config,
+                            inv,
+                            "external-revert",
+                        );
                     }
                 }
                 self.last_action = None;
@@ -558,8 +603,7 @@ impl WarehouseOptimizer {
             // warehouse bills nothing at any size), and without live load
             // there is no evidence the smaller size performs acceptably —
             // so resizing down requires observed work in the window.
-            let has_load_evidence =
-                rts.window.mean_concurrency > 0.0 && rts.window.arrivals > 0;
+            let has_load_evidence = rts.window.mean_concurrency > 0.0 && rts.window.arrivals > 0;
             let above_original = desc.config.size > self.original_config.size;
             if (!has_load_evidence || desc.is_suspended) && !above_original {
                 // Stepping back down toward the customer's own size is
@@ -573,7 +617,11 @@ impl WarehouseOptimizer {
             let slope = (-self.cost_model.latency.global_slope()).max(0.1);
             let allowed = self.setup.slider.backoff_latency_ratio();
             let steps_below = (allowed.log2() / slope).floor().max(0.0) as usize;
-            let floor_idx = self.original_config.size.index().saturating_sub(steps_below);
+            let floor_idx = self
+                .original_config
+                .size
+                .index()
+                .saturating_sub(steps_below);
             if desc.config.size.index() <= floor_idx {
                 mask[AgentAction::SizeDown.index()] = false;
             }
@@ -606,11 +654,9 @@ impl WarehouseOptimizer {
             } else {
                 agent::reward::ACTION_CHURN_PENALTY
             };
-            let reward = agent::compute_reward(
-                credits_now - self.prev_credits,
-                &perf,
-                self.setup.slider,
-            ) - churn;
+            let reward =
+                agent::compute_reward(credits_now - self.prev_credits, &perf, self.setup.slider)
+                    - churn;
             self.agent.observe(Transition {
                 state: ps,
                 action: pa,
@@ -700,7 +746,11 @@ impl WarehouseOptimizer {
         // Capacity decay: spike headroom granted by back-off drifts back to
         // the customer's original capacity after an hour of sustained
         // health, instead of waiting for the policy to rediscover it.
-        self.healthy_streak = if perf_healthy { self.healthy_streak + 1 } else { 0 };
+        self.healthy_streak = if perf_healthy {
+            self.healthy_streak + 1
+        } else {
+            0
+        };
         let streak_needed = (HOUR_MS / self.setup.realtime_interval_ms.max(1)).max(1) as u32;
         let action = if self.healthy_streak >= streak_needed
             && desc.config.size > self.original_config.size
@@ -729,12 +779,7 @@ impl WarehouseOptimizer {
 
     /// Estimates savings for `[start, end)` per §5 (replay without-Keebo,
     /// subtract actual billed credits).
-    pub fn savings_report(
-        &self,
-        sim: &Simulator,
-        start: SimTime,
-        end: SimTime,
-    ) -> SavingsReport {
+    pub fn savings_report(&self, sim: &Simulator, start: SimTime, end: SimTime) -> SavingsReport {
         let records = self.store.queries(&self.name);
         let billing = sim.account().ledger().warehouse(&self.name);
         estimate_savings(
@@ -764,9 +809,17 @@ fn backoff_action(
         }
     }
     let preferences = if rts.queue_depth > 0 || rts.window.mean_queue_ms > 0.0 {
-        [AgentAction::ClustersUp, AgentAction::SizeUp, AgentAction::AutoSuspendUp]
+        [
+            AgentAction::ClustersUp,
+            AgentAction::SizeUp,
+            AgentAction::AutoSuspendUp,
+        ]
     } else {
-        [AgentAction::SizeUp, AgentAction::ClustersUp, AgentAction::AutoSuspendUp]
+        [
+            AgentAction::SizeUp,
+            AgentAction::ClustersUp,
+            AgentAction::AutoSuspendUp,
+        ]
     };
     preferences
         .into_iter()
@@ -800,18 +853,35 @@ impl Orchestrator {
     /// original (without-Keebo) reference.
     ///
     /// # Panics
-    /// Panics if the warehouse does not exist or is already managed.
+    /// Panics if the warehouse does not exist or is already managed; use
+    /// [`Orchestrator::try_manage`] for a non-panicking variant.
     pub fn manage(&mut self, sim: &Simulator, warehouse: &str, setup: KwoSetup) {
+        if let Err(e) = self.try_manage(sim, warehouse, setup) {
+            panic!("{e}");
+        }
+    }
+
+    /// Starts managing a warehouse, rejecting duplicates instead of creating
+    /// a second optimizer that would fight the first over one warehouse
+    /// (with [`Orchestrator::optimizer`] only ever returning the first).
+    pub fn try_manage(
+        &mut self,
+        sim: &Simulator,
+        warehouse: &str,
+        setup: KwoSetup,
+    ) -> Result<(), ManageError> {
         let wh = sim
             .account()
             .warehouse_id(warehouse)
-            .unwrap_or_else(|| panic!("unknown warehouse {warehouse}"));
-        assert!(
-            self.optimizer(warehouse).is_none(),
-            "warehouse {warehouse} is already managed"
-        );
+            .ok_or_else(|| ManageError::UnknownWarehouse(warehouse.to_string()))?;
+        if self.optimizer(warehouse).is_some() {
+            return Err(ManageError::AlreadyManaged(warehouse.to_string()));
+        }
         let original = sim.account().describe(wh).config;
-        let seed = self.seed ^ (self.optimizers.len() as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        // The learning seed derives from the warehouse *name*, not the
+        // manage order: managing A then B gives each warehouse the same
+        // stream as managing it alone.
+        let seed = derive_stream_seed(self.seed, warehouse);
         self.optimizers.push(WarehouseOptimizer::new(
             wh,
             warehouse.to_string(),
@@ -819,11 +889,17 @@ impl Orchestrator {
             setup,
             seed,
         ));
+        Ok(())
     }
 
     /// Borrow an optimizer by warehouse name.
     pub fn optimizer(&self, warehouse: &str) -> Option<&WarehouseOptimizer> {
         self.optimizers.iter().find(|o| o.name == warehouse)
+    }
+
+    /// All managed optimizers, in manage order (fleet rollups iterate this).
+    pub fn optimizers(&self) -> &[WarehouseOptimizer] {
+        &self.optimizers
     }
 
     fn optimizer_mut(&mut self, warehouse: &str) -> Option<&mut WarehouseOptimizer> {
@@ -1010,7 +1086,10 @@ mod tests {
         .unwrap();
         kwo.run_until(&mut sim, DAY_MS + 4 * HOUR_MS);
         let o = kwo.optimizer("WH").unwrap();
-        assert!(o.is_paused(sim.now()), "external change pauses optimization");
+        assert!(
+            o.is_paused(sim.now()),
+            "external change pauses optimization"
+        );
         assert!(
             o.reconciler().desired().is_none(),
             "external config becomes the truth; intent is dropped"
@@ -1137,5 +1216,103 @@ mod tests {
         let mut kwo = Orchestrator::new(1);
         kwo.manage(&sim, "WH", KwoSetup::default());
         kwo.manage(&sim, "WH", KwoSetup::default());
+    }
+
+    #[test]
+    fn try_manage_rejects_duplicates_without_panicking() {
+        let (sim, _) = idle_heavy_sim();
+        let mut kwo = Orchestrator::new(1);
+        assert_eq!(kwo.try_manage(&sim, "WH", KwoSetup::default()), Ok(()));
+        assert_eq!(
+            kwo.try_manage(&sim, "WH", KwoSetup::default()),
+            Err(ManageError::AlreadyManaged("WH".to_string()))
+        );
+        assert_eq!(
+            kwo.try_manage(&sim, "NOPE", KwoSetup::default()),
+            Err(ManageError::UnknownWarehouse("NOPE".to_string()))
+        );
+        // The rejected duplicate left no second optimizer behind.
+        assert_eq!(kwo.optimizers().len(), 1);
+    }
+
+    #[test]
+    fn stream_seed_depends_on_name_not_order() {
+        assert_eq!(
+            derive_stream_seed(42, "WH_A"),
+            derive_stream_seed(42, "WH_A")
+        );
+        assert_ne!(
+            derive_stream_seed(42, "WH_A"),
+            derive_stream_seed(42, "WH_B")
+        );
+        assert_ne!(
+            derive_stream_seed(42, "WH_A"),
+            derive_stream_seed(43, "WH_A")
+        );
+    }
+
+    /// Two warehouses sharing one account + queue, each with its own hourly
+    /// query stream at staggered offsets.
+    fn two_warehouse_sim() -> (Simulator, WarehouseId, WarehouseId) {
+        let mut account = Account::new();
+        let wh_a = account.create_warehouse(
+            "WH_A",
+            WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+        );
+        let wh_b = account.create_warehouse(
+            "WH_B",
+            WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(1800),
+        );
+        let mut sim = Simulator::new(account);
+        for h in 0..(4 * 24) {
+            sim.submit_query(
+                wh_a,
+                QuerySpec::builder(h)
+                    .work_ms_xs(30_000.0)
+                    .cache_affinity(0.2)
+                    .arrival_ms(h * HOUR_MS + 7 * MINUTE_MS)
+                    .build(),
+            );
+            sim.submit_query(
+                wh_b,
+                QuerySpec::builder(10_000 + h)
+                    .work_ms_xs(12_000.0)
+                    .cache_affinity(0.8)
+                    .arrival_ms(h * HOUR_MS + 23 * MINUTE_MS)
+                    .build(),
+            );
+        }
+        (sim, wh_a, wh_b)
+    }
+
+    #[test]
+    fn managed_together_equals_managed_alone() {
+        // C5 isolation: WH_A's decisions and spend must be bit-identical
+        // whether it is the orchestrator's only warehouse or shares the
+        // orchestrator with WH_B. Seeds derive from names, faults are off,
+        // and warehouses share no compute, so there is no cross-talk path.
+        let run = |manage_b: bool| {
+            let (mut sim, wh_a, _) = two_warehouse_sim();
+            let mut kwo = Orchestrator::new(9);
+            kwo.manage(&sim, "WH_A", fast_setup());
+            if manage_b {
+                kwo.manage(&sim, "WH_B", fast_setup());
+            }
+            kwo.observe_until(&mut sim, 2 * DAY_MS);
+            kwo.onboard(&mut sim);
+            kwo.run_until(&mut sim, 4 * DAY_MS);
+            let log = kwo.optimizer("WH_A").unwrap().actuator().log().to_vec();
+            let credits = sim.account().accrued_credits(wh_a, sim.now());
+            (log, credits)
+        };
+        let (log_alone, credits_alone) = run(false);
+        let (log_together, credits_together) = run(true);
+        assert!(!log_alone.is_empty(), "WH_A took actions");
+        assert_eq!(log_alone, log_together, "identical decision sequence");
+        assert_eq!(
+            credits_alone.to_bits(),
+            credits_together.to_bits(),
+            "bit-identical spend"
+        );
     }
 }

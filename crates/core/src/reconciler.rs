@@ -15,9 +15,7 @@
 //! and simultaneous reconcilers don't retry in lockstep.
 
 use crate::actuator::{ActionOutcome, Actuator, LogEntryKind};
-use cdw_sim::{
-    SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseId, MINUTE_MS,
-};
+use cdw_sim::{SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseId, MINUTE_MS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -245,7 +243,10 @@ mod tests {
         let (mut sim, wh, cfg) = setup(FaultPlan::none());
         let mut rec = Reconciler::new(1);
         let mut act = Actuator::new();
-        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Idle);
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Idle
+        );
         rec.set_desired(cfg);
         assert_eq!(
             rec.reconcile(&mut sim, &mut act, wh, "WH"),
@@ -286,7 +287,10 @@ mod tests {
         want.size = WarehouseSize::Small;
         rec.set_desired(want.clone());
 
-        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Failed
+        );
         assert_eq!(rec.consecutive_failures(), 1);
         let first_retry = rec.next_attempt_at();
         assert!(first_retry > 0);
@@ -302,18 +306,21 @@ mod tests {
         for _ in 0..3 {
             let at = rec.next_attempt_at();
             sim.run_until(at);
-            assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+            assert_eq!(
+                rec.reconcile(&mut sim, &mut act, wh, "WH"),
+                ReconcileOutcome::Failed
+            );
             gaps.push(rec.next_attempt_at() - at);
         }
-        assert!(
-            gaps[2] > gaps[0],
-            "backoff should grow: {gaps:?}"
-        );
+        assert!(gaps[2] > gaps[0], "backoff should grow: {gaps:?}");
 
         // Once the fault window ends, the next due attempt repairs.
         let at = rec.next_attempt_at().max(12 * HOUR_MS);
         sim.run_until(at);
-        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Repaired);
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Repaired
+        );
         assert_eq!(rec.consecutive_failures(), 0);
         assert_eq!(sim.account().describe(wh).config, want);
     }
@@ -337,7 +344,11 @@ mod tests {
             times
         };
         assert_eq!(schedule(9), schedule(9));
-        assert_ne!(schedule(9), schedule(10), "different seeds jitter differently");
+        assert_ne!(
+            schedule(9),
+            schedule(10),
+            "different seeds jitter differently"
+        );
     }
 
     #[test]
@@ -348,12 +359,19 @@ mod tests {
         let mut want = cfg.clone();
         want.size = WarehouseSize::Small;
         rec.set_desired(want);
-        assert_eq!(rec.reconcile(&mut sim, &mut act, wh, "WH"), ReconcileOutcome::Failed);
+        assert_eq!(
+            rec.reconcile(&mut sim, &mut act, wh, "WH"),
+            ReconcileOutcome::Failed
+        );
         assert!(rec.next_attempt_at() > 0);
         let mut want2 = cfg;
         want2.size = WarehouseSize::Large;
         rec.set_desired(want2);
-        assert_eq!(rec.next_attempt_at(), 0, "fresh intent is immediately actionable");
+        assert_eq!(
+            rec.next_attempt_at(),
+            0,
+            "fresh intent is immediately actionable"
+        );
         assert_eq!(rec.consecutive_failures(), 0);
     }
 }

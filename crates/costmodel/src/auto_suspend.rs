@@ -97,7 +97,11 @@ impl AutoSuspendOptimizer {
         Self {
             gaps_ms: gaps,
             cold_uplift,
-            mean_exec_ms: if exec_n > 0 { exec_sum / exec_n as f64 } else { 10_000.0 },
+            mean_exec_ms: if exec_n > 0 {
+                exec_sum / exec_n as f64
+            } else {
+                10_000.0
+            },
         }
     }
 
@@ -125,8 +129,7 @@ impl AutoSuspendOptimizer {
         let rate_per_ms = credits_per_hour / 3_600_000.0;
         let extra_ms = self.mean_exec_ms * self.cold_uplift;
         let excess = ((1.0 + self.cold_uplift) / allowed_latency_ratio.max(1.0) - 1.0).max(0.0);
-        let cold_event_cost =
-            extra_ms * rate_per_ms + perf_lambda * excess * EXCESS_LATENCY_COST;
+        let cold_event_cost = extra_ms * rate_per_ms + perf_lambda * excess * EXCESS_LATENCY_COST;
         let mut cost = 0.0;
         for &gap in &self.gaps_ms {
             let idle = gap.min(auto_suspend_ms) as f64;
@@ -198,7 +201,10 @@ mod tests {
             .collect();
         let opt = AutoSuspendOptimizer::train(&recs);
         let best = opt.optimal_ms(&LADDER, 8.0, 5.0, 1.6);
-        assert!(best <= 60_000, "sparse workload should suspend fast, got {best}");
+        assert!(
+            best <= 60_000,
+            "sparse workload should suspend fast, got {best}"
+        );
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
         let opt = AutoSuspendOptimizer::train(&recs);
         assert!(opt.cold_uplift() > 1.5, "uplift {}", opt.cold_uplift());
         let best = opt.optimal_ms(&LADDER, 1.0, 5.0, 1.6);
-        assert!(best >= 120_000, "cache-hot workload should idle through gaps, got {best}");
+        assert!(
+            best >= 120_000,
+            "cache-hot workload should idle through gaps, got {best}"
+        );
     }
 
     #[test]
@@ -234,16 +243,17 @@ mod tests {
     #[test]
     fn no_gaps_stays_conservative() {
         let opt = AutoSuspendOptimizer::train(&[]);
-        assert_eq!(opt.optimal_ms(&LADDER, 8.0, 5.0, 1.6), *LADDER.last().unwrap());
+        assert_eq!(
+            opt.optimal_ms(&LADDER, 8.0, 5.0, 1.6),
+            *LADDER.last().unwrap()
+        );
     }
 
     #[test]
     fn expected_cost_is_monotone_in_idle_for_long_gaps() {
         // With hour-long gaps and negligible cold cost, expected cost grows
         // with the auto-suspend interval.
-        let recs: Vec<QueryRecord> = (0..10)
-            .map(|i| rec(i, i * HOUR_MS, 1_000, 0.9))
-            .collect();
+        let recs: Vec<QueryRecord> = (0..10).map(|i| rec(i, i * HOUR_MS, 1_000, 0.9)).collect();
         let opt = AutoSuspendOptimizer::train(&recs);
         let short = opt.expected_cost(30_000, 8.0, 0.0, 1.6);
         let long = opt.expected_cost(1_800_000, 8.0, 0.0, 1.6);

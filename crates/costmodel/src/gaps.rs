@@ -133,7 +133,11 @@ mod tests {
             t = end + 2_000;
         }
         let m = GapModel::train(&recs);
-        assert!(m.dependent_fraction > 0.99, "fraction {}", m.dependent_fraction);
+        assert!(
+            m.dependent_fraction > 0.99,
+            "fraction {}",
+            m.dependent_fraction
+        );
         assert_eq!(m.median_dependent_gap_ms, 2_000);
     }
 
@@ -177,14 +181,21 @@ mod tests {
     fn billable_gap_clamps_at_auto_suspend() {
         assert_eq!(GapModel::clamp_billable_gap(5_000, 60_000), 5_000);
         assert_eq!(GapModel::clamp_billable_gap(600_000, 60_000), 60_000);
-        assert_eq!(GapModel::clamp_billable_gap(600_000, 0), 600_000, "disabled");
+        assert_eq!(
+            GapModel::clamp_billable_gap(600_000, 0),
+            600_000,
+            "disabled"
+        );
     }
 
     #[test]
     fn empty_history_trains_defaults() {
         let m = GapModel::train(&[]);
         assert_eq!(m.dependent_fraction, 0.0);
-        assert_eq!(m.median_dependent_gap_ms, GapModel::default().median_dependent_gap_ms);
+        assert_eq!(
+            m.median_dependent_gap_ms,
+            GapModel::default().median_dependent_gap_ms
+        );
     }
 
     #[test]

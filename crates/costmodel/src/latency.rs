@@ -184,14 +184,19 @@ mod tests {
     #[test]
     fn learns_halving_slope_from_clean_data() {
         let scaler = LatencyScaler::train(&linear_scaling_records());
-        assert!((scaler.slope_for(1) + 1.0).abs() < 0.01, "slope {}", scaler.slope_for(1));
+        assert!(
+            (scaler.slope_for(1) + 1.0).abs() < 0.01,
+            "slope {}",
+            scaler.slope_for(1)
+        );
         assert_eq!(scaler.fitted_templates(), 1);
     }
 
     #[test]
     fn scaling_round_trips() {
         let scaler = LatencyScaler::train(&linear_scaling_records());
-        let up = scaler.scale_execution_ms(1, 16_000.0, WarehouseSize::XSmall, WarehouseSize::Medium);
+        let up =
+            scaler.scale_execution_ms(1, 16_000.0, WarehouseSize::XSmall, WarehouseSize::Medium);
         assert!((up - 4_000.0).abs() < 50.0, "got {up}");
         let back = scaler.scale_execution_ms(1, up, WarehouseSize::Medium, WarehouseSize::XSmall);
         assert!((back - 16_000.0).abs() < 100.0, "got {back}");
@@ -216,7 +221,9 @@ mod tests {
 
     #[test]
     fn single_size_template_falls_back() {
-        let recs: Vec<QueryRecord> = (0..5).map(|_| rec(7, WarehouseSize::Small, 5_000)).collect();
+        let recs: Vec<QueryRecord> = (0..5)
+            .map(|_| rec(7, WarehouseSize::Small, 5_000))
+            .collect();
         let scaler = LatencyScaler::train(&recs);
         assert_eq!(scaler.fitted_templates(), 0);
         // Default assumption: halving per step.
@@ -226,15 +233,24 @@ mod tests {
     #[test]
     fn serial_template_learns_flat_slope() {
         let mut recs = Vec::new();
-        for size in [WarehouseSize::XSmall, WarehouseSize::Medium, WarehouseSize::XLarge] {
+        for size in [
+            WarehouseSize::XSmall,
+            WarehouseSize::Medium,
+            WarehouseSize::XLarge,
+        ] {
             for _ in 0..2 {
                 recs.push(rec(3, size, 10_000));
             }
         }
         let scaler = LatencyScaler::train(&recs);
-        assert!(scaler.slope_for(3).abs() < 0.01, "flat slope, got {}", scaler.slope_for(3));
+        assert!(
+            scaler.slope_for(3).abs() < 0.01,
+            "flat slope, got {}",
+            scaler.slope_for(3)
+        );
         // Scaling changes nothing for a serial query.
-        let scaled = scaler.scale_execution_ms(3, 10_000.0, WarehouseSize::XSmall, WarehouseSize::XLarge);
+        let scaled =
+            scaler.scale_execution_ms(3, 10_000.0, WarehouseSize::XSmall, WarehouseSize::XLarge);
         assert!((scaled - 10_000.0).abs() < 100.0);
     }
 

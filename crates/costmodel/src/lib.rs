@@ -36,4 +36,4 @@ pub use clusters::ClusterPredictor;
 pub use gaps::GapModel;
 pub use latency::LatencyScaler;
 pub use replay::{ReplayConfig, ReplayOutcome, WarehouseCostModel};
-pub use savings::{SavingsReport, estimate_savings};
+pub use savings::{estimate_savings, SavingsReport};

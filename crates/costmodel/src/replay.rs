@@ -124,8 +124,7 @@ impl WarehouseCostModel {
         items.sort_unstable();
 
         // 3: greedy slot scheduling at the original capacity.
-        let capacity =
-            (original.max_clusters as usize * original.max_concurrency as usize).max(1);
+        let capacity = (original.max_clusters as usize * original.max_concurrency as usize).max(1);
         let mut slots: BinaryHeap<Reverse<SimTime>> = (0..capacity).map(|_| Reverse(0)).collect();
         let mut intervals: Vec<(SimTime, SimTime)> = Vec::with_capacity(items.len());
         for (arrival, exec) in items {
@@ -150,7 +149,17 @@ impl WarehouseCostModel {
         // Per-mini-window demand, for cluster prediction during pricing.
         let horizon = intervals.iter().map(|&(_, e)| e).max().unwrap();
         let first = intervals.first().unwrap().0;
-        let window_of = |t: SimTime| ((t - first.min(cfg.window_start)) / MINI_WINDOW_MS) as usize;
+        // A re-anchored dependent arrival can in principle land before the
+        // window origin (gap model quirks); guard the subtraction so release
+        // builds clamp to window 0 instead of wrapping SimTime.
+        let window_origin = first.min(cfg.window_start);
+        let window_of = move |t: SimTime| {
+            debug_assert!(
+                t >= window_origin,
+                "replay time {t} precedes window origin {window_origin}"
+            );
+            (t.saturating_sub(window_origin) / MINI_WINDOW_MS) as usize
+        };
         let n_windows = window_of(horizon) + 1;
         let mut busy_ms = vec![0f64; n_windows];
         let mut arrivals = vec![0f64; n_windows];
@@ -158,7 +167,7 @@ impl WarehouseCostModel {
         // *while active*, so a one-minute burst inside a five-minute window
         // must not be diluted by the idle four minutes.
         let mut span: Vec<(SimTime, SimTime)> = vec![(SimTime::MAX, 0); n_windows];
-        let origin = first.min(cfg.window_start);
+        let origin = window_origin;
         for &(s, e) in &intervals {
             arrivals[window_of(s)] += 1.0;
             let mut t = s;
@@ -176,7 +185,11 @@ impl WarehouseCostModel {
             let w = window_of(t).min(n_windows - 1);
             let (lo, hi) = span[w];
             let active_ms = if hi > lo { (hi - lo) as f64 } else { 0.0 };
-            let concurrency = if active_ms > 0.0 { busy_ms[w] / active_ms } else { 0.0 };
+            let concurrency = if active_ms > 0.0 {
+                busy_ms[w] / active_ms
+            } else {
+                0.0
+            };
             self.clusters.predict(
                 concurrency,
                 arrivals[w] * 3_600_000.0 / MINI_WINDOW_MS as f64,
@@ -400,7 +413,12 @@ mod tests {
         };
         let recs = vec![
             rec(1, 0, 10 * MINUTE_MS, WarehouseSize::Medium),
-            rec(2, 10 * MINUTE_MS + 5 * SECOND_MS, 10 * MINUTE_MS, WarehouseSize::Medium),
+            rec(
+                2,
+                10 * MINUTE_MS + 5 * SECOND_MS,
+                10 * MINUTE_MS,
+                WarehouseSize::Medium,
+            ),
         ];
         let out = m.replay(&recs, &cfg(WarehouseSize::XSmall, 0));
         // Each query: 40 min replayed. Chain: 40 min + 5 s + 40 min.

@@ -102,10 +102,11 @@ mod tests {
         let report = estimate_savings(&model, &records, &actual, &replay_cfg());
         assert!(report.estimated_without_keebo > 1.0);
         assert!(report.estimated_savings > 0.0);
-        assert!((report.savings_fraction
-            - report.estimated_savings / report.estimated_without_keebo)
-            .abs()
-            < 1e-12);
+        assert!(
+            (report.savings_fraction - report.estimated_savings / report.estimated_without_keebo)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -5,7 +5,11 @@
 /// # Panics
 /// Panics if the slices have different lengths or are empty.
 pub fn mse_loss(pred: &[f64], target: &[f64]) -> f64 {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     assert!(!pred.is_empty(), "loss over empty slice");
     pred.iter()
         .zip(target)
@@ -16,7 +20,11 @@ pub fn mse_loss(pred: &[f64], target: &[f64]) -> f64 {
 
 /// Gradient of [`mse_loss`] with respect to the predictions.
 pub fn mse_loss_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     let n = pred.len() as f64;
     pred.iter()
         .zip(target)
@@ -28,7 +36,11 @@ pub fn mse_loss_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
 /// tails. Standard choice for DQN targets because it bounds the gradient of
 /// outlier temporal-difference errors.
 pub fn huber_loss(pred: &[f64], target: &[f64], delta: f64) -> f64 {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     assert!(!pred.is_empty(), "loss over empty slice");
     assert!(delta > 0.0, "huber delta must be positive");
     pred.iter()
@@ -47,7 +59,11 @@ pub fn huber_loss(pred: &[f64], target: &[f64], delta: f64) -> f64 {
 
 /// Gradient of [`huber_loss`] with respect to the predictions.
 pub fn huber_loss_grad(pred: &[f64], target: &[f64], delta: f64) -> Vec<f64> {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     assert!(delta > 0.0, "huber delta must be positive");
     let n = pred.len() as f64;
     pred.iter()
@@ -101,7 +117,10 @@ mod tests {
     #[test]
     fn huber_grad_is_clipped() {
         let g = huber_loss_grad(&[100.0], &[0.0], 1.0);
-        assert!((g[0] - 1.0).abs() < 1e-12, "tail gradient magnitude is delta");
+        assert!(
+            (g[0] - 1.0).abs() < 1e-12,
+            "tail gradient magnitude is delta"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl MlpGradients {
                 .iter()
                 .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
                 .collect(),
-            bias_grads: net.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect(),
+            bias_grads: net
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.biases.len()])
+                .collect(),
         }
     }
 
@@ -147,7 +151,9 @@ pub struct ForwardTrace {
 impl ForwardTrace {
     /// The network output for this pass.
     pub fn output(&self) -> &[f64] {
-        self.activations.last().expect("trace has at least the input")
+        self.activations
+            .last()
+            .expect("trace has at least the input")
     }
 }
 
@@ -177,8 +183,7 @@ impl Mlp {
         for w in config.layer_sizes.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
-            let weights =
-                Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
+            let weights = Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
             layers.push(Layer {
                 weights,
                 biases: vec![0.0; fan_out],

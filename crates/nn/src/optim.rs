@@ -122,7 +122,11 @@ impl Optimizer for Adam {
         }
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, g), mi), vi) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+        for (((p, g), mi), vi) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
         {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

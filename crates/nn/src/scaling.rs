@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn transformed_data_has_zero_mean_unit_variance() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1000.0 + 3.0 * i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 1000.0 + 3.0 * i as f64])
+            .collect();
         let s = Standardizer::fit(&rows);
         let z: Vec<Vec<f64>> = rows.iter().map(|r| s.transform(r)).collect();
         for f in 0..2 {

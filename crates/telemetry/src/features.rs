@@ -66,8 +66,7 @@ impl WindowFeatures {
 
         let mut out = Self::empty(window_start, window_ms);
         out.arrivals = arrived.len();
-        out.arrival_rate_per_hour =
-            arrived.len() as f64 * 3_600_000.0 / window_ms as f64;
+        out.arrival_rate_per_hour = arrived.len() as f64 * 3_600_000.0 / window_ms as f64;
         out.bytes_scanned = arrived.iter().map(|r| r.bytes_scanned).sum();
 
         if !completed.is_empty() {
@@ -77,10 +76,7 @@ impl WindowFeatures {
                 .collect();
             out.mean_latency_ms = lats.iter().sum::<f64>() / lats.len() as f64;
             out.p99_latency_ms = percentile(&lats, 99.0);
-            out.mean_queue_ms = completed
-                .iter()
-                .map(|r| r.queued_ms() as f64)
-                .sum::<f64>()
+            out.mean_queue_ms = completed.iter().map(|r| r.queued_ms() as f64).sum::<f64>()
                 / completed.len() as f64;
             out.mean_cluster_count = completed
                 .iter()
@@ -171,7 +167,9 @@ mod tests {
 
     #[test]
     fn window_counts_arrivals_and_rates() {
-        let recs: Vec<QueryRecord> = (0..6).map(|i| rec(i, i * 10_000, i * 10_000, i * 10_000 + 5_000)).collect();
+        let recs: Vec<QueryRecord> = (0..6)
+            .map(|i| rec(i, i * 10_000, i * 10_000, i * 10_000 + 5_000))
+            .collect();
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let f = WindowFeatures::compute(&refs, 0, 60_000);
         assert_eq!(f.arrivals, 6);
@@ -182,8 +180,8 @@ mod tests {
     #[test]
     fn latency_stats_use_completions() {
         let recs = [
-            rec(1, 0, 1_000, 11_000),  // latency 11 s, queued 1 s
-            rec(2, 0, 3_000, 23_000),  // latency 23 s, queued 3 s
+            rec(1, 0, 1_000, 11_000), // latency 11 s, queued 1 s
+            rec(2, 0, 3_000, 23_000), // latency 23 s, queued 3 s
         ];
         let refs: Vec<&QueryRecord> = recs.iter().collect();
         let f = WindowFeatures::compute(&refs, 0, 60_000);
@@ -213,7 +211,9 @@ mod tests {
 
     #[test]
     fn series_tiles_the_range() {
-        let recs: Vec<QueryRecord> = (0..10).map(|i| rec(i, i * 60_000, i * 60_000, i * 60_000 + 1_000)).collect();
+        let recs: Vec<QueryRecord> = (0..10)
+            .map(|i| rec(i, i * 60_000, i * 60_000, i * 60_000 + 1_000))
+            .collect();
         let series = WindowFeatures::series(&recs, 0, 600_000, 60_000);
         assert_eq!(series.len(), 10);
         assert!(series.iter().all(|w| w.arrivals == 1));

@@ -134,8 +134,7 @@ impl TelemetryFetcher {
         }
 
         let records = (n_queries + n_events) as u64;
-        let cost =
-            self.base_cost_per_fetch + self.cost_per_1k_records * records as f64 / 1000.0;
+        let cost = self.base_cost_per_fetch + self.cost_per_1k_records * records as f64 / 1000.0;
         account.charge_overhead(now, cost);
 
         self.stats.fetches += 1;
@@ -184,11 +183,15 @@ mod tests {
         let mut sim = sim_with_queries(5);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        let n = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        let n = fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         assert_eq!(n, 5);
         assert_eq!(store.total_queries(), 5);
         // Second fetch with nothing new.
-        let n2 = fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        let n2 = fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         assert_eq!(n2, 0);
         assert_eq!(store.total_queries(), 5, "no duplicates");
     }
@@ -198,7 +201,9 @@ mod tests {
         let mut sim = sim_with_queries(3);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         let overhead = sim.account().ledger().overhead().total();
         assert!(overhead > 0.0);
         assert!(
@@ -214,7 +219,9 @@ mod tests {
         let mut sim = sim_with_queries(2);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         // More work arrives.
         let wh = sim.account().warehouse_id("WH").unwrap();
         sim.submit_query(
@@ -225,7 +232,14 @@ mod tests {
                 .build(),
         );
         sim.run_until(2 * HOUR_MS);
-        let n = fetcher.fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None).unwrap();
+        let n = fetcher
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                2 * HOUR_MS,
+                TelemetryFault::None,
+            )
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(store.total_queries(), 3);
     }
@@ -235,7 +249,9 @@ mod tests {
         let mut sim = sim_with_queries(2);
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         let billed = store.billing("WH").map(|h| h.total()).unwrap_or(0.0);
         assert!(billed > 0.0, "billing history present");
     }
@@ -244,11 +260,17 @@ mod tests {
     fn events_flow_through() {
         let mut sim = sim_with_queries(1);
         let wh = sim.account().warehouse_id("WH").unwrap();
-        sim.alter_warehouse(wh, WarehouseCommand::SetSize(WarehouseSize::Small), ActionSource::External)
-            .unwrap();
+        sim.alter_warehouse(
+            wh,
+            WarehouseCommand::SetSize(WarehouseSize::Small),
+            ActionSource::External,
+        )
+        .unwrap();
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
-        fetcher.fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None).unwrap();
+        fetcher
+            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::None)
+            .unwrap();
         let events = store.events_in("WH", 0, 2 * HOUR_MS);
         assert!(
             events.iter().any(|e| e.source == ActionSource::External),
@@ -262,7 +284,12 @@ mod tests {
         let mut store = TelemetryStore::new();
         let mut fetcher = TelemetryFetcher::new();
         let err = fetcher
-            .fetch(sim.account_mut(), &mut store, HOUR_MS, TelemetryFault::Outage)
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                HOUR_MS,
+                TelemetryFault::Outage,
+            )
             .unwrap_err();
         assert_eq!(err, FetchError::Outage);
         assert_eq!(store.total_queries(), 0);
@@ -272,7 +299,12 @@ mod tests {
         assert!(overhead > 0.0, "attempt still billed");
         // Retry succeeds and picks up everything.
         let n = fetcher
-            .fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None)
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                2 * HOUR_MS,
+                TelemetryFault::None,
+            )
             .unwrap();
         assert_eq!(n, 4);
         assert_eq!(store.last_fetch_at(), Some(2 * HOUR_MS));
@@ -296,7 +328,12 @@ mod tests {
         assert_eq!(fetcher.stats().partial_fetches, 1);
         // Undelivered records arrive on the next clean fetch, no duplicates.
         let n2 = fetcher
-            .fetch(sim.account_mut(), &mut store, 2 * HOUR_MS, TelemetryFault::None)
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                2 * HOUR_MS,
+                TelemetryFault::None,
+            )
             .unwrap();
         assert_eq!(n2, 5);
         assert_eq!(store.total_queries(), 10);
@@ -319,7 +356,12 @@ mod tests {
             assert_eq!(store.staleness_ms(at), k * HOUR_MS);
         }
         fetcher
-            .fetch(sim.account_mut(), &mut store, 5 * HOUR_MS, TelemetryFault::None)
+            .fetch(
+                sim.account_mut(),
+                &mut store,
+                5 * HOUR_MS,
+                TelemetryFault::None,
+            )
             .unwrap();
         assert_eq!(store.staleness_ms(5 * HOUR_MS), 0);
     }

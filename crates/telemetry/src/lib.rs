@@ -22,5 +22,5 @@ pub mod store;
 
 pub use features::{percentile, WindowFeatures};
 pub use fetcher::{FetchError, FetchStats, TelemetryFetcher};
-pub use hashing::{hash_query_text, hash_query_template, strip_literals};
+pub use hashing::{hash_query_template, hash_query_text, strip_literals};
 pub use store::TelemetryStore;

@@ -88,7 +88,10 @@ impl TelemetryStore {
 
     /// All query records for a warehouse, completion-ordered.
     pub fn queries(&self, warehouse: &str) -> &[QueryRecord] {
-        self.queries.get(warehouse).map(Vec::as_slice).unwrap_or(&[])
+        self.queries
+            .get(warehouse)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Query records completing within `[start, end)`.

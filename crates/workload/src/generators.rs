@@ -147,7 +147,8 @@ impl WorkloadGenerator for BiWorkload {
         let refreshes = poisson_arrivals(
             start,
             end,
-            self.peak_refreshes_per_hour.max(self.base_refreshes_per_hour),
+            self.peak_refreshes_per_hour
+                .max(self.base_refreshes_per_hour),
             rate,
             rng,
         );
@@ -313,13 +314,11 @@ impl WorkloadGenerator for ReportingWorkload {
         let mut out = Vec::new();
         for batch_start in batches {
             for q in 0..self.queries_per_batch {
-                let template = QueryTemplate::new(
-                    splitmix64(0x4E9 ^ q as u64),
-                    self.median_work_ms,
-                )
-                .with_cache_affinity(0.4)
-                .with_scale_exponent(1.0)
-                .with_work_sigma(0.2);
+                let template =
+                    QueryTemplate::new(splitmix64(0x4E9 ^ q as u64), self.median_work_ms)
+                        .with_cache_affinity(0.4)
+                        .with_scale_exponent(1.0)
+                        .with_work_sigma(0.2);
                 // Reports submit in quick succession; the scheduler fans
                 // them out.
                 let at = batch_start + (q as u64) * 2 * SECOND_MS;
@@ -404,9 +403,14 @@ mod tests {
                 / counts.len() as f64;
             var.sqrt() / mean
         };
-        let etl = daily_counts(&generate_trace(&EtlWorkload::default(), 0, 14 * DAY_MS, 3), 14);
-        let adhoc =
-            daily_counts(&generate_trace(&AdhocWorkload::default(), 0, 14 * DAY_MS, 3), 14);
+        let etl = daily_counts(
+            &generate_trace(&EtlWorkload::default(), 0, 14 * DAY_MS, 3),
+            14,
+        );
+        let adhoc = daily_counts(
+            &generate_trace(&AdhocWorkload::default(), 0, 14 * DAY_MS, 3),
+            14,
+        );
         assert!(
             cv(&adhoc) > 3.0 * cv(&etl),
             "adhoc CV {} should dwarf ETL CV {}",

@@ -17,12 +17,14 @@
 //! level — and is fully deterministic given a seed.
 
 pub mod arrival;
+pub mod fleet;
 pub mod generators;
 pub mod mix;
 pub mod template;
 pub mod trace;
 
 pub use arrival::{diurnal_rate, poisson_arrivals, scheduled_arrivals};
+pub use fleet::{fleet_mix, FleetMember};
 pub use generators::{
     generate_trace, AdhocWorkload, BiWorkload, EtlWorkload, ReportingWorkload, WorkloadGenerator,
 };

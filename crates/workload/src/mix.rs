@@ -78,7 +78,10 @@ mod tests {
         assert_eq!(mix.len(), 2);
         let qs = generate_trace(&mix, 0, DAY_MS, 42);
         let etl_only = generate_trace(&EtlWorkload::default(), 0, DAY_MS, 42);
-        assert!(qs.len() > etl_only.len(), "mix adds BI volume on top of ETL");
+        assert!(
+            qs.len() > etl_only.len(),
+            "mix adds BI volume on top of ETL"
+        );
     }
 
     #[test]

@@ -223,8 +223,10 @@ mod tests {
     fn standard_normal_has_roughly_zero_mean() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_standard_normal(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_standard_normal(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
     }
 }

@@ -117,9 +117,14 @@ mod tests {
 
     #[test]
     fn stats_reflect_predictability_axis() {
-        let etl = WorkloadTrace::new("etl", generate_trace(&EtlWorkload::default(), 0, 7 * DAY_MS, 1));
-        let adhoc =
-            WorkloadTrace::new("adhoc", generate_trace(&AdhocWorkload::default(), 0, 7 * DAY_MS, 1));
+        let etl = WorkloadTrace::new(
+            "etl",
+            generate_trace(&EtlWorkload::default(), 0, 7 * DAY_MS, 1),
+        );
+        let adhoc = WorkloadTrace::new(
+            "adhoc",
+            generate_trace(&AdhocWorkload::default(), 0, 7 * DAY_MS, 1),
+        );
         assert!(adhoc.stats().daily_count_cv > etl.stats().daily_count_cv);
     }
 
@@ -132,10 +137,7 @@ mod tests {
 
     #[test]
     fn trace_serde_round_trip() {
-        let t = WorkloadTrace::new(
-            "t",
-            vec![QuerySpec::builder(1).arrival_ms(10).build()],
-        );
+        let t = WorkloadTrace::new("t", vec![QuerySpec::builder(1).arrival_ms(10).build()]);
         let json = serde_json::to_string(&t).unwrap();
         let back: WorkloadTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);

@@ -74,14 +74,23 @@ fn main() {
         7 * DAY_MS,
     );
 
-    println!("separate warehouses: {:>7.2} credits/week", report.separate_credits);
-    println!("one shared warehouse:{:>7.2} credits/week", report.merged_credits);
+    println!(
+        "separate warehouses: {:>7.2} credits/week",
+        report.separate_credits
+    );
+    println!(
+        "one shared warehouse:{:>7.2} credits/week",
+        report.merged_credits
+    );
     println!(
         "estimated savings:   {:>7.2} credits/week ({:.0}%)",
         report.estimated_savings,
         100.0 * report.estimated_savings / report.separate_credits.max(1e-9)
     );
-    println!("peak merged concurrency: {} queries", report.peak_concurrency);
+    println!(
+        "peak merged concurrency: {} queries",
+        report.peak_concurrency
+    );
     println!(
         "recommendation: {}",
         if report.recommended {

@@ -14,9 +14,7 @@ use cdw_sim::{
     Account, ActionSource, Simulator, WarehouseCommand, WarehouseConfig, WarehouseSize, DAY_MS,
     HOUR_MS,
 };
-use keebo::{
-    generate_trace, ConstraintSet, KwoSetup, Orchestrator, Rule, RuleEffect, TimeWindow,
-};
+use keebo::{generate_trace, ConstraintSet, KwoSetup, Orchestrator, Rule, RuleEffect, TimeWindow};
 use workload::BiWorkload;
 
 fn main() {

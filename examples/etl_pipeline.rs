@@ -73,7 +73,13 @@ fn main() {
     // Every action KWO took, as SQL.
     let o = kwo.optimizer("ETL_WH").unwrap();
     println!("\nfirst few actions:");
-    for entry in o.actuator().log().iter().filter(|e| !e.sql.is_empty()).take(5) {
+    for entry in o
+        .actuator()
+        .log()
+        .iter()
+        .filter(|e| !e.sql.is_empty())
+        .take(5)
+    {
         println!(
             "  day {:.1} [{}] {}",
             entry.at as f64 / DAY_MS as f64,

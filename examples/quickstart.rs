@@ -36,8 +36,14 @@ fn main() {
 
     // 4. The what-if savings report for the optimized week.
     let report = kwo.savings_report(&sim, "BI_WH", 7 * DAY_MS, 14 * DAY_MS);
-    println!("estimated without Keebo: {:>8.1} credits", report.estimated_without_keebo);
-    println!("actual with Keebo:       {:>8.1} credits", report.actual_with_keebo);
+    println!(
+        "estimated without Keebo: {:>8.1} credits",
+        report.estimated_without_keebo
+    );
+    println!(
+        "actual with Keebo:       {:>8.1} credits",
+        report.actual_with_keebo
+    );
     println!(
         "estimated savings:       {:>8.1} credits ({:.0}%)",
         report.estimated_savings,

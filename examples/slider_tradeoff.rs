@@ -51,9 +51,7 @@ fn main() {
     println!("same ad-hoc workload, five days optimized, two slider extremes:\n");
     for slider in [SliderPosition::LowestCost, SliderPosition::BestPerformance] {
         let (credits, avg_lat) = run(slider, 21);
-        println!(
-            "  {slider:?}: {credits:.1} credits, avg latency {avg_lat:.2}s"
-        );
+        println!("  {slider:?}: {credits:.1} credits, avg latency {avg_lat:.2}s");
     }
 
     // Live slider move: no retraining required.
@@ -78,6 +76,7 @@ fn main() {
     let end = sim.account().accrued_credits(wh, sim.now());
     println!(
         "  credits: {:.1} in 2 days at Balanced, then {:.1} in 3 days at BestPerformance",
-        mid, end - mid
+        mid,
+        end - mid
     );
 }

@@ -85,8 +85,12 @@ fn zero_fault_plan_is_bit_identical_to_the_plain_simulator() {
     );
     assert_eq!(fingerprint(&plain), fingerprint(&empty));
     // The savings report — the user-facing number — is byte-identical too.
-    let a = plain.kwo.savings_report(&plain.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
-    let b = empty.kwo.savings_report(&empty.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
+    let a = plain
+        .kwo
+        .savings_report(&plain.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
+    let b = empty
+        .kwo
+        .savings_report(&empty.sim, WAREHOUSE, 3 * DAY_MS, 7 * DAY_MS);
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
@@ -143,7 +147,11 @@ fn fourteen_day_chaos_run_converges_and_still_saves() {
     let kpis = OpsKpis::collect(o, faulted.sim.now());
     assert!(kpis.degraded_ticks > 0, "never degraded: {kpis:?}");
     assert!(kpis.fetch_outages > 0, "fetcher never saw the outage");
-    assert_eq!(kpis.health, HealthState::Healthy, "did not recover: {kpis:?}");
+    assert_eq!(
+        kpis.health,
+        HealthState::Healthy,
+        "did not recover: {kpis:?}"
+    );
     assert_eq!(o.reconciler().consecutive_failures(), 0);
 
     // No constraint violations: the warehouse ends in a valid configuration.

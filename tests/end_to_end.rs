@@ -74,7 +74,12 @@ fn p99_in_window(run: &Run, from: u64, to: u64) -> f64 {
 #[test]
 fn kwo_saves_on_an_idle_heavy_warehouse() {
     let original = WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
-    let run = run_kwo(&AdhocWorkload::default(), original, SliderPosition::Balanced, 42);
+    let run = run_kwo(
+        &AdhocWorkload::default(),
+        original,
+        SliderPosition::Balanced,
+        42,
+    );
     let with_kwo = optimized_credits(&run);
     // Pre-Keebo daily rate extrapolated over the optimized window.
     let before_daily = run
@@ -96,7 +101,12 @@ fn kwo_saves_on_an_idle_heavy_warehouse() {
 #[test]
 fn balanced_slider_protects_p99() {
     let original = WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
-    let run = run_kwo(&AdhocWorkload::default(), original, SliderPosition::Balanced, 42);
+    let run = run_kwo(
+        &AdhocWorkload::default(),
+        original,
+        SliderPosition::Balanced,
+        42,
+    );
     let before = p99_in_window(&run, 0, OBSERVE_DAYS);
     let after = p99_in_window(&run, OBSERVE_DAYS, TOTAL_DAYS);
     assert!(
@@ -112,7 +122,12 @@ fn slider_orders_cost() {
     let gen = AdhocWorkload::default();
     let original = || WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
     let cheap = optimized_credits(&run_kwo(&gen, original(), SliderPosition::LowestCost, 7));
-    let fast = optimized_credits(&run_kwo(&gen, original(), SliderPosition::BestPerformance, 7));
+    let fast = optimized_credits(&run_kwo(
+        &gen,
+        original(),
+        SliderPosition::BestPerformance,
+        7,
+    ));
     assert!(
         cheap <= fast,
         "LowestCost ({cheap:.1}) must not outspend BestPerformance ({fast:.1})"
@@ -124,10 +139,15 @@ fn slider_orders_cost() {
 #[test]
 fn savings_report_is_calibrated_against_reality() {
     let original = WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
-    let run = run_kwo(&AdhocWorkload::default(), original, SliderPosition::Balanced, 11);
-    let report =
-        run.kwo
-            .savings_report(&run.sim, "WH", OBSERVE_DAYS * DAY_MS, TOTAL_DAYS * DAY_MS);
+    let run = run_kwo(
+        &AdhocWorkload::default(),
+        original,
+        SliderPosition::Balanced,
+        11,
+    );
+    let report = run
+        .kwo
+        .savings_report(&run.sim, "WH", OBSERVE_DAYS * DAY_MS, TOTAL_DAYS * DAY_MS);
     // The replay must estimate a plausible without-Keebo cost: positive and
     // within a factor ~2.5 of the pre-Keebo daily spend extrapolated (the
     // workload's daily swing makes exact matching impossible by design).
@@ -155,7 +175,12 @@ fn savings_report_is_calibrated_against_reality() {
 #[test]
 fn overhead_is_negligible() {
     let original = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600);
-    let run = run_kwo(&EtlWorkload::default(), original, SliderPosition::Balanced, 3);
+    let run = run_kwo(
+        &EtlWorkload::default(),
+        original,
+        SliderPosition::Balanced,
+        3,
+    );
     let usage = run.sim.account().ledger().total_credits();
     let overhead = run.sim.account().ledger().overhead().total();
     assert!(overhead > 0.0, "telemetry fetches must cost something");
@@ -169,14 +194,13 @@ fn overhead_is_negligible() {
 #[test]
 fn external_change_is_detected_and_respected() {
     let original = WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
-    let mut run = run_kwo(&AdhocWorkload::default(), original, SliderPosition::Balanced, 5);
-    let actions_before = run
-        .kwo
-        .optimizer("WH")
-        .unwrap()
-        .actuator()
-        .log()
-        .len();
+    let mut run = run_kwo(
+        &AdhocWorkload::default(),
+        original,
+        SliderPosition::Balanced,
+        5,
+    );
+    let actions_before = run.kwo.optimizer("WH").unwrap().actuator().log().len();
     run.sim
         .alter_warehouse(
             run.wh,
@@ -197,7 +221,12 @@ fn external_change_is_detected_and_respected() {
 fn end_to_end_runs_are_deterministic() {
     let f = || {
         let original = WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800);
-        let run = run_kwo(&AdhocWorkload::default(), original, SliderPosition::Balanced, 99);
+        let run = run_kwo(
+            &AdhocWorkload::default(),
+            original,
+            SliderPosition::Balanced,
+            99,
+        );
         (
             optimized_credits(&run),
             run.sim.account().query_records().len(),

@@ -3,8 +3,8 @@
 //! orchestration) rather than a single module.
 
 use cdw_sim::{
-    Account, ActionSource, QuerySpec, Simulator, WarehouseCommand, WarehouseConfig,
-    WarehouseSize, DAY_MS, HOUR_MS, MINUTE_MS,
+    Account, ActionSource, QuerySpec, Simulator, WarehouseCommand, WarehouseConfig, WarehouseSize,
+    DAY_MS, HOUR_MS, MINUTE_MS,
 };
 use costmodel::{ReplayConfig, WarehouseCostModel};
 use keebo::{
@@ -58,7 +58,12 @@ fn telemetry_pipeline_reflects_simulator_truth() {
     let mut fetcher = TelemetryFetcher::new();
     let now = sim.now();
     let n = fetcher
-        .fetch(sim.account_mut(), &mut store, now, cdw_sim::TelemetryFault::None)
+        .fetch(
+            sim.account_mut(),
+            &mut store,
+            now,
+            cdw_sim::TelemetryFault::None,
+        )
         .unwrap();
     assert_eq!(n, sim.account().query_records().len());
     // Billing snapshot must match the ledger.
@@ -128,11 +133,21 @@ fn actuator_commands_change_the_simulated_warehouse() {
         WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600),
     );
     let mut sim = Simulator::new(account);
-    sim.submit_query(wh, QuerySpec::builder(1).work_ms_xs(5_000.0).arrival_ms(0).build());
+    sim.submit_query(
+        wh,
+        QuerySpec::builder(1)
+            .work_ms_xs(5_000.0)
+            .arrival_ms(0)
+            .build(),
+    );
     sim.run_until(MINUTE_MS);
 
-    sim.alter_warehouse(wh, WarehouseCommand::SetSize(WarehouseSize::Small), ActionSource::Keebo)
-        .unwrap();
+    sim.alter_warehouse(
+        wh,
+        WarehouseCommand::SetSize(WarehouseSize::Small),
+        ActionSource::Keebo,
+    )
+    .unwrap();
     sim.alter_warehouse(
         wh,
         WarehouseCommand::SetAutoSuspend { ms: 60_000 },
@@ -236,7 +251,11 @@ fn orchestrator_manages_multiple_warehouses_independently() {
     assert!(!etl.store().queries("ETL_WH").is_empty());
     assert!(!adhoc.store().queries("ADHOC_WH").is_empty());
     assert!(etl.actuator().log().iter().all(|e| e.warehouse == "ETL_WH"));
-    assert!(adhoc.actuator().log().iter().all(|e| e.warehouse == "ADHOC_WH"));
+    assert!(adhoc
+        .actuator()
+        .log()
+        .iter()
+        .all(|e| e.warehouse == "ADHOC_WH"));
 }
 
 #[test]

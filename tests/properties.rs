@@ -4,8 +4,8 @@
 
 use cdw_sim::{
     billing::{session_credits, HourlyCredits, MIN_BILL_SECONDS},
-    Account, CacheState, QuerySpec, Simulator, WarehouseConfig, WarehouseSize, HOUR_MS,
-    MINUTE_MS, SECOND_MS,
+    Account, CacheState, QuerySpec, Simulator, WarehouseConfig, WarehouseSize, HOUR_MS, MINUTE_MS,
+    SECOND_MS,
 };
 use costmodel::{GapModel, ReplayConfig, WarehouseCostModel};
 use keebo::{ConstraintSet, Rule, RuleEffect, TimeWindow};
