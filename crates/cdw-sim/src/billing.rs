@@ -8,11 +8,21 @@
 
 use crate::size::WarehouseSize;
 use crate::time::{hour_index, ms_to_billing_seconds, SimTime, SECOND_MS};
+use keebo_obs::Counter;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Minimum billable seconds per cluster start.
 pub const MIN_BILL_SECONDS: u64 = 60;
+
+/// Counts credit amounts rejected by [`HourlyCredits::add`] (non-finite or
+/// negative). A production-style run surfaces upstream arithmetic bugs in
+/// the metrics snapshot instead of aborting mid-flight.
+fn invalid_credit_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| keebo_obs::global().counter("cdw_sim.billing.invalid_credit"))
+}
 
 /// Credits billed for one cluster session of `duration_ms` at `size`.
 ///
@@ -35,14 +45,20 @@ impl HourlyCredits {
     }
 
     /// Adds `credits` attributed to the hour containing `at`.
+    ///
+    /// Non-finite or negative amounts indicate an upstream arithmetic bug;
+    /// they are dropped and counted in `cdw_sim.billing.invalid_credit`
+    /// (and trip a `debug_assert!` in debug builds) rather than aborting a
+    /// fleet run mid-flight.
     pub fn add(&mut self, at: SimTime, credits: f64) {
         if credits == 0.0 {
             return;
         }
-        assert!(
-            credits > 0.0 && credits.is_finite(),
-            "bad credit amount {credits}"
-        );
+        if !(credits > 0.0 && credits.is_finite()) {
+            invalid_credit_counter().inc();
+            debug_assert!(false, "bad credit amount {credits}");
+            return;
+        }
         *self.buckets.entry(hour_index(at)).or_insert(0.0) += credits;
     }
 
@@ -50,6 +66,10 @@ impl HourlyCredits {
     /// usage credits are split proportionally to the seconds falling into
     /// each hour; the minimum top-up (if the session ran under 60 s) is
     /// charged to the start hour, which is where Snowflake's bill shows it.
+    ///
+    /// The final hour slice absorbs the partial-second round-up so that
+    /// [`HourlyCredits::total`] equals [`session_credits`] exactly — the
+    /// ledger and the cost model's replay arithmetic must never disagree.
     pub fn add_session(&mut self, size: WarehouseSize, start: SimTime, end: SimTime) {
         assert!(end >= start, "session ends before it starts");
         let duration = end - start;
@@ -58,16 +78,23 @@ impl HourlyCredits {
         if min_topup_secs > 0 {
             self.add(start, min_topup_secs as f64 * size.credits_per_second());
         }
-        // Walk hour boundaries, attributing each slice.
+        // Walk hour boundaries, attributing each slice. Non-final slices
+        // bill raw fractional seconds; the final slice takes whatever
+        // remains of the rounded-up total, keeping the sum exact.
+        let usage_secs = billed_secs as f64;
+        let mut attributed = 0.0;
         let mut t = start;
         while t < end {
             let hour_end = (hour_index(t) + 1) * crate::time::HOUR_MS;
             let slice_end = hour_end.min(end);
             let slice_ms = slice_end - t;
-            self.add(
-                t,
-                slice_ms as f64 / SECOND_MS as f64 * size.credits_per_second(),
-            );
+            let slice_secs = if slice_end == end {
+                (usage_secs - attributed).max(0.0)
+            } else {
+                slice_ms as f64 / SECOND_MS as f64
+            };
+            self.add(t, slice_secs * size.credits_per_second());
+            attributed += slice_secs;
             t = slice_end;
         }
         if duration == 0 && min_topup_secs == 0 {
@@ -228,15 +255,74 @@ mod tests {
             let mut h = HourlyCredits::new();
             h.add_session(WarehouseSize::Medium, 12_345, 12_345 + dur);
             let direct = session_credits(WarehouseSize::Medium, dur);
-            // Hourly attribution uses fractional seconds for the usage part
-            // while session_credits rounds up; allow one second of slack.
+            // Exact: the final hour slice absorbs the partial-second
+            // round-up, so the ledger agrees with session_credits.
             assert!(
-                (h.total() - direct).abs() <= WarehouseSize::Medium.credits_per_second() + 1e-9,
+                (h.total() - direct).abs() <= 1e-9,
                 "dur {dur}: {} vs {}",
                 h.total(),
                 direct
             );
         }
+    }
+
+    /// Deterministic twin of `prop_session_total_matches_session_credits`:
+    /// the proptest dev-stub is a no-op offline, so the property is also
+    /// exercised here against a seeded random sample.
+    #[test]
+    fn session_total_matches_session_credits_random_sample() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x0b5e_cafe);
+        for _ in 0..500 {
+            let size = WarehouseSize::ALL[rng.gen_range(0..WarehouseSize::ALL.len())];
+            let start: SimTime = rng.gen_range(0..48 * HOUR_MS);
+            let dur: SimTime = rng.gen_range(0..6 * HOUR_MS);
+            let mut h = HourlyCredits::new();
+            h.add_session(size, start, start + dur);
+            let direct = session_credits(size, dur);
+            assert!(
+                (h.total() - direct).abs() <= 1e-9,
+                "size {size:?} start {start} dur {dur}: {} vs {}",
+                h.total(),
+                direct
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_session_total_matches_session_credits(
+            size_idx in 0usize..WarehouseSize::ALL.len(),
+            start in 0u64..48 * HOUR_MS,
+            dur in 0u64..6 * HOUR_MS,
+        ) {
+            let size = WarehouseSize::ALL[size_idx];
+            let mut h = HourlyCredits::new();
+            h.add_session(size, start, start + dur);
+            let direct = session_credits(size, dur);
+            proptest::prop_assert!((h.total() - direct).abs() <= 1e-9);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "bad credit amount")]
+    fn invalid_credit_trips_debug_assert() {
+        let mut h = HourlyCredits::new();
+        h.add(0, f64::NAN);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn invalid_credit_is_counted_not_fatal() {
+        let counter = keebo_obs::global().counter("cdw_sim.billing.invalid_credit");
+        let before = counter.get();
+        let mut h = HourlyCredits::new();
+        h.add(0, f64::NAN);
+        h.add(0, -1.0);
+        h.add(0, f64::INFINITY);
+        assert_eq!(h.total(), 0.0, "invalid amounts are dropped");
+        assert_eq!(counter.get(), before + 3);
     }
 
     #[test]

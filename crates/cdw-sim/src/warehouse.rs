@@ -18,7 +18,21 @@ use crate::query::QuerySpec;
 use crate::records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord};
 use crate::size::WarehouseSize;
 use crate::time::SimTime;
+use keebo_obs::Histogram;
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Queue-wait histogram (ms between arrival and execution start), shared by
+/// every warehouse in the process. Observability only: never read back.
+fn queue_wait_histogram() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        keebo_obs::global().histogram(
+            "cdw_sim.query.queue_wait_ms",
+            &[0.0, 100.0, 1_000.0, 5_000.0, 15_000.0, 60_000.0, 300_000.0],
+        )
+    })
+}
 
 /// Warehouse lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,6 +265,7 @@ impl Warehouse {
             cluster.end_query(ctx.now);
         }
         self.exec_ewma_ms = 0.9 * self.exec_ewma_ms + 0.1 * rq.latency_ms as f64;
+        queue_wait_histogram().observe((rq.start - rq.spec.arrival) as f64);
         ctx.query_records.push(QueryRecord {
             query_id: rq.spec.id,
             warehouse: self.name.clone(),

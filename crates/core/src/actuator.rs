@@ -120,6 +120,9 @@ impl Actuator {
             match sim.alter_warehouse(wh, cmd, ActionSource::Keebo) {
                 Err(ref e) if e.is_transient() && attempts <= self.max_transient_retries => {
                     self.retries += 1;
+                    keebo_obs::global()
+                        .counter("keebo.actuator.transient_retries")
+                        .inc();
                 }
                 res => return (res, attempts),
             }
@@ -175,6 +178,12 @@ impl Actuator {
             None if any_applied => ActionOutcome::Applied,
             None => ActionOutcome::NoChange,
         };
+        let outcome_metric = match &outcome {
+            ActionOutcome::Applied => "keebo.actuator.applied",
+            ActionOutcome::NoChange => "keebo.actuator.no_change",
+            ActionOutcome::Failed(_) => "keebo.actuator.failed",
+        };
+        keebo_obs::global().counter(outcome_metric).inc();
         (outcome, results)
     }
 

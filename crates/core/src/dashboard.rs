@@ -252,6 +252,85 @@ mod tests {
         }
     }
 
+    fn kpis(health: HealthState, ticks: u64, staleness: SimTime) -> OpsKpis {
+        OpsKpis {
+            health,
+            healthy_ticks: ticks,
+            degraded_ticks: ticks / 2,
+            frozen_ticks: ticks / 4,
+            actions_applied: ticks as usize + 1,
+            actions_failed: ticks as usize % 3,
+            rollbacks: ticks as usize % 2,
+            reconciliations: ticks as usize % 5,
+            transient_retries: ticks % 7,
+            fetch_outages: ticks % 4,
+            fetch_partials: ticks % 6,
+            telemetry_staleness_ms: staleness,
+        }
+    }
+
+    #[test]
+    fn rollup_of_empty_group_is_all_healthy_zero_row() {
+        let rolled = OpsKpis::rollup([]);
+        assert_eq!(rolled.health, HealthState::Healthy);
+        assert_eq!(rolled.healthy_ticks, 0);
+        assert_eq!(rolled.actions_applied, 0);
+        assert_eq!(rolled.telemetry_staleness_ms, 0);
+    }
+
+    #[test]
+    fn rollup_of_single_element_is_identity() {
+        let one = kpis(
+            HealthState::Degraded(crate::health::DegradeReason::StaleTelemetry),
+            9,
+            1234,
+        );
+        let rolled = OpsKpis::rollup([&one]);
+        assert_eq!(rolled, one);
+    }
+
+    #[test]
+    fn merge_keeps_worst_health_in_both_directions() {
+        use crate::health::DegradeReason;
+        let healthy = kpis(HealthState::Healthy, 1, 0);
+        let degraded = kpis(HealthState::Degraded(DegradeReason::ConfigDrift), 1, 0);
+        let frozen = kpis(HealthState::Frozen, 1, 0);
+
+        // Worse absorbs into better...
+        let mut acc = healthy.clone();
+        acc.merge(&degraded);
+        assert_eq!(acc.health, degraded.health);
+        acc.merge(&frozen);
+        assert_eq!(acc.health, HealthState::Frozen);
+        // ...and better never downgrades worse.
+        let mut acc = frozen.clone();
+        acc.merge(&healthy);
+        assert_eq!(acc.health, HealthState::Frozen);
+        let mut acc = degraded.clone();
+        acc.merge(&healthy);
+        assert_eq!(acc.health, degraded.health);
+    }
+
+    #[test]
+    fn rollup_is_order_independent() {
+        use crate::health::DegradeReason;
+        let members = [
+            kpis(HealthState::Healthy, 3, 100),
+            kpis(HealthState::Frozen, 5, 900),
+            kpis(
+                HealthState::Degraded(DegradeReason::ActuationFailures),
+                7,
+                400,
+            ),
+        ];
+        let forward = OpsKpis::rollup(members.iter());
+        let reverse = OpsKpis::rollup(members.iter().rev());
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.health, HealthState::Frozen);
+        assert_eq!(forward.healthy_ticks, 15);
+        assert_eq!(forward.telemetry_staleness_ms, 900);
+    }
+
     #[test]
     fn daily_rows_cover_the_window_without_holes() {
         let rows = Dashboard::daily(&[], &HourlyCredits::new(), 0, 3 * DAY_MS);

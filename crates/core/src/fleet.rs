@@ -232,6 +232,7 @@ impl FleetController {
 
     /// Drives one shard through the full lifecycle and rolls up its report.
     fn run_shard(&self, index: usize, observe_until: SimTime, until: SimTime) -> TenantReport {
+        let t0 = std::time::Instant::now();
         let tenant = &self.tenants[index];
         let mut shard = self.build_shard(tenant);
         shard.kwo.observe_until(&mut shard.sim, observe_until);
@@ -257,6 +258,12 @@ impl FleetController {
         for w in &warehouses {
             add_invoice(&mut invoice, &w.invoice);
         }
+        keebo_obs::global()
+            .histogram(
+                "keebo.fleet.shard_wall_ms",
+                &[100.0, 500.0, 2_000.0, 10_000.0, 60_000.0, 300_000.0],
+            )
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
         TenantReport {
             tenant: tenant.name.clone(),
             estimated_without_keebo: warehouses
@@ -283,6 +290,12 @@ impl FleetController {
         assert!(threads > 0, "need at least one worker thread");
         let shards = self.tenants.len();
         let workers = threads.min(shards);
+        keebo_obs::global()
+            .gauge("keebo.fleet.tenants")
+            .set(shards as f64);
+        keebo_obs::global()
+            .gauge("keebo.fleet.workers")
+            .set(workers as f64);
 
         let results: Mutex<Vec<Option<TenantReport>>> = Mutex::new(vec![None; shards]);
         let next = AtomicUsize::new(0);
@@ -421,6 +434,37 @@ mod tests {
             four.estimated_savings.to_bits()
         );
         assert_eq!(one.ops.actions_applied, four.ops.actions_applied);
+    }
+
+    #[test]
+    fn observability_is_zero_perturbation() {
+        // The acceptance bar for the whole observability layer: metrics and
+        // tracing on vs off must yield bit-identical fleet results. Metrics
+        // are fire-and-forget atomics and the trace only copies values out,
+        // so the digest cannot move.
+        let fleet = small_fleet(13, 2);
+        let metrics_on = fleet.run(DAY_MS, 2 * DAY_MS, 2).digest();
+        keebo_obs::set_enabled(false);
+        let metrics_off = fleet.run(DAY_MS, 2 * DAY_MS, 2).digest();
+        keebo_obs::set_enabled(true);
+        assert_eq!(metrics_on, metrics_off, "metrics on/off must not perturb");
+
+        // Tracing disabled entirely (capacity 0) — same digest again.
+        let mut no_trace = FleetController::new(13);
+        for t in 0..2 {
+            let tenant_name = format!("tenant-{t}");
+            let mut tenant = TenantSpec::new(&tenant_name);
+            for w in 0..2 {
+                let name = format!("T{t}_WH{w}");
+                let wh_seed = derive_stream_seed(13, &name);
+                let mut spec = warehouse_spec(&name, t * 2 + w, wh_seed, 2);
+                spec.setup.trace_capacity = 0;
+                tenant = tenant.add_warehouse(spec);
+            }
+            no_trace.add_tenant(tenant);
+        }
+        let trace_off = no_trace.run(DAY_MS, 2 * DAY_MS, 2).digest();
+        assert_eq!(metrics_on, trace_off, "trace on/off must not perturb");
     }
 
     #[test]

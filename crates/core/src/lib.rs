@@ -89,5 +89,12 @@ pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
 pub use agent::{ConstraintSet, Rule, RuleEffect, SliderPosition, TimeWindow};
 pub use costmodel::SavingsReport;
 
+// The observability layer: metrics registry, decision trace, exporters.
+// `keebo::obs::global()` is the process-wide registry every crate in the
+// decision path records into; `WarehouseOptimizer::trace()` holds the
+// per-tick decision log.
+pub use keebo_obs as obs;
+pub use keebo_obs::{DecisionEvent, DecisionTrace, MaskEntry, MetricsSnapshot, TraceFeatures};
+
 // Used by the doc example above.
 pub use workload::generate_trace;

@@ -37,10 +37,27 @@ use cdw_sim::{
     WarehouseId, DAY_MS, HOUR_MS, MINUTE_MS,
 };
 use costmodel::{estimate_savings, ReplayConfig, SavingsReport, WarehouseCostModel};
+use keebo_obs::{DecisionEvent, DecisionTrace, Histogram, MaskEntry, TraceFeatures};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+use std::time::Instant;
 use telemetry::{TelemetryFetcher, TelemetryStore};
+
+/// Wall-clock time per control tick (µs), across every optimizer in the
+/// process. Observability only — wall time never feeds back into decisions.
+fn tick_wall_histogram() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        keebo_obs::global().histogram(
+            "keebo.tick.wall_us",
+            &[
+                50.0, 100.0, 250.0, 500.0, 1_000.0, 5_000.0, 25_000.0, 100_000.0,
+            ],
+        )
+    })
+}
 
 /// Per-warehouse KWO configuration: everything the customer's admin sets in
 /// the web portal (§4.1) plus operational cadences.
@@ -67,6 +84,10 @@ pub struct KwoSetup {
     pub health: HealthSettings,
     /// Retry/backoff tuning for the desired-state reconciler.
     pub reconciler: ReconcilerSettings,
+    /// Decision-trace ring-buffer capacity (events kept per warehouse);
+    /// 0 disables tracing. Tracing is read-only bookkeeping and never
+    /// perturbs decisions.
+    pub trace_capacity: usize,
 }
 
 impl Default for KwoSetup {
@@ -82,7 +103,65 @@ impl Default for KwoSetup {
             external_pause_ms: 12 * HOUR_MS,
             health: HealthSettings::default(),
             reconciler: ReconcilerSettings::default(),
+            trace_capacity: 2048,
         }
+    }
+}
+
+/// An action mask under construction, remembering *why* each masked action
+/// was masked: the constraint rule names (C1–C4 style business rules), the
+/// analytic slider floor, the performance guardrail, health gates. This is
+/// what lets the decision trace answer "why did WH_A downsize at hour 412 —
+/// and why was nothing else on the table?".
+struct MaskTrace {
+    mask: [bool; AgentAction::COUNT],
+    reasons: [Vec<String>; AgentAction::COUNT],
+}
+
+impl MaskTrace {
+    /// Starts from the constraint mask, attributing each constraint-masked
+    /// action to the offending rule names (or inapplicability).
+    fn new(constraints: &ConstraintSet, config: &WarehouseConfig, now: SimTime) -> Self {
+        let mask = constraints.action_mask(config, now);
+        let mut reasons: [Vec<String>; AgentAction::COUNT] = Default::default();
+        for a in AgentAction::ALL {
+            if mask[a.index()] {
+                continue;
+            }
+            if !a.is_applicable(config) {
+                reasons[a.index()].push("inapplicable".to_string());
+            }
+            for rule in constraints.violations(a, config, now) {
+                reasons[a.index()].push(format!("constraint:{rule}"));
+            }
+        }
+        Self { mask, reasons }
+    }
+
+    /// Masks `action`, recording `reason` if this call is what masked it
+    /// (already-masked actions keep their original causes).
+    fn disallow(&mut self, action: AgentAction, reason: &str) {
+        let i = action.index();
+        if self.mask[i] {
+            self.mask[i] = false;
+            self.reasons[i].push(reason.to_string());
+        }
+    }
+
+    fn allows(&self, action: AgentAction) -> bool {
+        self.mask[action.index()]
+    }
+
+    /// The full mask as trace entries, aligned with [`AgentAction::ALL`].
+    fn entries(&self) -> Vec<MaskEntry> {
+        AgentAction::ALL
+            .iter()
+            .map(|a| MaskEntry {
+                action: format!("{a:?}"),
+                allowed: self.mask[a.index()],
+                reasons: self.reasons[a.index()].clone(),
+            })
+            .collect()
     }
 }
 
@@ -193,6 +272,9 @@ pub struct WarehouseOptimizer {
     /// Consecutive healthy ticks; sustained health decays any capacity
     /// held above the customer's original configuration.
     healthy_streak: u32,
+    /// Per-tick decision log (ring buffer; capacity from
+    /// [`KwoSetup::trace_capacity`]). Write-only from the control loop.
+    trace: DecisionTrace,
 }
 
 impl WarehouseOptimizer {
@@ -210,6 +292,7 @@ impl WarehouseOptimizer {
         // retries never perturbs training randomness.
         let reconciler = Reconciler::with_settings(seed ^ 0xD6E8_FEB8_6659_FD93, setup.reconciler);
         let health = HealthMonitor::new(setup.health);
+        let trace = DecisionTrace::new(setup.trace_capacity);
         Self {
             wh,
             expected_config: original_config.clone(),
@@ -237,6 +320,7 @@ impl WarehouseOptimizer {
             last_good_config: None,
             pending_auto_suspend: None,
             healthy_streak: 0,
+            trace,
             name,
         }
     }
@@ -279,6 +363,11 @@ impl WarehouseOptimizer {
     /// Telemetry fetch statistics (including outages and partial batches).
     pub fn fetcher(&self) -> &TelemetryFetcher {
         &self.fetcher
+    }
+
+    /// The per-tick decision trace (empty when `trace_capacity` is 0).
+    pub fn trace(&self) -> &DecisionTrace {
+        &self.trace
     }
 
     /// Whether optimization is currently paused due to an external change.
@@ -385,8 +474,65 @@ impl WarehouseOptimizer {
         }
     }
 
+    /// Copies the monitored state into trace form (sanitized so the JSONL
+    /// export never carries NaN/Inf).
+    fn trace_features(rts: &RealTimeState) -> TraceFeatures {
+        TraceFeatures {
+            arrival_rate_per_hour: rts.window.arrival_rate_per_hour,
+            mean_latency_ms: rts.window.mean_latency_ms,
+            p99_latency_ms: rts.window.p99_latency_ms,
+            mean_queue_ms: rts.window.mean_queue_ms,
+            mean_concurrency: rts.window.mean_concurrency,
+            queue_depth: rts.queue_depth,
+            load_zscore: rts.load_zscore,
+            latency_ratio: rts.latency_ratio,
+        }
+        .sanitized()
+    }
+
+    /// Appends one decision event for this tick. Pure bookkeeping: reads
+    /// values already computed by the control loop and never feeds back.
+    #[allow(clippy::too_many_arguments)]
+    fn record_decision(
+        &mut self,
+        now: SimTime,
+        health: HealthState,
+        config: &WarehouseConfig,
+        rts: &RealTimeState,
+        mask: Vec<MaskEntry>,
+        chosen: String,
+        reason: &str,
+        reward: Option<f64>,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.record(DecisionEvent {
+            t_ms: now,
+            hour: now / HOUR_MS,
+            warehouse: self.name.clone(),
+            health: health.to_string(),
+            size: format!("{:?}", config.size),
+            min_clusters: config.min_clusters,
+            max_clusters: config.max_clusters,
+            auto_suspend_ms: config.auto_suspend_ms,
+            features: Self::trace_features(rts),
+            mask,
+            chosen,
+            reason: reason.to_string(),
+            reward,
+        });
+    }
+
     /// One real-time step of Algorithm 1 (lines 17–23), gated by health.
+    /// Wall time per tick lands in the `keebo.tick.wall_us` histogram.
     fn tick(&mut self, sim: &mut Simulator) {
+        let t0 = Instant::now();
+        self.tick_inner(sim);
+        tick_wall_histogram().observe(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    fn tick_inner(&mut self, sim: &mut Simulator) {
         let now = sim.now();
         let fetched = self.fetch(sim);
 
@@ -443,6 +589,7 @@ impl WarehouseOptimizer {
         // is the new truth: drop our own intent so the reconciler never
         // fights the admin.
         if rts.external_change {
+            let mut chosen = AgentAction::NoOp;
             if !self.is_paused(now) {
                 // Revert our own last action, then step aside.
                 if let Some(inv) = self.last_action.and_then(AgentAction::inverse) {
@@ -455,6 +602,7 @@ impl WarehouseOptimizer {
                             inv,
                             "external-revert",
                         );
+                        chosen = inv;
                     }
                 }
                 self.last_action = None;
@@ -463,10 +611,31 @@ impl WarehouseOptimizer {
             self.reconciler.clear();
             self.expected_config = sim.account().describe(self.wh).config;
             self.prev_state = None;
+            let cfg = self.expected_config.clone();
+            self.record_decision(
+                now,
+                health,
+                &cfg,
+                &rts,
+                vec![],
+                format!("{chosen:?}"),
+                "paused:external-change",
+                None,
+            );
             return;
         }
         if self.is_paused(now) {
             self.prev_state = None;
+            self.record_decision(
+                now,
+                health,
+                &desc.config,
+                &rts,
+                vec![],
+                "NoOp".to_string(),
+                "paused",
+                None,
+            );
             return;
         }
 
@@ -480,6 +649,16 @@ impl WarehouseOptimizer {
         if !self.health.can_optimize() {
             self.prev_state = None;
             self.healthy_streak = 0;
+            self.record_decision(
+                now,
+                health,
+                &desc.config,
+                &rts,
+                vec![],
+                "NoOp".to_string(),
+                "frozen",
+                None,
+            );
             return;
         }
         if matches!(
@@ -491,6 +670,16 @@ impl WarehouseOptimizer {
             // the reconciler is still converging on.
             self.prev_state = None;
             self.healthy_streak = 0;
+            self.record_decision(
+                now,
+                health,
+                &desc.config,
+                &rts,
+                vec![],
+                "NoOp".to_string(),
+                "degraded:mid-repair",
+                None,
+            );
             return;
         }
 
@@ -538,12 +727,12 @@ impl WarehouseOptimizer {
             slider: self.setup.slider,
         };
         let state_vec = state.to_vec();
-        let mut mask = self.setup.constraints.action_mask(&desc.config, now);
+        let mut mtrace = MaskTrace::new(&self.setup.constraints, &desc.config, now);
 
         // Auto-suspend is owned by the analytic optimizer; the policy keeps
         // size and parallelism (and SuspendNow for mid-interval idleness).
-        mask[AgentAction::AutoSuspendUp.index()] = false;
-        mask[AgentAction::AutoSuspendDown.index()] = false;
+        mtrace.disallow(AgentAction::AutoSuspendUp, "owner:auto-suspend-optimizer");
+        mtrace.disallow(AgentAction::AutoSuspendDown, "owner:auto-suspend-optimizer");
 
         // Stale telemetry: windowed features describe the past, not the
         // present. Hold the last-known-good policy (no training, no new
@@ -555,9 +744,9 @@ impl WarehouseOptimizer {
                 AgentAction::ClustersDown,
                 AgentAction::SuspendNow,
             ] {
-                mask[a.index()] = false;
+                mtrace.disallow(a, "health:stale-telemetry");
             }
-            let action = self.fallback.decide(&state, &mask, &mut self.rng);
+            let action = self.fallback.decide(&state, &mtrace.mask, &mut self.rng);
             if action != AgentAction::NoOp {
                 let cmds = action.to_commands(&desc.config);
                 self.actuator.apply(
@@ -574,6 +763,17 @@ impl WarehouseOptimizer {
             }
             self.prev_state = None;
             self.healthy_streak = 0;
+            let mask_entries = mtrace.entries();
+            self.record_decision(
+                now,
+                health,
+                &desc.config,
+                &rts,
+                mask_entries,
+                format!("{action:?}"),
+                "degraded-fallback",
+                None,
+            );
             return;
         }
 
@@ -595,7 +795,7 @@ impl WarehouseOptimizer {
                 AgentAction::AutoSuspendDown,
                 AgentAction::SuspendNow,
             ] {
-                mask[a.index()] = false;
+                mtrace.disallow(a, "C4:perf-unhealthy");
             }
         } else {
             self.last_good_config = Some(desc.config.clone());
@@ -608,7 +808,7 @@ impl WarehouseOptimizer {
             if (!has_load_evidence || desc.is_suspended) && !above_original {
                 // Stepping back down toward the customer's own size is
                 // always safe; going *below* it needs evidence.
-                mask[AgentAction::SizeDown.index()] = false;
+                mtrace.disallow(AgentAction::SizeDown, "no-load-evidence");
             }
             // Analytic size floor from the learned latency scaler (§5.2):
             // each size step down multiplies latency by 2^(-slope); the
@@ -623,7 +823,7 @@ impl WarehouseOptimizer {
                 .index()
                 .saturating_sub(steps_below);
             if desc.config.size.index() <= floor_idx {
-                mask[AgentAction::SizeDown.index()] = false;
+                mtrace.disallow(AgentAction::SizeDown, "slider-floor");
             }
             // Cost guardrail (the flip side of C4): while performance is
             // fine, never provision beyond the customer's own original
@@ -631,18 +831,20 @@ impl WarehouseOptimizer {
             // reserved for actual pressure.
             let orig = &self.original_config;
             if desc.config.size >= orig.size {
-                mask[AgentAction::SizeUp.index()] = false;
+                mtrace.disallow(AgentAction::SizeUp, "cost-guardrail");
             }
             if desc.config.max_clusters >= orig.max_clusters {
-                mask[AgentAction::ClustersUp.index()] = false;
+                mtrace.disallow(AgentAction::ClustersUp, "cost-guardrail");
             }
             if desc.config.auto_suspend_ms >= orig.auto_suspend_ms {
-                mask[AgentAction::AutoSuspendUp.index()] = false;
+                mtrace.disallow(AgentAction::AutoSuspendUp, "cost-guardrail");
             }
         }
+        let mask = mtrace.mask;
 
         let credits_now = sim.account().accrued_credits(self.wh, now);
         let dropped_now = sim.account().warehouse(self.wh).dropped_queries();
+        let mut tick_reward = None;
         if let Some((ps, pa)) = self.prev_state.take() {
             let perf = PerfSignals {
                 mean_queue_s: rts.window.mean_queue_ms / 1000.0,
@@ -657,6 +859,7 @@ impl WarehouseOptimizer {
             let reward =
                 agent::compute_reward(credits_now - self.prev_credits, &perf, self.setup.slider)
                     - churn;
+            tick_reward = Some(reward);
             self.agent.observe(Transition {
                 state: ps,
                 action: pa,
@@ -697,6 +900,8 @@ impl WarehouseOptimizer {
                         Some(self.original_config.clone()).filter(|orig| has_more_capacity(orig))
                     })
             };
+            let backoff_chosen;
+            let backoff_reason;
             match rollback {
                 Some(good) => {
                     let mut cmds = Vec::new();
@@ -724,6 +929,8 @@ impl WarehouseOptimizer {
                     );
                     self.reconciler
                         .set_desired(intended_config(desc.config.clone(), &cmds));
+                    backoff_chosen = format!("Rollback(to {:?})", good.size);
+                    backoff_reason = "backoff-rollback";
                 }
                 None => {
                     let action = backoff_action(&rts, &mask, self.last_action);
@@ -732,6 +939,8 @@ impl WarehouseOptimizer {
                         .apply(sim, self.wh, &self.name, &desc.config, action, "backoff");
                     self.reconciler
                         .set_desired(intended_config(desc.config.clone(), &cmds));
+                    backoff_chosen = format!("{action:?}");
+                    backoff_reason = "backoff";
                 }
             }
             self.expected_config = sim.account().describe(self.wh).config;
@@ -740,6 +949,17 @@ impl WarehouseOptimizer {
             // transition is attributed to the model for it.
             self.prev_state = None;
             self.prev_credits = sim.account().accrued_credits(self.wh, now);
+            let mask_entries = mtrace.entries();
+            self.record_decision(
+                now,
+                health,
+                &desc.config,
+                &rts,
+                mask_entries,
+                backoff_chosen,
+                backoff_reason,
+                tick_reward,
+            );
             return;
         }
 
@@ -752,15 +972,18 @@ impl WarehouseOptimizer {
             0
         };
         let streak_needed = (HOUR_MS / self.setup.realtime_interval_ms.max(1)).max(1) as u32;
+        let mut decay = false;
         let action = if self.healthy_streak >= streak_needed
             && desc.config.size > self.original_config.size
-            && mask[AgentAction::SizeDown.index()]
+            && mtrace.allows(AgentAction::SizeDown)
         {
+            decay = true;
             AgentAction::SizeDown
         } else if self.healthy_streak >= streak_needed
             && desc.config.max_clusters > self.original_config.max_clusters
-            && mask[AgentAction::ClustersDown.index()]
+            && mtrace.allows(AgentAction::ClustersDown)
         {
+            decay = true;
             AgentAction::ClustersDown
         } else {
             self.agent.greedy_action(&state_vec, &mask)
@@ -775,6 +998,17 @@ impl WarehouseOptimizer {
             self.last_action = Some(action);
         }
         self.prev_state = Some((state_vec, action.index()));
+        let mask_entries = mtrace.entries();
+        self.record_decision(
+            now,
+            health,
+            &desc.config,
+            &rts,
+            mask_entries,
+            format!("{action:?}"),
+            if decay { "capacity-decay" } else { "policy" },
+            tick_reward,
+        );
     }
 
     /// Estimates savings for `[start, end)` per §5 (replay without-Keebo,

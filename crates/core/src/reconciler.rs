@@ -199,11 +199,17 @@ impl Reconciler {
         ) {
             ActionOutcome::Failed(_) => {
                 self.schedule_backoff(now);
+                keebo_obs::global()
+                    .counter("keebo.reconciler.retries")
+                    .inc();
                 ReconcileOutcome::Failed
             }
             _ => {
                 self.consecutive_failures = 0;
                 self.next_attempt_at = 0;
+                keebo_obs::global()
+                    .counter("keebo.reconciler.repairs")
+                    .inc();
                 ReconcileOutcome::Repaired
             }
         }

@@ -21,9 +21,24 @@ use crate::clusters::{ClusterPredictor, MINI_WINDOW_MS};
 use crate::gaps::GapModel;
 use crate::latency::LatencyScaler;
 use cdw_sim::{HourlyCredits, QueryRecord, SimTime, WarehouseConfig};
+use keebo_obs::Histogram;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// Distribution of per-query latency rescale deltas (|replayed − observed|
+/// execution ms). Large mass in the high buckets means the latency scaler
+/// is extrapolating far from the observed size. Observability only.
+fn rescale_delta_histogram() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        keebo_obs::global().histogram(
+            "costmodel.replay.rescale_delta_ms",
+            &[0.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0],
+        )
+    })
+}
 
 /// Inputs to one replay: the configuration to replay *under* (the customer's
 /// original, without-Keebo settings) and the window of history to replay.
@@ -85,6 +100,7 @@ impl WarehouseCostModel {
     pub fn replay(&self, records: &[QueryRecord], cfg: &ReplayConfig) -> ReplayOutcome {
         let original = &cfg.original;
         debug_assert!(original.validate().is_ok(), "invalid original config");
+        keebo_obs::global().counter("costmodel.replay.runs").inc();
 
         // 1+2: rescale latencies and re-anchor dependent arrivals.
         let mut selected: Vec<&QueryRecord> = records
@@ -107,6 +123,7 @@ impl WarehouseCostModel {
                 )
                 .round()
                 .max(1.0) as SimTime;
+            rescale_delta_histogram().observe((exec as f64 - r.execution_ms() as f64).abs());
             let arrival = match (observed_max_end, replayed_max_end) {
                 (Some(obs_end), Some(rep_end)) => {
                     match self.gaps.dependent_gap(r.arrival, obs_end) {

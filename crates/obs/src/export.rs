@@ -1,0 +1,95 @@
+//! Prometheus text exposition format for [`MetricsSnapshot`].
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Maps a dotted metric name to a Prometheus-legal identifier.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot in the Prometheus text format: `# TYPE` headers,
+/// cumulative `_bucket{le=...}` series for histograms, `_sum` and `_count`.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(*value));
+    }
+    for h in &snapshot.histograms {
+        let n = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                prom_f64(*bound)
+            );
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("keebo.actuator.applied").add(3);
+        reg.gauge("keebo.fleet.tenants").set(4.0);
+        let h = reg.histogram("cdw_sim.query.queue_wait_ms", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(5_000.0);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE keebo_actuator_applied counter"));
+        assert!(text.contains("keebo_actuator_applied 3"));
+        assert!(text.contains("# TYPE keebo_fleet_tenants gauge"));
+        assert!(text.contains("keebo_fleet_tenants 4"));
+        assert!(text.contains("cdw_sim_query_queue_wait_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("cdw_sim_query_queue_wait_ms_bucket{le=\"100\"} 2"));
+        assert!(text.contains("cdw_sim_query_queue_wait_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cdw_sim_query_queue_wait_ms_sum 5055"));
+        assert!(text.contains("cdw_sim_query_queue_wait_ms_count 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let reg = MetricsRegistry::new();
+        assert!(prometheus_text(&reg.snapshot()).is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the hot path (inc/observe)
+//! is a couple of relaxed atomic ops and never allocates. Registration
+//! (name lookup) takes a mutex and is meant for setup paths or cold code.
+//! Each registry carries its own enable flag, shared with every handle it
+//! hands out, so disabling the global registry cannot perturb independent
+//! registries (and vice versa).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            value: Arc::new(AtomicU64::new(0)),
+            enabled,
+        }
+    }
+
+    /// Increments by one (no-op while the owning registry is disabled).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n` (no-op while the owning registry is disabled).
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the last observed `f64` value (stored as bits).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            enabled,
+        }
+    }
+
+    /// Sets the gauge (no-op while the owning registry is disabled).
+    pub fn set(&self, value: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing. An implicit
+    /// +Inf bucket catches everything above the last bound.
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the +Inf overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as f64 bits updated via CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram (Prometheus-style cumulative export).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64], enabled: Arc<AtomicBool>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+            enabled,
+        }
+    }
+
+    /// Records one observation (no-op while the owning registry is
+    /// disabled). NaN observations land in the +Inf bucket and are
+    /// excluded from `sum`.
+    pub fn observe(&self, value: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let inner = &self.inner;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + value).to_bits();
+                match inner.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.inner.bounds.clone(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; last entry is the +Inf bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Registry of named metrics. Lookup by name is mutex-guarded; returned
+/// handles update shared atomics without further locking.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether collection through this registry's handles is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables collection for every handle this registry has
+    /// handed out (or will hand out).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter::new(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge::new(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Returns (registering on first use) the histogram named `name` with
+    /// the given finite bucket upper bounds. Bounds passed on subsequent
+    /// lookups of an existing name are ignored.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds, self.enabled.clone()))
+            .clone()
+    }
+
+    /// Copies out every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric in place. Existing handles remain
+    /// valid (they share the zeroed atomics), so this is safe to call
+    /// between benchmark phases or tests.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.bits.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            for b in &h.inner.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.inner.count.store(0, Ordering::Relaxed);
+            h.inner.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_survives_reset() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ticks");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter("ticks").get(), 5, "same handle by name");
+        reg.reset();
+        assert_eq!(c.get(), 0, "existing handle sees the reset");
+        c.inc();
+        assert_eq!(reg.counter("ticks").get(), 1);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(3.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn disabling_registry_freezes_values() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h", &[1.0, 10.0]);
+        c.inc();
+        g.set(5.0);
+        h.observe(3.0);
+        reg.set_enabled(false);
+        c.inc();
+        c.add(10);
+        g.set(9.0);
+        h.observe(3.0);
+        assert_eq!(c.get(), 1);
+        assert_eq!(g.get(), 5.0);
+        assert_eq!(h.count(), 1);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(10.0); // boundary lands in the <=10 bucket
+        h.observe(50.0);
+        h.observe(1e9);
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+        assert_eq!(hs.count, 4);
+        assert!((hs.sum - (5.0 + 10.0 + 50.0 + 1e9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_observation_counts_but_skips_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("weird", &[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].buckets, vec![1, 1]);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b");
+        reg.counter("a");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("shared");
+        let h = reg.histogram("hist", &[0.5]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe((i % 2) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -118,13 +118,17 @@ impl WindowFeatures {
 
 /// Nearest-rank percentile (p in [0, 100]) of unsorted data. Returns 0.0 on
 /// empty input.
+///
+/// Sorting uses [`f64::total_cmp`], so NaNs (which a degenerate window can
+/// produce) order after every finite value instead of panicking; low/mid
+/// percentiles of NaN-containing data stay finite.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
@@ -163,6 +167,32 @@ mod tests {
     #[test]
     fn percentile_of_single_value() {
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero_for_any_p() {
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_input() {
+        // NaNs order after every finite value under total_cmp: low and mid
+        // percentiles stay finite, only the top ranks see the NaN.
+        let v = [1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert!(percentile(&v, 100.0).is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_boundaries_pick_extremes() {
+        let v = [5.0, -3.0, 9.0, 1.0];
+        assert_eq!(percentile(&v, 0.0), -3.0);
+        assert_eq!(percentile(&v, 100.0), 9.0);
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl TelemetryFetcher {
     ) -> Result<usize, FetchError> {
         if let TelemetryFault::Outage = fault {
             account.charge_overhead(now, self.base_cost_per_fetch);
+            keebo_obs::global().counter("telemetry.fetch.outages").inc();
             self.stats.failed_fetches += 1;
             self.stats.overhead_credits += self.base_cost_per_fetch;
             return Err(FetchError::Outage);
@@ -115,6 +116,9 @@ impl TelemetryFetcher {
             let f = keep_fraction.clamp(0.0, 1.0);
             n_queries = (n_queries as f64 * f).floor() as usize;
             n_events = (n_events as f64 * f).floor() as usize;
+            keebo_obs::global()
+                .counter("telemetry.fetch.partials")
+                .inc();
             self.stats.partial_fetches += 1;
         }
 
