@@ -1,0 +1,381 @@
+//! Table-driven boundary tests for the four customer-constraint
+//! categories (§4.1) the masking layer enforces:
+//!
+//! - **C1 — size bounds**: `MinSize`, `MaxSize`, `NoDownsize`
+//! - **C2 — suspension**: `NoSuspend`, `MinAutoSuspendMs`
+//! - **C3 — cluster bounds**: `MinClusters`, `MaxClusters`
+//! - **C4 — time windows**: half-open `[start, end)` hour ranges, midnight
+//!   wrap, and weekday filters gating all of the above
+//!
+//! Every row exercises a rule exactly at a boundary value (the floor size
+//! itself, the window edge millisecond, the ladder step landing on the
+//! auto-suspend floor, ...) where off-by-one regressions live. The final
+//! test pins the mask-never-empty guarantee across a grid of adversarial
+//! rule sets.
+
+use agent::{AgentAction, ConstraintSet, Rule, RuleEffect, TimeWindow};
+use cdw_sim::{WarehouseConfig, WarehouseSize, HOUR_MS};
+
+struct Case {
+    name: &'static str,
+    effect: RuleEffect,
+    window: TimeWindow,
+    config: WarehouseConfig,
+    action: AgentAction,
+    at: u64,
+    allowed: bool,
+}
+
+fn cfg(size: WarehouseSize) -> WarehouseConfig {
+    WarehouseConfig::new(size)
+        .with_auto_suspend_secs(300)
+        .with_clusters(1, 3)
+}
+
+fn run(cases: &[Case]) {
+    for c in cases {
+        let cs =
+            ConstraintSet::new().with_rule(Rule::new(c.name, c.window.clone(), c.effect.clone()));
+        assert_eq!(
+            cs.allows(c.action, &c.config, c.at),
+            c.allowed,
+            "{}: {:?} at t={} expected allowed={}",
+            c.name,
+            c.action,
+            c.at,
+            c.allowed
+        );
+        // The mask must agree with `allows` for every applicable action.
+        if c.action.is_applicable(&c.config) && c.action != AgentAction::NoOp {
+            let mask = cs.action_mask(&c.config, c.at);
+            assert_eq!(
+                mask[c.action.index()],
+                c.allowed,
+                "{}: mask disagrees with allows() for {:?}",
+                c.name,
+                c.action
+            );
+        }
+    }
+}
+
+#[test]
+fn c1_size_bounds_at_boundaries() {
+    run(&[
+        // Downsizing *onto* the floor is legal; downsizing *from* it is not.
+        Case {
+            name: "min-size: land exactly on floor",
+            effect: RuleEffect::MinSize(WarehouseSize::Small),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "min-size: step below floor",
+            effect: RuleEffect::MinSize(WarehouseSize::Small),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SizeDown,
+            at: 0,
+            allowed: false,
+        },
+        // Upsizing *onto* the ceiling is legal; past it is not.
+        Case {
+            name: "max-size: land exactly on ceiling",
+            effect: RuleEffect::MaxSize(WarehouseSize::Medium),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SizeUp,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "max-size: step past ceiling",
+            effect: RuleEffect::MaxSize(WarehouseSize::Medium),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeUp,
+            at: 0,
+            allowed: false,
+        },
+        // NoDownsize compares against the *current* size, so staying put is
+        // fine and any downward step is not.
+        Case {
+            name: "no-downsize: same size passes",
+            effect: RuleEffect::NoDownsize,
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::ClustersUp,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "no-downsize: one step down blocked",
+            effect: RuleEffect::NoDownsize,
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 0,
+            allowed: false,
+        },
+    ]);
+}
+
+#[test]
+fn c2_suspension_rules_at_boundaries() {
+    // The ladder steps 300 s -> 120 s; a 120 s floor permits that exact
+    // landing, a 121 s floor does not.
+    run(&[
+        Case {
+            name: "no-suspend: suspend-now blocked",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 0,
+            allowed: false,
+        },
+        Case {
+            name: "no-suspend: shortening auto-suspend blocked",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::AutoSuspendDown,
+            at: 0,
+            allowed: false,
+        },
+        Case {
+            name: "no-suspend: lengthening allowed",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::AutoSuspendUp,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "auto-suspend floor: ladder step lands exactly on floor",
+            effect: RuleEffect::MinAutoSuspendMs(120_000),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small), // 300 s, steps down to 120 s
+            action: AgentAction::AutoSuspendDown,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "auto-suspend floor: one ms above the landing",
+            effect: RuleEffect::MinAutoSuspendMs(120_001),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::AutoSuspendDown,
+            at: 0,
+            allowed: false,
+        },
+    ]);
+}
+
+#[test]
+fn c3_cluster_bounds_at_boundaries() {
+    run(&[
+        Case {
+            name: "min-clusters: shrink onto the minimum",
+            effect: RuleEffect::MinClusters(2),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small), // max = 3
+            action: AgentAction::ClustersDown,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "min-clusters: shrink below the minimum",
+            effect: RuleEffect::MinClusters(3),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::ClustersDown,
+            at: 0,
+            allowed: false,
+        },
+        Case {
+            name: "max-clusters: grow onto the maximum",
+            effect: RuleEffect::MaxClusters(4),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::ClustersUp,
+            at: 0,
+            allowed: true,
+        },
+        Case {
+            name: "max-clusters: grow past the maximum",
+            effect: RuleEffect::MaxClusters(3),
+            window: TimeWindow::always(),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::ClustersUp,
+            at: 0,
+            allowed: false,
+        },
+    ]);
+}
+
+#[test]
+fn c4_time_window_edges_gate_enforcement() {
+    let nine_to_five = TimeWindow::daily(9.0, 17.0);
+    run(&[
+        Case {
+            name: "window: first ms inside",
+            effect: RuleEffect::NoDownsize,
+            window: nine_to_five.clone(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 9 * HOUR_MS,
+            allowed: false,
+        },
+        Case {
+            name: "window: last ms inside",
+            effect: RuleEffect::NoDownsize,
+            window: nine_to_five.clone(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 17 * HOUR_MS - 1,
+            allowed: false,
+        },
+        Case {
+            name: "window: end bound is exclusive",
+            effect: RuleEffect::NoDownsize,
+            window: nine_to_five.clone(),
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 17 * HOUR_MS,
+            allowed: true,
+        },
+        Case {
+            name: "window: last ms before start",
+            effect: RuleEffect::NoDownsize,
+            window: nine_to_five,
+            config: cfg(WarehouseSize::Medium),
+            action: AgentAction::SizeDown,
+            at: 9 * HOUR_MS - 1,
+            allowed: true,
+        },
+        // Midnight wrap: 22:00–02:00 active at 23:00 and 01:59:59.999,
+        // inactive at exactly 02:00.
+        Case {
+            name: "wrap: active before midnight",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(22.0, 2.0),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 23 * HOUR_MS,
+            allowed: false,
+        },
+        Case {
+            name: "wrap: active after midnight",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(22.0, 2.0),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 2 * HOUR_MS - 1,
+            allowed: false,
+        },
+        Case {
+            name: "wrap: inactive at exclusive end",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(22.0, 2.0),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 2 * HOUR_MS,
+            allowed: true,
+        },
+        // Day filter: a Monday-only rule is inert on Tuesday at the same
+        // hour, and active again exactly one week later.
+        Case {
+            name: "days: active on listed weekday",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(0.0, 24.0).on_days(vec![0]),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: HOUR_MS,
+            allowed: false,
+        },
+        Case {
+            name: "days: inert on other weekday",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(0.0, 24.0).on_days(vec![0]),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 24 * HOUR_MS + HOUR_MS,
+            allowed: true,
+        },
+        Case {
+            name: "days: active again a week later",
+            effect: RuleEffect::NoSuspend,
+            window: TimeWindow::daily(0.0, 24.0).on_days(vec![0]),
+            config: cfg(WarehouseSize::Small),
+            action: AgentAction::SuspendNow,
+            at: 7 * 24 * HOUR_MS + HOUR_MS,
+            allowed: false,
+        },
+    ]);
+}
+
+#[test]
+fn mask_is_never_empty_under_adversarial_rule_grids() {
+    // Cross a grid of maximally restrictive rule sets with every size and
+    // boundary cluster range: whatever the standing config — including ones
+    // that already violate the rules — the mask keeps at least NoOp.
+    let rule_sets: Vec<ConstraintSet> = vec![
+        ConstraintSet::new()
+            .with_rule(Rule::new(
+                "ceil-xs",
+                TimeWindow::always(),
+                RuleEffect::MaxSize(WarehouseSize::XSmall),
+            ))
+            .with_rule(Rule::new(
+                "floor-top",
+                TimeWindow::always(),
+                RuleEffect::MinSize(WarehouseSize::from_index(9).unwrap()),
+            )),
+        ConstraintSet::new()
+            .with_rule(Rule::new(
+                "no-suspend",
+                TimeWindow::always(),
+                RuleEffect::NoSuspend,
+            ))
+            .with_rule(Rule::new(
+                "one-cluster",
+                TimeWindow::always(),
+                RuleEffect::MaxClusters(1),
+            ))
+            .with_rule(Rule::new(
+                "many-clusters",
+                TimeWindow::always(),
+                RuleEffect::MinClusters(10),
+            )),
+        ConstraintSet::new()
+            .with_rule(Rule::new(
+                "no-downsize",
+                TimeWindow::always(),
+                RuleEffect::NoDownsize,
+            ))
+            .with_rule(Rule::new(
+                "long-suspend",
+                TimeWindow::always(),
+                RuleEffect::MinAutoSuspendMs(u64::MAX),
+            )),
+    ];
+    for cs in &rule_sets {
+        for idx in 0..10 {
+            let size = WarehouseSize::from_index(idx).unwrap();
+            for (min_c, max_c) in [(1u32, 1u32), (1, 10), (10, 10)] {
+                let config = cfg(size).with_clusters(min_c, max_c);
+                let mask = cs.action_mask(&config, 0);
+                assert!(
+                    mask.iter().any(|&m| m),
+                    "empty mask for size {size:?}, clusters {min_c}..{max_c}"
+                );
+                assert!(mask[AgentAction::NoOp.index()], "NoOp must survive");
+            }
+        }
+    }
+}

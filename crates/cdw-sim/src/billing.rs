@@ -134,6 +134,21 @@ impl HourlyCredits {
     }
 }
 
+/// One closed cluster billing session as recorded by the ledger. Every
+/// credit a warehouse accrues flows through exactly one of these (the
+/// `record_session` funnel), which is what makes an independent billing
+/// oracle possible: replaying the session log must reproduce the hourly
+/// buckets to within float tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Size the session was billed at (resize closes the old-rate session).
+    pub size: WarehouseSize,
+    /// Cluster start (or resize) time, ms.
+    pub start: SimTime,
+    /// Cluster stop / suspend / resize time, ms.
+    pub end: SimTime,
+}
+
 /// Account-wide billing ledger: one [`HourlyCredits`] per warehouse name,
 /// plus a separate overhead category for metadata/actuation queries (this
 /// separation is what Fig. 6 of the paper plots).
@@ -141,6 +156,7 @@ impl HourlyCredits {
 pub struct BillingLedger {
     per_warehouse: BTreeMap<String, HourlyCredits>,
     overhead: HourlyCredits,
+    sessions: BTreeMap<String, Vec<SessionRecord>>,
 }
 
 impl BillingLedger {
@@ -160,6 +176,10 @@ impl BillingLedger {
             .entry(warehouse.to_string())
             .or_default()
             .add_session(size, start, end);
+        self.sessions
+            .entry(warehouse.to_string())
+            .or_default()
+            .push(SessionRecord { size, start, end });
     }
 
     /// Records overhead credits (telemetry fetch, actuator commands).
@@ -195,6 +215,16 @@ impl BillingLedger {
     /// Warehouse names present in the ledger.
     pub fn warehouse_names(&self) -> impl Iterator<Item = &str> {
         self.per_warehouse.keys().map(String::as_str)
+    }
+
+    /// Closed billing sessions for one warehouse, in recording order
+    /// (session end times are non-decreasing because the simulator clock
+    /// is monotone). Empty for unknown warehouses.
+    pub fn sessions(&self, warehouse: &str) -> &[SessionRecord] {
+        self.sessions
+            .get(warehouse)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -357,6 +387,18 @@ mod tests {
         assert!((l.total_credits() - 3.0).abs() < 1e-9);
         assert!((l.total_with_overhead() - 3.01).abs() < 1e-9);
         assert_eq!(l.warehouse("missing").total(), 0.0);
+    }
+
+    #[test]
+    fn ledger_records_session_log() {
+        let mut l = BillingLedger::new();
+        l.record_session("A", WarehouseSize::XSmall, 0, HOUR_MS);
+        l.record_session("A", WarehouseSize::Small, HOUR_MS, 2 * HOUR_MS);
+        let log = l.sessions("A");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].size, WarehouseSize::XSmall);
+        assert_eq!(log[1].start, HOUR_MS);
+        assert!(l.sessions("missing").is_empty());
     }
 
     #[test]

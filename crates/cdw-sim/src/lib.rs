@@ -62,7 +62,7 @@ pub mod warehouse;
 
 pub use account::{Account, WarehouseId};
 pub use api::{AlterError, WarehouseCommand};
-pub use billing::{BillingLedger, HourlyCredits};
+pub use billing::{BillingLedger, HourlyCredits, SessionRecord, MIN_BILL_SECONDS};
 pub use cache::CacheState;
 pub use cluster::{Cluster, ClusterState};
 pub use config::WarehouseConfig;
@@ -70,7 +70,7 @@ pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow, T
 pub use policy::ScalingPolicy;
 pub use query::{QuerySpec, QuerySpecBuilder};
 pub use records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord};
-pub use sim::Simulator;
+pub use sim::{PostEventHook, Simulator};
 pub use size::WarehouseSize;
 pub use time::{SimTime, DAY_MS, HOUR_MS, MINUTE_MS, SECOND_MS};
 pub use warehouse::{Warehouse, WarehouseState};

@@ -15,6 +15,7 @@ use crate::time::SimTime;
 use crate::warehouse::WhEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// An event addressed to one warehouse.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,21 @@ impl Ord for Scheduled {
     }
 }
 
+/// An observer invoked after every processed event with the account state
+/// and the clock at that instant. Installed via
+/// [`Simulator::set_post_event_hook`]; the verification layer uses it to run
+/// invariant checks at every event boundary without the simulator depending
+/// on the checker.
+pub struct PostEventHook(HookFn);
+
+type HookFn = Box<dyn FnMut(&Account, SimTime)>;
+
+impl fmt::Debug for PostEventHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PostEventHook")
+    }
+}
+
 /// Discrete-event simulator over one account.
 #[derive(Debug)]
 pub struct Simulator {
@@ -72,6 +88,7 @@ pub struct Simulator {
     next_seq: u64,
     processed_events: u64,
     injector: FaultInjector,
+    post_event_hook: Option<PostEventHook>,
 }
 
 impl Simulator {
@@ -92,7 +109,21 @@ impl Simulator {
             next_seq: 0,
             processed_events: 0,
             injector: FaultInjector::new(plan, fault_seed),
+            post_event_hook: None,
         }
+    }
+
+    /// Installs an observer called after every processed event (any previous
+    /// hook is replaced). The hook sees the account in its post-event state
+    /// and the event's timestamp — the clock may still advance to the
+    /// `run_until` horizon afterwards without a further call.
+    pub fn set_post_event_hook(&mut self, hook: impl FnMut(&Account, SimTime) + 'static) {
+        self.post_event_hook = Some(PostEventHook(Box::new(hook)));
+    }
+
+    /// Removes the post-event observer, if any.
+    pub fn clear_post_event_hook(&mut self) {
+        self.post_event_hook = None;
     }
 
     /// Current virtual time.
@@ -266,6 +297,9 @@ impl Simulator {
                         self.push_wh(wh, at, ev);
                     }
                 }
+            }
+            if let Some(hook) = self.post_event_hook.as_mut() {
+                (hook.0)(&self.account, self.clock);
             }
         }
         self.clock = until;
@@ -671,6 +705,43 @@ mod tests {
             sim.account().warehouse(wh).state(),
             WarehouseState::Suspended
         );
+    }
+
+    #[test]
+    fn post_event_hook_fires_once_per_event_with_monotone_clock() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut sim, wh) =
+            single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60));
+        let seen: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        sim.set_post_event_hook(move |_, now| sink.borrow_mut().push(now));
+        sim.submit_query(wh, q(1, 1_000, 10_000.0));
+        sim.submit_query(wh, q(2, 5_000, 2_000.0));
+        sim.run_until(HOUR_MS);
+        let seen = seen.borrow();
+        assert_eq!(seen.len() as u64, sim.processed_events());
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "clock monotone");
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn clearing_post_event_hook_stops_callbacks() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let (mut sim, wh) =
+            single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60));
+        let count = Rc::new(Cell::new(0u64));
+        let sink = Rc::clone(&count);
+        sim.set_post_event_hook(move |_, _| sink.set(sink.get() + 1));
+        sim.submit_query(wh, q(1, 0, 1_000.0));
+        sim.run_until(10 * SECOND_MS);
+        let frozen = count.get();
+        assert!(frozen > 0);
+        sim.clear_post_event_hook();
+        sim.submit_query(wh, q(2, 11 * SECOND_MS, 1_000.0));
+        sim.run_until(HOUR_MS);
+        assert_eq!(count.get(), frozen, "no callbacks after clear");
     }
 
     #[test]

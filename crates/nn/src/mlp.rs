@@ -420,6 +420,89 @@ mod tests {
     }
 
     #[test]
+    fn backward_matches_finite_differences_exhaustively_for_both_losses() {
+        // Every weight and every bias of every layer, under both supported
+        // losses, on a multi-hidden-layer Tanh network (smooth everywhere,
+        // so central differences are trustworthy to ~eps^2). The spot-check
+        // tests above stay as fast smoke; this is the authoritative one.
+        use crate::loss::{huber_loss, huber_loss_grad};
+        let delta = 0.5;
+        let input = [0.3, -0.7, 0.15, 0.9];
+        let target = [0.4, -0.9, 0.05];
+        type LossFns = (
+            &'static str,
+            Box<dyn Fn(&[f64]) -> f64>,
+            Box<dyn Fn(&[f64]) -> Vec<f64>>,
+        );
+        let losses: [LossFns; 2] = [
+            (
+                "mse",
+                Box::new(move |p: &[f64]| mse_loss(p, &target)),
+                Box::new(move |p: &[f64]| mse_loss_grad(p, &target)),
+            ),
+            (
+                "huber",
+                Box::new(move |p: &[f64]| huber_loss(p, &target, delta)),
+                Box::new(move |p: &[f64]| huber_loss_grad(p, &target, delta)),
+            ),
+        ];
+        for (loss_name, loss, loss_grad) in &losses {
+            let mut rng = StdRng::seed_from_u64(19);
+            let mut net = Mlp::new(
+                MlpConfig {
+                    layer_sizes: vec![4, 6, 5, 3],
+                    activation: Activation::Tanh,
+                },
+                &mut rng,
+            );
+            let trace = net.forward_trace(&input);
+            let grads = net.backward(&trace, &loss_grad(trace.output()));
+            let eps = 1e-6;
+            let mut checked = 0usize;
+            for layer_idx in 0..net.layers.len() {
+                let n_weights = net.layers[layer_idx].weights.as_slice().len();
+                for flat in 0..n_weights {
+                    let analytic = grads.weight_grads[layer_idx].as_slice()[flat];
+                    let orig = net.layers[layer_idx].weights.as_slice()[flat];
+                    net.layers[layer_idx].weights.as_mut_slice()[flat] = orig + eps;
+                    let up = loss(&net.forward(&input));
+                    net.layers[layer_idx].weights.as_mut_slice()[flat] = orig - eps;
+                    let down = loss(&net.forward(&input));
+                    net.layers[layer_idx].weights.as_mut_slice()[flat] = orig;
+                    let numeric = (up - down) / (2.0 * eps);
+                    assert!(
+                        (analytic - numeric).abs() <= 1e-6 * analytic.abs().max(1.0),
+                        "{loss_name} layer {layer_idx} weight {flat}: \
+                         analytic {analytic} vs numeric {numeric}"
+                    );
+                    checked += 1;
+                }
+                for b in 0..net.layers[layer_idx].biases.len() {
+                    let analytic = grads.bias_grads[layer_idx][b];
+                    let orig = net.layers[layer_idx].biases[b];
+                    net.layers[layer_idx].biases[b] = orig + eps;
+                    let up = loss(&net.forward(&input));
+                    net.layers[layer_idx].biases[b] = orig - eps;
+                    let down = loss(&net.forward(&input));
+                    net.layers[layer_idx].biases[b] = orig;
+                    let numeric = (up - down) / (2.0 * eps);
+                    assert!(
+                        (analytic - numeric).abs() <= 1e-6 * analytic.abs().max(1.0),
+                        "{loss_name} layer {layer_idx} bias {b}: \
+                         analytic {analytic} vs numeric {numeric}"
+                    );
+                    checked += 1;
+                }
+            }
+            assert_eq!(
+                checked,
+                net.parameter_count(),
+                "{loss_name}: gradient check must cover every parameter"
+            );
+        }
+    }
+
+    #[test]
     fn relu_backward_matches_finite_differences_away_from_kink() {
         let mut rng = StdRng::seed_from_u64(11);
         let mut net = Mlp::new(MlpConfig::new(vec![2, 6, 1]), &mut rng);

@@ -1,0 +1,79 @@
+//! OLS exact-solution regression tests.
+//!
+//! On noiseless data generated from a known linear model, the normal
+//! equations must recover the generating coefficients to near machine
+//! precision. This pins the Gaussian-elimination solver against silent
+//! numerical regressions (pivot changes, accumulation-order drift).
+
+use nn::{ols_fit, ridge_fit, LinearModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic, well-conditioned feature matrix: no noise, full rank.
+fn design(n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(123);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+#[test]
+fn ols_recovers_generating_model_exactly() {
+    let truth = LinearModel {
+        weights: vec![2.5, -1.25, 0.75, 3.0],
+        intercept: -4.2,
+    };
+    let xs = design(40, truth.weights.len());
+    let ys: Vec<f64> = xs.iter().map(|x| truth.predict(x)).collect();
+    let fit = ols_fit(&xs, &ys).expect("full-rank system must solve");
+    for (k, (w, t)) in fit.weights.iter().zip(&truth.weights).enumerate() {
+        assert!((w - t).abs() < 1e-8, "weight {k}: {w} vs {t}");
+    }
+    assert!(
+        (fit.intercept - truth.intercept).abs() < 1e-8,
+        "intercept {} vs {}",
+        fit.intercept,
+        truth.intercept
+    );
+    assert!(fit.mse(&xs, &ys) < 1e-16, "mse {}", fit.mse(&xs, &ys));
+}
+
+#[test]
+fn ridge_at_zero_lambda_equals_ols() {
+    let truth = LinearModel {
+        weights: vec![1.0, -2.0],
+        intercept: 0.5,
+    };
+    let xs = design(15, 2);
+    let ys: Vec<f64> = xs.iter().map(|x| truth.predict(x)).collect();
+    let a = ols_fit(&xs, &ys).unwrap();
+    let b = ridge_fit(&xs, &ys, 0.0).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ridge_shrinks_weights_toward_zero() {
+    let truth = LinearModel {
+        weights: vec![5.0, -5.0],
+        intercept: 1.0,
+    };
+    let xs = design(20, 2);
+    let ys: Vec<f64> = xs.iter().map(|x| truth.predict(x)).collect();
+    let ols = ols_fit(&xs, &ys).unwrap();
+    let ridge = ridge_fit(&xs, &ys, 10.0).unwrap();
+    let norm = |m: &LinearModel| m.weights.iter().map(|w| w * w).sum::<f64>();
+    assert!(
+        norm(&ridge) < norm(&ols),
+        "ridge {} vs ols {}",
+        norm(&ridge),
+        norm(&ols)
+    );
+}
+
+#[test]
+fn rank_deficient_design_returns_none() {
+    // A constant feature column collides with the implicit intercept.
+    let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+    let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+    assert!(ols_fit(&xs, &ys).is_none());
+}

@@ -1,0 +1,320 @@
+//! Metamorphic invariant checker.
+//!
+//! [`Validator::check_account`] evaluates structural invariants of a
+//! simulated account that must hold at every event boundary — the simulator
+//! settles each event's full cascade (drain, scale-out, idle bookkeeping)
+//! before the post-event hook fires, so the hook always observes a quiescent
+//! state. The checks are deliberately cheap (linear in warehouses + open
+//! clusters) so the fuzzer can run them after every one of millions of
+//! events; the expensive billing cross-check lives in [`crate::oracle`].
+//!
+//! Invariant catalogue (see DESIGN.md "Verification"):
+//! * **I1 finite billing** — every ledger bucket (warehouses + overhead) is
+//!   finite and non-negative; open-session accrual likewise.
+//! * **I2 suspended quiescence** — a Suspended or Resuming warehouse holds
+//!   no clusters and no running queries; Suspended additionally holds no
+//!   queued queries.
+//! * **I3 cluster bounds** — at most 10 clusters ever (the config hard
+//!   cap); above `max_clusters` only while surplus clusters are still busy
+//!   draining (a max shrink never kills running queries); at least
+//!   `min_clusters` whenever Running.
+//! * **I4 telemetry order** — query records respect
+//!   `arrival ≤ start ≤ end`; event records and closed billing sessions
+//!   carry non-decreasing timestamps bounded by the clock.
+//! * **I5 queue sanity** — queued queries imply the warehouse is not
+//!   Suspended (a suspended warehouse either resumes or drops on submit).
+
+use cdw_sim::{Account, SimTime, Simulator, WarehouseState};
+use keebo_obs::Counter;
+use std::sync::OnceLock;
+
+/// Hard cap on clusters per warehouse (mirrors config validation).
+const MAX_CLUSTERS_EVER: u32 = 10;
+
+fn violation_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| keebo_obs::global().counter("verify.invariant.violation"))
+}
+
+/// Which invariant failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    NonFiniteCredits,
+    SuspendedActivity,
+    ClusterBounds,
+    TelemetryOrder,
+    QueueSanity,
+}
+
+/// One invariant violation observed at an event boundary.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub at: SimTime,
+    pub warehouse: String,
+    pub kind: InvariantKind,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[t={} wh={}] {:?}: {}",
+            self.at, self.warehouse, self.kind, self.detail
+        )
+    }
+}
+
+/// Stateless invariant checker over a simulated account.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Validator;
+
+impl Validator {
+    /// Evaluates every invariant, returning all violations found (empty on
+    /// a healthy account). Violations are also counted in the
+    /// `verify.invariant.violation` metric.
+    pub fn check_account(account: &Account, now: SimTime) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |at, warehouse: &str, kind, detail: String| {
+            out.push(Violation {
+                at,
+                warehouse: warehouse.to_string(),
+                kind,
+                detail,
+            });
+        };
+
+        for id in account.warehouse_ids() {
+            let w = account.warehouse(id);
+            let name = w.name();
+            let cfg = w.config();
+            let running = w.running_clusters();
+            let starting = w.starting_clusters();
+            let total = running + starting;
+
+            match w.state() {
+                WarehouseState::Suspended => {
+                    if total != 0 || w.running_queries() != 0 || w.queued_queries() != 0 {
+                        push(
+                            now,
+                            name,
+                            InvariantKind::SuspendedActivity,
+                            format!(
+                                "suspended with {total} clusters, {} running, {} queued",
+                                w.running_queries(),
+                                w.queued_queries()
+                            ),
+                        );
+                    }
+                }
+                WarehouseState::Resuming { .. } => {
+                    if total != 0 || w.running_queries() != 0 {
+                        push(
+                            now,
+                            name,
+                            InvariantKind::SuspendedActivity,
+                            format!(
+                                "resuming with {total} clusters, {} running queries",
+                                w.running_queries()
+                            ),
+                        );
+                    }
+                }
+                WarehouseState::Running => {
+                    if total < cfg.min_clusters {
+                        push(
+                            now,
+                            name,
+                            InvariantKind::ClusterBounds,
+                            format!("{total} clusters below min {}", cfg.min_clusters),
+                        );
+                    }
+                }
+            }
+
+            if total > MAX_CLUSTERS_EVER {
+                push(
+                    now,
+                    name,
+                    InvariantKind::ClusterBounds,
+                    format!("{total} clusters above the hard cap"),
+                );
+            }
+            // A max shrink leaves busy surplus clusters draining, so the
+            // configured maximum only binds once no query is running.
+            if total > cfg.max_clusters && w.running_queries() == 0 {
+                push(
+                    now,
+                    name,
+                    InvariantKind::ClusterBounds,
+                    format!(
+                        "{total} clusters above max {} with no queries draining",
+                        cfg.max_clusters
+                    ),
+                );
+            }
+
+            if w.queued_queries() > 0 && w.state() == WarehouseState::Suspended {
+                push(
+                    now,
+                    name,
+                    InvariantKind::QueueSanity,
+                    format!("{} queries queued while suspended", w.queued_queries()),
+                );
+            }
+
+            let open = w.open_session_credits(now);
+            if !(open.is_finite() && open >= 0.0) {
+                push(
+                    now,
+                    name,
+                    InvariantKind::NonFiniteCredits,
+                    format!("open-session accrual {open}"),
+                );
+            }
+        }
+
+        // Ledger: every bucket finite and non-negative; session log ordered.
+        let ledger = account.ledger();
+        let names: Vec<String> = ledger.warehouse_names().map(str::to_string).collect();
+        for name in &names {
+            if let Some(hours) = ledger.warehouse_ref(name) {
+                for (h, c) in hours.iter() {
+                    if !(c.is_finite() && c >= 0.0) {
+                        push(
+                            now,
+                            name,
+                            InvariantKind::NonFiniteCredits,
+                            format!("hour {h} holds {c} credits"),
+                        );
+                    }
+                }
+            }
+            let mut prev_end = 0;
+            for s in ledger.sessions(name) {
+                if s.end < s.start || s.end > now || s.end < prev_end {
+                    push(
+                        now,
+                        name,
+                        InvariantKind::TelemetryOrder,
+                        format!(
+                            "session [{}, {}) out of order (prev end {prev_end}, now {now})",
+                            s.start, s.end
+                        ),
+                    );
+                }
+                prev_end = s.end;
+            }
+        }
+        for (h, c) in ledger.overhead().iter() {
+            if !(c.is_finite() && c >= 0.0) {
+                push(
+                    now,
+                    "<overhead>",
+                    InvariantKind::NonFiniteCredits,
+                    format!("hour {h} holds {c} credits"),
+                );
+            }
+        }
+
+        for r in account.query_records() {
+            if !(r.arrival <= r.start && r.start <= r.end && r.end <= now) {
+                push(
+                    now,
+                    &r.warehouse,
+                    InvariantKind::TelemetryOrder,
+                    format!(
+                        "query {} times arrival={} start={} end={}",
+                        r.query_id, r.arrival, r.start, r.end
+                    ),
+                );
+            }
+        }
+        let mut prev_at = 0;
+        for e in account.event_records() {
+            if e.at < prev_at || e.at > now {
+                push(
+                    now,
+                    &e.warehouse,
+                    InvariantKind::TelemetryOrder,
+                    format!("event at {} after {} (now {now})", e.at, prev_at),
+                );
+            }
+            prev_at = e.at;
+        }
+
+        for _ in &out {
+            violation_counter().inc();
+        }
+        out
+    }
+
+    /// Installs a post-event hook that panics on the first violation,
+    /// listing every failed invariant. Use in tests and the fuzzer where a
+    /// violation must abort the run.
+    pub fn install_panicking(sim: &mut Simulator) {
+        sim.set_post_event_hook(|account, now| {
+            let violations = Self::check_account(account, now);
+            assert!(
+                violations.is_empty(),
+                "invariant violations:\n{}",
+                violations
+                    .iter()
+                    .map(Violation::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        });
+    }
+
+    /// Debug-gated variant: validates after every event in debug builds,
+    /// does nothing in release builds (zero overhead in benchmarks).
+    pub fn install_debug(sim: &mut Simulator) {
+        if cfg!(debug_assertions) {
+            Self::install_panicking(sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::{QuerySpec, WarehouseConfig, WarehouseSize, HOUR_MS};
+
+    #[test]
+    fn healthy_run_has_no_violations() {
+        let mut acc = Account::new();
+        let wh = acc.create_warehouse(
+            "V",
+            WarehouseConfig::new(WarehouseSize::XSmall)
+                .with_clusters(1, 3)
+                .with_max_concurrency(1)
+                .with_auto_suspend_secs(120),
+        );
+        let mut sim = Simulator::new(acc);
+        Validator::install_panicking(&mut sim);
+        for i in 0..20 {
+            sim.submit_query(
+                wh,
+                QuerySpec::builder(i)
+                    .work_ms_xs(5_000.0 + 1_000.0 * i as f64)
+                    .arrival_ms(i * 30_000)
+                    .build(),
+            );
+        }
+        sim.run_until(2 * HOUR_MS);
+        let final_violations = Validator::check_account(sim.account(), sim.now());
+        assert!(final_violations.is_empty(), "{final_violations:?}");
+    }
+
+    #[test]
+    fn install_debug_is_safe_on_healthy_runs() {
+        let mut acc = Account::new();
+        let wh = acc.create_warehouse("V", WarehouseConfig::new(WarehouseSize::Small));
+        let mut sim = Simulator::new(acc);
+        Validator::install_debug(&mut sim);
+        sim.submit_query(wh, QuerySpec::builder(1).work_ms_xs(2_000.0).build());
+        sim.run_until(HOUR_MS);
+        assert_eq!(sim.account().query_records().len(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Differential billing oracle.
+//!
+//! A slow, obviously-correct reference implementation of Snowflake billing —
+//! per-second accrual, the 60-second minimum per cluster start, hourly
+//! bucketing, resize-mid-session (a resize closes the old-rate session and
+//! opens a new one, so the oracle only ever sees single-rate sessions), and
+//! multi-cluster (one session per cluster start) — replayed over the exact
+//! session log a simulation produced ([`cdw_sim::SessionRecord`]).
+//!
+//! The oracle shares nothing with the production path but the price sheet:
+//! it re-derives the per-second rate from `credits_per_hour`, re-implements
+//! the ceiling division, and attributes hours by explicit `[lo, hi)` overlap
+//! instead of walking slice boundaries. Agreement must be within
+//! [`ORACLE_TOLERANCE`] per hour bucket and per warehouse total.
+
+use cdw_sim::{Account, BillingLedger, HourlyCredits, SessionRecord, SimTime};
+use keebo_obs::Counter;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Maximum tolerated |ledger − oracle| per hour bucket and per total.
+pub const ORACLE_TOLERANCE: f64 = 1e-9;
+
+const HOUR_MS: SimTime = 3_600_000;
+const MIN_SECS: u64 = 60;
+
+fn divergence_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| keebo_obs::global().counter("verify.oracle.divergence"))
+}
+
+fn checks_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| keebo_obs::global().counter("verify.oracle.checks"))
+}
+
+/// One disagreement between the ledger and the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleDivergence {
+    pub warehouse: String,
+    /// Hour bucket in disagreement, or `None` for the warehouse total.
+    pub hour: Option<u64>,
+    pub ledger: f64,
+    pub oracle: f64,
+}
+
+/// Outcome of replaying a full ledger through the oracle.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    pub warehouses: usize,
+    pub sessions: usize,
+    pub max_abs_diff: f64,
+    pub divergences: Vec<OracleDivergence>,
+}
+
+impl OracleReport {
+    /// True when every bucket and total agreed within tolerance.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Billable seconds for a session duration: ceiling to whole seconds.
+/// Deliberately written as explicit quotient/remainder rather than reusing
+/// `cdw_sim::time::ms_to_billing_seconds`.
+fn ceil_secs(dur_ms: SimTime) -> u64 {
+    dur_ms / 1_000 + u64::from(!dur_ms.is_multiple_of(1_000))
+}
+
+/// Credits one session bills in total: per-second accrual with the
+/// 60-second minimum per cluster start.
+fn session_total(s: &SessionRecord) -> f64 {
+    let rate = s.size.credits_per_hour() / 3_600.0;
+    ceil_secs(s.end - s.start).max(MIN_SECS) as f64 * rate
+}
+
+/// Reference hourly attribution for a session log: for each session, the
+/// sub-60 s top-up lands in the start hour; every hour overlapped bills its
+/// raw overlap seconds except the last, which absorbs the partial-second
+/// round-up so the session total is exact.
+pub fn reference_hours(sessions: &[SessionRecord]) -> BTreeMap<u64, f64> {
+    let mut hours: BTreeMap<u64, f64> = BTreeMap::new();
+    for s in sessions {
+        debug_assert!(s.end >= s.start, "inverted session in log");
+        let rate = s.size.credits_per_hour() / 3_600.0;
+        let billed_secs = ceil_secs(s.end - s.start);
+        if billed_secs < MIN_SECS {
+            *hours.entry(s.start / HOUR_MS).or_insert(0.0) +=
+                (MIN_SECS - billed_secs) as f64 * rate;
+        }
+        if s.end == s.start {
+            continue;
+        }
+        let first = s.start / HOUR_MS;
+        let last = (s.end - 1) / HOUR_MS;
+        let mut attributed = 0.0;
+        for h in first..=last {
+            let lo = s.start.max(h * HOUR_MS);
+            let hi = s.end.min((h + 1) * HOUR_MS);
+            let secs = if h == last {
+                billed_secs as f64 - attributed
+            } else {
+                (hi - lo) as f64 / 1_000.0
+            };
+            *hours.entry(h).or_insert(0.0) += secs * rate;
+            attributed += secs;
+        }
+    }
+    hours
+}
+
+/// Diffs one warehouse's ledger buckets against the oracle's recomputation
+/// of its session log, appending divergences to `report`.
+pub fn diff_warehouse(
+    warehouse: &str,
+    ledger_hours: &HourlyCredits,
+    sessions: &[SessionRecord],
+    report: &mut OracleReport,
+) {
+    let oracle = reference_hours(sessions);
+    let mut seen: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    for (h, c) in ledger_hours.iter() {
+        seen.entry(h).or_insert((0.0, 0.0)).0 = c;
+    }
+    for (&h, &c) in &oracle {
+        seen.entry(h).or_insert((0.0, 0.0)).1 = c;
+    }
+    for (h, (ledger, oracle)) in seen {
+        let diff = (ledger - oracle).abs();
+        report.max_abs_diff = report.max_abs_diff.max(diff);
+        if diff > ORACLE_TOLERANCE {
+            report.divergences.push(OracleDivergence {
+                warehouse: warehouse.to_string(),
+                hour: Some(h),
+                ledger,
+                oracle,
+            });
+        }
+    }
+    // Independent total: per-session credits summed directly, bypassing the
+    // hourly attribution entirely.
+    let direct_total: f64 = sessions.iter().map(session_total).sum();
+    let ledger_total = ledger_hours.total();
+    let diff = (ledger_total - direct_total).abs();
+    report.max_abs_diff = report.max_abs_diff.max(diff);
+    if diff > ORACLE_TOLERANCE {
+        report.divergences.push(OracleDivergence {
+            warehouse: warehouse.to_string(),
+            hour: None,
+            ledger: ledger_total,
+            oracle: direct_total,
+        });
+    }
+    report.sessions += sessions.len();
+    report.warehouses += 1;
+}
+
+/// Replays every warehouse's session log in `ledger` and diffs the result
+/// against the recorded hourly buckets. Divergences are also counted in the
+/// `verify.oracle.divergence` metric.
+pub fn check_ledger(ledger: &BillingLedger) -> OracleReport {
+    checks_counter().inc();
+    let mut report = OracleReport::default();
+    let names: Vec<String> = ledger.warehouse_names().map(str::to_string).collect();
+    for name in names {
+        let hours = ledger.warehouse_ref(&name).cloned().unwrap_or_default();
+        diff_warehouse(&name, &hours, ledger.sessions(&name), &mut report);
+    }
+    if !report.divergences.is_empty() {
+        for _ in &report.divergences {
+            divergence_counter().inc();
+        }
+    }
+    report
+}
+
+/// Convenience: oracle check over a simulated account's ledger.
+pub fn check_account(account: &Account) -> OracleReport {
+    check_ledger(account.ledger())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdw_sim::WarehouseSize;
+
+    fn rec(size: WarehouseSize, start: SimTime, end: SimTime) -> SessionRecord {
+        SessionRecord { size, start, end }
+    }
+
+    #[test]
+    fn reference_matches_ledger_on_handcrafted_sessions() {
+        // Resize-mid-session shows up as two back-to-back single-rate
+        // sessions; multi-cluster as overlapping ones.
+        let sessions = vec![
+            rec(WarehouseSize::XSmall, 0, 10_000),            // sub-minimum
+            rec(WarehouseSize::Small, 1_800_000, 5_400_000),  // crosses hour 0→1
+            rec(WarehouseSize::Small, 5_400_000, 7_200_123),  // resized continuation
+            rec(WarehouseSize::Medium, 1_805_500, 1_900_250), // overlapping cluster
+            rec(WarehouseSize::X4Large, 3 * HOUR_MS, 3 * HOUR_MS), // zero duration
+        ];
+        let mut ledger = BillingLedger::new();
+        for s in &sessions {
+            ledger.record_session("W", s.size, s.start, s.end);
+        }
+        let mut report = OracleReport::default();
+        diff_warehouse(
+            "W",
+            &ledger.warehouse("W"),
+            ledger.sessions("W"),
+            &mut report,
+        );
+        assert!(report.is_clean(), "divergences: {:?}", report.divergences);
+        assert!(report.max_abs_diff <= ORACLE_TOLERANCE);
+        assert_eq!(report.sessions, sessions.len());
+    }
+
+    #[test]
+    fn oracle_detects_tampered_attribution() {
+        // Hours built from one log, diffed against a different log: the
+        // oracle must notice both the bucket and the total disagreement.
+        let mut ledger = BillingLedger::new();
+        ledger.record_session("W", WarehouseSize::Small, 0, 2 * HOUR_MS);
+        let wrong_log = vec![rec(WarehouseSize::Small, 0, HOUR_MS)];
+        let mut report = OracleReport::default();
+        diff_warehouse("W", &ledger.warehouse("W"), &wrong_log, &mut report);
+        assert!(!report.is_clean());
+        assert!(report.divergences.iter().any(|d| d.hour.is_none()));
+        assert!(report.divergences.iter().any(|d| d.hour == Some(1)));
+    }
+
+    #[test]
+    fn empty_ledger_is_clean() {
+        let report = check_ledger(&BillingLedger::new());
+        assert!(report.is_clean());
+        assert_eq!(report.warehouses, 0);
+    }
+
+    #[test]
+    fn ceil_secs_matches_spec() {
+        assert_eq!(ceil_secs(0), 0);
+        assert_eq!(ceil_secs(1), 1);
+        assert_eq!(ceil_secs(999), 1);
+        assert_eq!(ceil_secs(1_000), 1);
+        assert_eq!(ceil_secs(1_001), 2);
+        assert_eq!(ceil_secs(59_999), 60);
+    }
+}

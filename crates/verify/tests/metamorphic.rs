@@ -1,0 +1,223 @@
+//! Metamorphic relations over the simulator.
+//!
+//! Each test transforms a workload in a way with a provable effect on the
+//! bill or on latencies and checks the simulator honors it. Two folklore
+//! relations are false in general (cache warming and the 60 s billing
+//! minimum both create legitimate counterexamples); those are tested on
+//! conditioned families, and one counterexample is pinned as its own test
+//! so the caveat stays documented in executable form. See DESIGN.md
+//! "Verification".
+
+use cdw_sim::{QuerySpec, ScalingPolicy, SimTime, WarehouseConfig, WarehouseSize, HOUR_MS};
+use verify::{run_scenario, shift_queries, SplitMix64};
+
+const TOL: f64 = 1e-9;
+
+/// Cache-insensitive queries with seeded jitter in work and spacing.
+fn jittered_queries(seed: u64, count: u64, base_gap_ms: u64, work_ms: f64) -> Vec<QuerySpec> {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0u64;
+    (0..count)
+        .map(|i| {
+            t += base_gap_ms + rng.next_below(base_gap_ms / 2 + 1);
+            QuerySpec::builder(i)
+                .work_ms_xs(work_ms + rng.next_below(20_000) as f64)
+                .cache_affinity(0.0)
+                .arrival_ms(t)
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn time_translation_by_whole_hours_shifts_buckets_exactly() {
+    let queries = jittered_queries(1, 24, 4 * 60_000, 45_000.0);
+    let cfg = WarehouseConfig::new(WarehouseSize::Small)
+        .with_clusters(1, 2)
+        .with_auto_suspend_secs(120);
+    let base = run_scenario(cfg.clone(), &queries, 6 * HOUR_MS, false);
+    let k: u64 = 5;
+    let shifted = run_scenario(
+        cfg,
+        &shift_queries(&queries, k * HOUR_MS),
+        (6 + k) * HOUR_MS,
+        false,
+    );
+    assert_eq!(base.completed, shifted.completed);
+    assert!(
+        (base.total_credits - shifted.total_credits).abs() <= TOL,
+        "totals {} vs {}",
+        base.total_credits,
+        shifted.total_credits
+    );
+    // Whole-hour translation: bucket h maps exactly to bucket h + k.
+    let base_hours: Vec<(u64, f64)> = base.hourly.iter().collect();
+    let shifted_hours: Vec<(u64, f64)> = shifted.hourly.iter().collect();
+    assert_eq!(base_hours.len(), shifted_hours.len());
+    for ((h0, c0), (h1, c1)) in base_hours.iter().zip(&shifted_hours) {
+        assert_eq!(h0 + k, *h1, "bucket alignment");
+        assert!((c0 - c1).abs() <= TOL, "hour {h0}: {c0} vs {c1}");
+    }
+}
+
+#[test]
+fn time_translation_by_arbitrary_offset_preserves_totals() {
+    // Sub-hour shifts redistribute credits across hour buckets, but session
+    // durations are shift-invariant, so the total bill is unchanged.
+    let queries = jittered_queries(2, 18, 3 * 60_000, 30_000.0);
+    let cfg = WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(90);
+    let base = run_scenario(cfg.clone(), &queries, 4 * HOUR_MS, false);
+    let offset = 37 * 60_000 + 123;
+    let shifted = run_scenario(cfg, &shift_queries(&queries, offset), 5 * HOUR_MS, false);
+    assert_eq!(base.completed, shifted.completed);
+    assert!(
+        (base.total_credits - shifted.total_credits).abs() <= TOL,
+        "totals {} vs {}",
+        base.total_credits,
+        shifted.total_credits
+    );
+}
+
+#[test]
+fn raising_auto_suspend_never_cheaper_on_conditioned_family() {
+    // Conditioned family where monotonicity is provable: cache-insensitive
+    // work (no warm-cache speedups), busy periods well above the 60 s
+    // minimum (no top-up merging), single cluster, and inter-arrival gaps
+    // chosen so the short timeout suspends on every gap while the long one
+    // never suspends. The long timeout then bills every full gap; the short
+    // one bills only its timeout per gap.
+    for seed in 0..5u64 {
+        let queries = jittered_queries(seed, 12, 200_000, 95_000.0);
+        let horizon = queries.last().unwrap().arrival + HOUR_MS;
+        let mk = |auto_secs: u64| {
+            WarehouseConfig::new(WarehouseSize::XSmall)
+                .with_clusters(1, 1)
+                .with_auto_suspend_secs(auto_secs)
+        };
+        let short = run_scenario(mk(60), &queries, horizon, false);
+        let long = run_scenario(mk(3_600), &queries, horizon, false);
+        assert_eq!(short.completed, long.completed);
+        assert!(
+            long.total_credits >= short.total_credits - TOL,
+            "seed {seed}: long timeout billed {} < short {}",
+            long.total_credits,
+            short.total_credits
+        );
+    }
+}
+
+#[test]
+fn raising_auto_suspend_can_be_cheaper_sixty_second_minimum_counterexample() {
+    // Pinned counterexample to the unconditioned folklore relation: two
+    // 5 s queries 40 s apart. A 30 s timeout yields two sessions, each
+    // topped up to the 60 s minimum (120 s billed); a 70 s timeout merges
+    // them into one ~113 s session. The larger timeout is cheaper.
+    let q = |id, at: SimTime| {
+        QuerySpec::builder(id)
+            .work_ms_xs(5_000.0)
+            .cache_affinity(0.0)
+            .arrival_ms(at)
+            .build()
+    };
+    let queries = vec![q(1, 0), q(2, 40_000)];
+    let mk = |auto_secs: u64| {
+        WarehouseConfig::new(WarehouseSize::XSmall)
+            .with_clusters(1, 1)
+            .with_auto_suspend_secs(auto_secs)
+    };
+    let short = run_scenario(mk(30), &queries, HOUR_MS, false);
+    let long = run_scenario(mk(70), &queries, HOUR_MS, false);
+    assert!(
+        long.total_credits < short.total_credits - TOL,
+        "expected the counterexample to hold: long {} vs short {}",
+        long.total_credits,
+        short.total_credits
+    );
+}
+
+#[test]
+fn economy_never_bills_more_clusters_than_standard() {
+    // Economy's scale-out condition (≥ 6 min of queued work) is strictly
+    // harder than Standard's (any queueing), so on the same trace Economy's
+    // peak concurrent cluster count cannot exceed Standard's. Pinned on a
+    // spread of seeded bursty traces covering both light and heavy load.
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(seed);
+        let burst = 4 + rng.next_below(10);
+        let mut queries = Vec::new();
+        let mut id = 0;
+        for b in 0..4u64 {
+            let t0 = b * 20 * 60_000;
+            for i in 0..burst {
+                queries.push(
+                    QuerySpec::builder(id)
+                        .work_ms_xs(60_000.0 + rng.next_below(120_000) as f64)
+                        .cache_affinity(0.0)
+                        .arrival_ms(t0 + i * 500)
+                        .build(),
+                );
+                id += 1;
+            }
+        }
+        let mk = |policy| {
+            WarehouseConfig::new(WarehouseSize::XSmall)
+                .with_clusters(1, 4)
+                .with_policy(policy)
+                .with_max_concurrency(1)
+                .with_auto_suspend_secs(300)
+        };
+        let std_run = run_scenario(mk(ScalingPolicy::Standard), &queries, 3 * HOUR_MS, false);
+        let eco_run = run_scenario(mk(ScalingPolicy::Economy), &queries, 3 * HOUR_MS, false);
+        assert_eq!(std_run.completed, eco_run.completed);
+        assert!(
+            eco_run.peak_clusters <= std_run.peak_clusters,
+            "seed {seed}: economy peaked at {} clusters vs standard {}",
+            eco_run.peak_clusters,
+            std_run.peak_clusters
+        );
+    }
+}
+
+#[test]
+fn queue_waits_monotone_under_added_load_on_conditioned_family() {
+    // Conditioned family where added load can only delay: single cluster,
+    // one slot, cache-insensitive work, warehouse resumed up front and
+    // never suspending (so added queries cannot pay the resume delay on a
+    // base query's behalf, nor warm the cache for it). FIFO work
+    // conservation then makes every base query's queue wait weakly larger.
+    let base_queries = jittered_queries(9, 15, 45_000, 40_000.0);
+    let mut added = base_queries.clone();
+    let mut rng = SplitMix64::new(10);
+    for i in 0..10u64 {
+        added.push(
+            QuerySpec::builder(1_000 + i)
+                .work_ms_xs(15_000.0 + rng.next_below(30_000) as f64)
+                .cache_affinity(0.0)
+                .arrival_ms(rng.next_below(base_queries.last().unwrap().arrival))
+                .build(),
+        );
+    }
+    let cfg = || {
+        let mut c = WarehouseConfig::new(WarehouseSize::XSmall)
+            .with_clusters(1, 1)
+            .with_max_concurrency(1);
+        c.auto_suspend_ms = 0; // never suspend
+        c
+    };
+    let horizon = 4 * HOUR_MS;
+    let base = run_scenario(cfg(), &base_queries, horizon, true);
+    let loaded = run_scenario(cfg(), &added, horizon, true);
+    assert_eq!(base.completed, base_queries.len());
+    assert_eq!(loaded.completed, added.len());
+    for (id, wait) in &base.queue_waits {
+        let (_, loaded_wait) = loaded
+            .queue_waits
+            .iter()
+            .find(|(lid, _)| lid == id)
+            .expect("base query present in loaded run");
+        assert!(
+            loaded_wait >= wait,
+            "query {id}: wait shrank from {wait} to {loaded_wait} under added load"
+        );
+    }
+}

@@ -15,7 +15,22 @@ fn arb_size() -> impl Strategy<Value = WarehouseSize> {
     (0usize..10).prop_map(|i| WarehouseSize::from_index(i).unwrap())
 }
 
+/// Cases per property, overridable with `PROPTEST_CASES` (e.g.
+/// `PROPTEST_CASES=4096 cargo test --test properties` for a deep run, or a
+/// small value for quick iteration). The default matches proptest's own.
+/// Under the offline dev stub the `proptest!` body is swallowed, so this
+/// helper is only called when building against the real crate (CI).
+#[allow(dead_code)]
+fn proptest_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
+
     /// Billing: every session bills at least the 60-second minimum and
     /// scales linearly past it.
     #[test]
