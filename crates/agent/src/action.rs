@@ -55,6 +55,7 @@ impl AgentAction {
 
     /// Index in [`AgentAction::ALL`].
     pub fn index(self) -> usize {
+        // lint: allow(D5) — ALL enumerates every variant by construction
         Self::ALL.iter().position(|a| *a == self).expect("in ALL")
     }
 

@@ -205,6 +205,7 @@ impl DqnAgent {
                 None => accumulated = Some(g),
             }
         }
+        // lint: allow(D5) — the replay-size guard above ensures at least one transition
         let mut grads = accumulated.expect("non-empty batch");
         grads.scale(1.0 / batch.len() as f64);
         grads.clip_l2_norm(self.config.grad_clip);
@@ -232,6 +233,7 @@ fn masked_argmax(q: &[f64], mask: &[bool; AgentAction::COUNT]) -> AgentAction {
             best = Some((i, qi));
         }
     }
+    // lint: allow(D5) — NoOp is always mask-permitted, so `best` is always set
     let (idx, _) = best.expect("action mask permits nothing");
     AgentAction::ALL[idx]
 }

@@ -10,14 +10,14 @@
 
 use cdw_sim::{QueryRecord, QuerySpec, SimTime, WarehouseConfig, WarehouseSize};
 use costmodel::LatencyScaler;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mean observed execution time per template, normalized to one reference
 /// size using the latency scaler.
 #[derive(Debug, Clone)]
 pub struct TemplateExecEstimator {
     reference: WarehouseSize,
-    per_template_ms: HashMap<u64, f64>,
+    per_template_ms: BTreeMap<u64, f64>,
     global_ms: f64,
 }
 
@@ -29,7 +29,7 @@ impl TemplateExecEstimator {
         scaler: &LatencyScaler,
         reference: WarehouseSize,
     ) -> Self {
-        let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
+        let mut sums: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
         let mut total = 0.0;
         let mut count = 0usize;
         for r in records {

@@ -7,7 +7,7 @@ use crate::config::WarehouseConfig;
 use crate::records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEventRecord};
 use crate::time::SimTime;
 use crate::warehouse::{Warehouse, WhContext, WhEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Opaque handle to a warehouse within an [`Account`]. Indexes are stable
 /// for the lifetime of the account (warehouses are never removed).
@@ -37,7 +37,7 @@ pub struct WarehouseDescription {
 #[derive(Debug, Default)]
 pub struct Account {
     warehouses: Vec<Warehouse>,
-    by_name: HashMap<String, WarehouseId>,
+    by_name: BTreeMap<String, WarehouseId>,
     ledger: BillingLedger,
     query_records: Vec<QueryRecord>,
     event_records: Vec<WarehouseEventRecord>,

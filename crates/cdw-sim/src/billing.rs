@@ -16,6 +16,74 @@ use std::sync::OnceLock;
 /// Minimum billable seconds per cluster start.
 pub const MIN_BILL_SECONDS: u64 = 60;
 
+/// Largest integer a f64 represents exactly (2^53). Sim times are
+/// milliseconds, so the exact range covers ~285,000 years of simulation;
+/// crossing it means an upstream arithmetic bug, not a long run.
+pub const F64_EXACT_MAX: u64 = 1 << 53;
+
+/// Counts u64→f64 conversions beyond the exact range and negative-duration
+/// spans (see [`exact_f64`] / [`span_ms`]).
+fn lossy_cast_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| keebo_obs::global().counter("cdw_sim.billing.lossy_cast"))
+}
+
+/// Checked widening of a count/duration to f64.
+///
+/// Exact for every value up to [`F64_EXACT_MAX`]; beyond that the
+/// conversion rounds, which is counted in `cdw_sim.billing.lossy_cast`
+/// (and trips a `debug_assert!`) instead of silently corrupting credit
+/// arithmetic. This is the funnel the D6 lint points bare `as f64` casts
+/// at on billing/costmodel paths.
+#[inline]
+pub fn exact_f64(n: u64) -> f64 {
+    if n > F64_EXACT_MAX {
+        lossy_cast_counter().inc();
+        debug_assert!(false, "u64→f64 conversion of {n} exceeds the exact range");
+    }
+    // lint: allow(D6) — this is the checked funnel itself
+    n as f64
+}
+
+/// [`exact_f64`] for `usize` counts (observation/window tallies).
+#[inline]
+pub fn count_f64(n: usize) -> f64 {
+    // lint: allow(D6) — usize→u64 is lossless on every supported target
+    exact_f64(n as u64)
+}
+
+/// Credits for `secs` billed seconds at `credits_per_second`.
+#[inline]
+pub fn credits_from_secs(secs: u64, credits_per_second: f64) -> f64 {
+    exact_f64(secs) * credits_per_second
+}
+
+/// Duration of the span `[start, end)`, guarding inversion: a negative
+/// duration (end before start) indicates an upstream event-ordering bug;
+/// it is clamped to zero and counted in `cdw_sim.billing.lossy_cast`
+/// rather than wrapping around u64 and billing ~585 million years.
+#[inline]
+pub fn span_ms(start: SimTime, end: SimTime) -> SimTime {
+    match end.checked_sub(start) {
+        Some(d) => d,
+        None => {
+            lossy_cast_counter().inc();
+            debug_assert!(false, "span inverted: start {start} > end {end}");
+            0
+        }
+    }
+}
+
+/// The ratio `numer_ms / denom_ms` as f64 (0.0 when the denominator is
+/// zero), both sides converted through [`exact_f64`].
+#[inline]
+pub fn ms_fraction(numer_ms: SimTime, denom_ms: SimTime) -> f64 {
+    if denom_ms == 0 {
+        return 0.0;
+    }
+    exact_f64(numer_ms) / exact_f64(denom_ms)
+}
+
 /// Counts credit amounts rejected by [`HourlyCredits::add`] (non-finite or
 /// negative). A production-style run surfaces upstream arithmetic bugs in
 /// the metrics snapshot instead of aborting mid-flight.
@@ -29,7 +97,7 @@ fn invalid_credit_counter() -> &'static Counter {
 /// The 60-second minimum applies per session (per cluster start).
 pub fn session_credits(size: WarehouseSize, duration_ms: SimTime) -> f64 {
     let secs = ms_to_billing_seconds(duration_ms).max(MIN_BILL_SECONDS);
-    secs as f64 * size.credits_per_second()
+    credits_from_secs(secs, size.credits_per_second())
 }
 
 /// Credits accumulated per hour bucket for one warehouse (or overhead
@@ -51,6 +119,7 @@ impl HourlyCredits {
     /// (and trip a `debug_assert!` in debug builds) rather than aborting a
     /// fleet run mid-flight.
     pub fn add(&mut self, at: SimTime, credits: f64) {
+        // lint: allow(D4) — exact-zero is a sentinel for "nothing billed", not a tolerance
         if credits == 0.0 {
             return;
         }
@@ -76,12 +145,15 @@ impl HourlyCredits {
         let billed_secs = ms_to_billing_seconds(duration);
         let min_topup_secs = MIN_BILL_SECONDS.saturating_sub(billed_secs);
         if min_topup_secs > 0 {
-            self.add(start, min_topup_secs as f64 * size.credits_per_second());
+            self.add(
+                start,
+                credits_from_secs(min_topup_secs, size.credits_per_second()),
+            );
         }
         // Walk hour boundaries, attributing each slice. Non-final slices
         // bill raw fractional seconds; the final slice takes whatever
         // remains of the rounded-up total, keeping the sum exact.
-        let usage_secs = billed_secs as f64;
+        let usage_secs = exact_f64(billed_secs);
         let mut attributed = 0.0;
         let mut t = start;
         while t < end {
@@ -91,7 +163,7 @@ impl HourlyCredits {
             let slice_secs = if slice_end == end {
                 (usage_secs - attributed).max(0.0)
             } else {
-                slice_ms as f64 / SECOND_MS as f64
+                ms_fraction(slice_ms, SECOND_MS)
             };
             self.add(t, slice_secs * size.credits_per_second());
             attributed += slice_secs;
@@ -232,6 +304,76 @@ impl BillingLedger {
 mod tests {
     use super::*;
     use crate::time::HOUR_MS;
+
+    #[test]
+    fn exact_f64_is_exact_through_2_to_53() {
+        assert_eq!(exact_f64(0), 0.0);
+        assert_eq!(exact_f64(1), 1.0);
+        assert_eq!(exact_f64(F64_EXACT_MAX), 9_007_199_254_740_992.0);
+        // The exact boundary round-trips bit-for-bit.
+        assert_eq!(exact_f64(F64_EXACT_MAX) as u64, F64_EXACT_MAX);
+        // 2^53 - 1 is the last value where every integer below is exact.
+        assert_eq!(exact_f64(F64_EXACT_MAX - 1) as u64, F64_EXACT_MAX - 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the exact range")]
+    fn exact_f64_beyond_2_to_53_trips_debug_assert() {
+        exact_f64(F64_EXACT_MAX + 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn exact_f64_beyond_2_to_53_is_counted_not_fatal() {
+        let counter = keebo_obs::global().counter("cdw_sim.billing.lossy_cast");
+        let before = counter.get();
+        // 2^53 + 1 is the first unrepresentable integer: it rounds to 2^53.
+        assert_eq!(exact_f64(F64_EXACT_MAX + 1), 9_007_199_254_740_992.0);
+        assert_eq!(counter.get(), before + 1);
+    }
+
+    #[test]
+    fn count_f64_matches_exact_f64() {
+        assert_eq!(count_f64(12_345).to_bits(), exact_f64(12_345).to_bits());
+    }
+
+    #[test]
+    fn credits_from_secs_scales_rate() {
+        let rate = WarehouseSize::XSmall.credits_per_second();
+        assert_eq!(credits_from_secs(0, rate), 0.0);
+        assert!((credits_from_secs(3_600, rate) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_ms_measures_forward_spans() {
+        assert_eq!(span_ms(100, 250), 150);
+        assert_eq!(span_ms(7, 7), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "span inverted")]
+    fn span_ms_inversion_trips_debug_assert() {
+        span_ms(100, 50);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn span_ms_inversion_is_clamped_not_wrapped() {
+        let counter = keebo_obs::global().counter("cdw_sim.billing.lossy_cast");
+        let before = counter.get();
+        assert_eq!(span_ms(100, 50), 0, "negative duration clamps to zero");
+        assert_eq!(counter.get(), before + 1);
+    }
+
+    #[test]
+    fn ms_fraction_guards_zero_denominator() {
+        assert_eq!(ms_fraction(500, 1_000), 0.5);
+        assert_eq!(ms_fraction(0, 1_000), 0.0);
+        assert_eq!(ms_fraction(1_000, 1_000), 1.0);
+        assert_eq!(ms_fraction(42, 0), 0.0);
+    }
 
     #[test]
     fn short_session_bills_sixty_second_minimum() {

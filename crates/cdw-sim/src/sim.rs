@@ -254,7 +254,9 @@ impl Simulator {
             if head.at > until {
                 break;
             }
-            let Reverse(sch) = self.queue.pop().unwrap();
+            let Some(Reverse(sch)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(sch.at >= self.clock, "event from the past");
             self.clock = sch.at;
             self.processed_events += 1;

@@ -32,7 +32,7 @@ pub fn day_index(t: SimTime) -> u64 {
 /// Fraction of the day elapsed at `t`, in [0, 1).
 #[inline]
 pub fn time_of_day_fraction(t: SimTime) -> f64 {
-    (t % DAY_MS) as f64 / DAY_MS as f64
+    crate::billing::ms_fraction(t % DAY_MS, DAY_MS)
 }
 
 /// Hour of day in [0, 24).

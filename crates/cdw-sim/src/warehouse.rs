@@ -19,7 +19,7 @@ use crate::records::{ActionSource, QueryRecord, WarehouseEventKind, WarehouseEve
 use crate::size::WarehouseSize;
 use crate::time::SimTime;
 use keebo_obs::Histogram;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::OnceLock;
 
 /// Queue-wait histogram (ms between arrival and execution start), shared by
@@ -106,7 +106,7 @@ pub struct Warehouse {
     clusters: Vec<Cluster>,
     next_cluster_id: u32,
     queue: VecDeque<QueuedQuery>,
-    running: HashMap<u64, RunningQuery>,
+    running: BTreeMap<u64, RunningQuery>,
     next_run_id: u64,
     cache: CacheState,
     /// Bumped on every activity transition; stale IdleCheck/ResumeDone
@@ -133,6 +133,7 @@ impl Warehouse {
     pub fn new(name: impl Into<String>, config: WarehouseConfig) -> Self {
         config
             .validate()
+            // lint: allow(D5) — documented panicking constructor; validate() is the fallible path
             .unwrap_or_else(|e| panic!("invalid warehouse config: {e}"));
         Self {
             name: name.into(),
@@ -141,7 +142,7 @@ impl Warehouse {
             clusters: Vec::new(),
             next_cluster_id: 0,
             queue: VecDeque::new(),
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             next_run_id: 0,
             cache: CacheState::with_default_tau(),
             generation: 0,

@@ -56,6 +56,7 @@ pub fn evaluate_consolidation(
     assert!(!inputs.is_empty(), "nothing to consolidate");
     target
         .validate()
+        // lint: allow(D5) — documented precondition: callers pass a validated target config
         .unwrap_or_else(|e| panic!("invalid target config: {e}"));
 
     let mut separate = 0.0;

@@ -527,6 +527,7 @@ impl WarehouseOptimizer {
     /// One real-time step of Algorithm 1 (lines 17–23), gated by health.
     /// Wall time per tick lands in the `keebo.tick.wall_us` histogram.
     fn tick(&mut self, sim: &mut Simulator) {
+        // lint: allow(D1) — wall time only feeds the tick-duration histogram, never a decision
         let t0 = Instant::now();
         self.tick_inner(sim);
         tick_wall_histogram().observe(t0.elapsed().as_secs_f64() * 1e6);
@@ -1091,6 +1092,7 @@ impl Orchestrator {
     /// [`Orchestrator::try_manage`] for a non-panicking variant.
     pub fn manage(&mut self, sim: &Simulator, warehouse: &str, setup: KwoSetup) {
         if let Err(e) = self.try_manage(sim, warehouse, setup) {
+            // lint: allow(D5) — documented panicking wrapper; try_manage is the fallible path
             panic!("{e}");
         }
     }
@@ -1184,12 +1186,15 @@ impl Orchestrator {
         assert!(!self.optimizers.is_empty(), "no warehouses managed");
         // All optimizers share a global tick at the minimum cadence; each
         // fires when its own interval divides the tick time.
-        let tick = self
+        let Some(tick) = self
             .optimizers
             .iter()
             .map(|o| o.setup.realtime_interval_ms)
             .min()
-            .expect("non-empty");
+        else {
+            sim.run_until(until);
+            return;
+        };
         let mut t = (sim.now() / tick + 1) * tick;
         while t <= until {
             sim.run_until(t);
@@ -1212,6 +1217,7 @@ impl Orchestrator {
         end: SimTime,
     ) -> SavingsReport {
         self.optimizer(warehouse)
+            // lint: allow(D5) — reporting on an unmanaged warehouse is a caller bug worth aborting
             .unwrap_or_else(|| panic!("unknown warehouse {warehouse}"))
             .savings_report(sim, start, end)
     }

@@ -18,9 +18,10 @@
 //! the cost-minimizing one. This is the "analytical model calibrated by
 //! learned parameters" pattern of §5 applied to a single knob.
 
+use cdw_sim::billing::{count_f64, exact_f64};
 use cdw_sim::{QueryRecord, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Learned inputs for the auto-suspend trade-off.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,12 +59,14 @@ impl AutoSuspendOptimizer {
         }
 
         // Cold uplift: same-template executions at low vs high warmth.
-        let mut cold: HashMap<u64, (f64, usize)> = HashMap::new();
-        let mut warm: HashMap<u64, (f64, usize)> = HashMap::new();
+        // BTreeMap so the uplift average sums in template-hash order
+        // (bit-reproducible across runs).
+        let mut cold: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+        let mut warm: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
         let mut exec_sum = 0.0;
         let mut exec_n = 0usize;
         for r in records {
-            let exec = r.execution_ms() as f64;
+            let exec = exact_f64(r.execution_ms());
             if exec <= 0.0 {
                 continue;
             }
@@ -82,8 +85,8 @@ impl AutoSuspendOptimizer {
         let mut uplifts = Vec::new();
         for (tpl, (cs, cn)) in &cold {
             if let Some((ws, wn)) = warm.get(tpl) {
-                let c = cs / *cn as f64;
-                let w = ws / *wn as f64;
+                let c = cs / count_f64(*cn);
+                let w = ws / count_f64(*wn);
                 if w > 0.0 {
                     uplifts.push((c / w - 1.0).clamp(0.0, 3.0));
                 }
@@ -92,13 +95,13 @@ impl AutoSuspendOptimizer {
         let cold_uplift = if uplifts.is_empty() {
             0.5 // prior: cold starts run ~50% longer
         } else {
-            uplifts.iter().sum::<f64>() / uplifts.len() as f64
+            uplifts.iter().sum::<f64>() / count_f64(uplifts.len())
         };
         Self {
             gaps_ms: gaps,
             cold_uplift,
             mean_exec_ms: if exec_n > 0 {
-                exec_sum / exec_n as f64
+                exec_sum / count_f64(exec_n)
             } else {
                 10_000.0
             },
@@ -132,7 +135,7 @@ impl AutoSuspendOptimizer {
         let cold_event_cost = extra_ms * rate_per_ms + perf_lambda * excess * EXCESS_LATENCY_COST;
         let mut cost = 0.0;
         for &gap in &self.gaps_ms {
-            let idle = gap.min(auto_suspend_ms) as f64;
+            let idle = exact_f64(gap.min(auto_suspend_ms));
             cost += idle * rate_per_ms;
             if gap > auto_suspend_ms {
                 cost += cold_event_cost;
@@ -152,19 +155,20 @@ impl AutoSuspendOptimizer {
         allowed_latency_ratio: f64,
     ) -> SimTime {
         assert!(!ladder.is_empty(), "empty auto-suspend ladder");
+        let conservative = ladder.last().copied().unwrap_or(0);
         if self.gaps_ms.is_empty() {
-            return *ladder.last().unwrap();
+            return conservative;
         }
-        *ladder
-            .iter()
-            .min_by(|&&a, &&b| {
-                let ca =
-                    self.expected_cost(a, credits_per_hour, perf_lambda, allowed_latency_ratio);
-                let cb =
-                    self.expected_cost(b, credits_per_hour, perf_lambda, allowed_latency_ratio);
-                ca.partial_cmp(&cb).expect("costs are finite")
-            })
-            .expect("non-empty ladder")
+        let mut best = conservative;
+        let mut best_cost = f64::INFINITY;
+        for &a in ladder {
+            let cost = self.expected_cost(a, credits_per_hour, perf_lambda, allowed_latency_ratio);
+            if cost < best_cost {
+                best = a;
+                best_cost = cost;
+            }
+        }
+        best
     }
 }
 
@@ -258,6 +262,35 @@ mod tests {
         let short = opt.expected_cost(30_000, 8.0, 0.0, 1.6);
         let long = opt.expected_cost(1_800_000, 8.0, 0.0, 1.6);
         assert!(long > short);
+    }
+
+    #[test]
+    fn cold_uplift_is_bit_identical_across_input_orderings() {
+        // The uplift average sums per-template ratios; map-order leakage
+        // would make the result depend on record ordering. Pin bit-identity.
+        let mut recs = Vec::new();
+        let mut t = 0;
+        for i in 0..40 {
+            let tpl = i % 4;
+            let warm = if i % 2 == 0 { 0.1 } else { 0.9 };
+            let exec = if warm < 0.5 {
+                60_000 + tpl * 7_000
+            } else {
+                20_000 + tpl * 3_000
+            };
+            let mut r = rec(i, t, exec, warm);
+            r.template_hash = tpl;
+            recs.push(r);
+            t += exec + 45_000;
+        }
+        let forward = AutoSuspendOptimizer::train(&recs);
+        let mut reversed = recs.clone();
+        reversed.reverse();
+        let backward = AutoSuspendOptimizer::train(&reversed);
+        assert_eq!(
+            forward.cold_uplift().to_bits(),
+            backward.cold_uplift().to_bits()
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! both a feature and the fallback when history is too thin, and the learned
 //! prediction is always clamped into the feasible [1, max] range.
 
+use cdw_sim::billing::{exact_f64, span_ms};
 use cdw_sim::{QueryRecord, SimTime, MINUTE_MS};
 use nn::LinearModel;
 use serde::{Deserialize, Serialize};
@@ -39,8 +40,8 @@ impl ClusterPredictor {
         max_concurrency: u32,
         max_clusters: u32,
     ) -> f64 {
-        let needed = (mean_concurrency / max_concurrency.max(1) as f64).ceil();
-        needed.clamp(1.0, max_clusters.max(1) as f64)
+        let needed = (mean_concurrency / exact_f64(u64::from(max_concurrency.max(1)))).ceil();
+        needed.clamp(1.0, exact_f64(u64::from(max_clusters.max(1))))
     }
 
     fn features(
@@ -52,7 +53,7 @@ impl ClusterPredictor {
         vec![
             mean_concurrency,
             arrival_rate_per_hour / 100.0,
-            max_clusters as f64,
+            exact_f64(u64::from(max_clusters)),
             Self::analytic_estimate(mean_concurrency, max_concurrency, max_clusters),
         ]
     }
@@ -90,13 +91,13 @@ impl ClusterPredictor {
                 if r.start < w_end && r.end > w_start {
                     let lo = r.start.max(w_start);
                     let hi = r.end.min(w_end);
-                    busy_ms += (hi - lo) as f64;
+                    busy_ms += exact_f64(span_ms(lo, hi));
                     span_lo = span_lo.min(lo);
                     span_hi = span_hi.max(hi);
                 }
             }
             let span = if span_hi > span_lo {
-                (span_hi - span_lo) as f64
+                exact_f64(span_hi - span_lo)
             } else {
                 continue;
             };
@@ -151,7 +152,7 @@ impl ClusterPredictor {
             )),
             None => analytic,
         };
-        raw.clamp(1.0, max_clusters.max(1) as f64)
+        raw.clamp(1.0, exact_f64(u64::from(max_clusters.max(1))))
     }
 }
 

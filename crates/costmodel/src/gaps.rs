@@ -17,6 +17,7 @@
 //! since beyond it the warehouse would have suspended and costs stop
 //! accruing regardless.
 
+use cdw_sim::billing::count_f64;
 use cdw_sim::{QueryRecord, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -71,7 +72,7 @@ impl GapModel {
             dependency_threshold_ms: threshold,
             median_dependent_gap_ms: median,
             dependent_fraction: if total > 0 {
-                dependent_gaps.len() as f64 / total as f64
+                count_f64(dependent_gaps.len()) / count_f64(total)
             } else {
                 0.0
             },

@@ -15,10 +15,11 @@
 //! without observations at two distinct sizes fall back to a globally pooled
 //! slope.
 
+use cdw_sim::billing::{count_f64, exact_f64};
 use cdw_sim::{QueryRecord, WarehouseSize};
 use nn::ols_fit;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Slope clamp: latency should not *improve* more than perfectly linearly
 /// with much headroom, nor degrade steeply with size.
@@ -29,7 +30,7 @@ const SLOPE_MAX: f64 = 0.25;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyScaler {
     /// log2-latency-per-size-step slope per template.
-    per_template: HashMap<u64, f64>,
+    per_template: BTreeMap<u64, f64>,
     /// Pooled slope used when a template has no model of its own.
     global_slope: f64,
     /// Number of templates with their own fit (diagnostics).
@@ -41,7 +42,7 @@ impl Default for LatencyScaler {
     /// latency halves with each size increment (slope −1).
     fn default() -> Self {
         Self {
-            per_template: HashMap::new(),
+            per_template: BTreeMap::new(),
             global_slope: -1.0,
             fitted_templates: 0,
         }
@@ -53,7 +54,7 @@ impl LatencyScaler {
     /// skipped. Works with any mix of sizes; templates observed at a single
     /// size contribute nothing (their slope is unidentifiable).
     pub fn train(records: &[QueryRecord]) -> Self {
-        let mut by_template: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
+        let mut by_template: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
         for r in records {
             let exec = r.execution_ms();
             if exec == 0 {
@@ -62,19 +63,32 @@ impl LatencyScaler {
             by_template
                 .entry(r.template_hash)
                 .or_default()
-                .push((r.size.index() as f64, (exec as f64).log2()));
+                .push((count_f64(r.size.index()), exact_f64(exec).log2()));
         }
 
-        let mut per_template = HashMap::new();
+        // Within-template observation order still affects float summation in
+        // the per-template and pooled fits (addition is not associative), and
+        // callers do not control telemetry arrival order. Canonicalize by
+        // sorting each observation list; all values are finite and
+        // non-negative, so the bit pattern is a valid total order.
+        for obs in by_template.values_mut() {
+            obs.sort_by_key(|(s, y)| (s.to_bits(), y.to_bits()));
+        }
+
+        let mut per_template = BTreeMap::new();
         // Pooled, template-demeaned data for the global slope: subtracting
         // each template's mean removes the per-template intercept so
-        // heavier templates do not bias the slope.
+        // heavier templates do not bias the slope. Rows are appended in
+        // template-hash order (BTreeMap), so the float summations inside the
+        // pooled fit are bit-reproducible across runs.
         let mut pooled_x = Vec::new();
         let mut pooled_y = Vec::new();
 
         for (&tpl, obs) in &by_template {
-            let distinct_sizes: std::collections::HashSet<u64> =
-                obs.iter().map(|(s, _)| *s as u64).collect();
+            // Distinct sizes are compared by bit pattern: the indices are small
+            // non-negative integers, so to_bits is injective on them.
+            let distinct_sizes: std::collections::BTreeSet<u64> =
+                obs.iter().map(|(s, _)| s.to_bits()).collect();
             if distinct_sizes.len() < 2 {
                 continue;
             }
@@ -83,8 +97,8 @@ impl LatencyScaler {
             if let Some(model) = ols_fit(&xs, &ys) {
                 per_template.insert(tpl, model.weights[0].clamp(SLOPE_MIN, SLOPE_MAX));
             }
-            let mean_x: f64 = obs.iter().map(|(s, _)| s).sum::<f64>() / obs.len() as f64;
-            let mean_y: f64 = obs.iter().map(|(_, y)| y).sum::<f64>() / obs.len() as f64;
+            let mean_x: f64 = obs.iter().map(|(s, _)| s).sum::<f64>() / count_f64(obs.len());
+            let mean_y: f64 = obs.iter().map(|(_, y)| y).sum::<f64>() / count_f64(obs.len());
             for (s, y) in obs {
                 pooled_x.push(vec![s - mean_x]);
                 pooled_y.push(y - mean_y);
@@ -140,7 +154,7 @@ impl LatencyScaler {
             return exec_ms;
         }
         let slope = self.slope_for(template);
-        let delta = to.index() as f64 - from.index() as f64;
+        let delta = count_f64(to.index()) - count_f64(from.index());
         (exec_ms * (slope * delta).exp2()).max(1.0)
     }
 }
@@ -275,6 +289,46 @@ mod tests {
         let scaler = LatencyScaler::train(&recs);
         let g = scaler.global_slope();
         assert!(g < 0.0 && g > -1.0, "pooled slope between the two: {g}");
+    }
+
+    #[test]
+    fn global_slope_is_bit_identical_across_input_orderings() {
+        // The pooled OLS sums floats per template; if iteration order ever
+        // leaked from the map again, reordering the records would flip the
+        // low bits of the slope. Pin bit-identity, not approximate equality.
+        let mut recs = linear_scaling_records();
+        for size in [WarehouseSize::XSmall, WarehouseSize::Medium] {
+            recs.push(rec(2, size, 10_000));
+            recs.push(rec(9, size, 3_000));
+        }
+        let forward = LatencyScaler::train(&recs);
+        let mut reversed = recs.clone();
+        reversed.reverse();
+        let backward = LatencyScaler::train(&reversed);
+        // Deterministic interleave: odd indices first, then even.
+        let interleaved: Vec<QueryRecord> = recs
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .chain(recs.iter().step_by(2))
+            .cloned()
+            .collect();
+        let shuffled = LatencyScaler::train(&interleaved);
+        assert_eq!(
+            forward.global_slope().to_bits(),
+            backward.global_slope().to_bits()
+        );
+        assert_eq!(
+            forward.global_slope().to_bits(),
+            shuffled.global_slope().to_bits()
+        );
+        for tpl in [1, 2, 9] {
+            assert_eq!(
+                forward.slope_for(tpl).to_bits(),
+                backward.slope_for(tpl).to_bits(),
+                "template {tpl}"
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::clusters::{ClusterPredictor, MINI_WINDOW_MS};
 use crate::gaps::GapModel;
 use crate::latency::LatencyScaler;
+use cdw_sim::billing::{exact_f64, span_ms};
 use cdw_sim::{HourlyCredits, QueryRecord, SimTime, WarehouseConfig};
 use keebo_obs::Histogram;
 use serde::{Deserialize, Serialize};
@@ -117,13 +118,14 @@ impl WarehouseCostModel {
                 .latency
                 .scale_execution_ms(
                     r.template_hash,
-                    r.execution_ms().max(1) as f64,
+                    exact_f64(r.execution_ms().max(1)),
                     r.size,
                     original.size,
                 )
                 .round()
                 .max(1.0) as SimTime;
-            rescale_delta_histogram().observe((exec as f64 - r.execution_ms() as f64).abs());
+            rescale_delta_histogram()
+                .observe((exact_f64(exec) - exact_f64(r.execution_ms())).abs());
             let arrival = match (observed_max_end, replayed_max_end) {
                 (Some(obs_end), Some(rep_end)) => {
                     match self.gaps.dependent_gap(r.arrival, obs_end) {
@@ -145,7 +147,7 @@ impl WarehouseCostModel {
         let mut slots: BinaryHeap<Reverse<SimTime>> = (0..capacity).map(|_| Reverse(0)).collect();
         let mut intervals: Vec<(SimTime, SimTime)> = Vec::with_capacity(items.len());
         for (arrival, exec) in items {
-            let Reverse(free) = slots.pop().expect("capacity >= 1");
+            let free = slots.pop().map_or(0, |Reverse(f)| f);
             let start = arrival.max(free);
             let end = start + exec;
             slots.push(Reverse(end));
@@ -164,8 +166,8 @@ impl WarehouseCostModel {
         }
 
         // Per-mini-window demand, for cluster prediction during pricing.
-        let horizon = intervals.iter().map(|&(_, e)| e).max().unwrap();
-        let first = intervals.first().unwrap().0;
+        let horizon = intervals.iter().map(|&(_, e)| e).max().unwrap_or(0);
+        let first = intervals.first().map_or(0, |&(s, _)| s);
         // A re-anchored dependent arrival can in principle land before the
         // window origin (gap model quirks); guard the subtraction so release
         // builds clamp to window 0 instead of wrapping SimTime.
@@ -192,7 +194,7 @@ impl WarehouseCostModel {
                 let w = window_of(t);
                 let w_end = origin + (w as SimTime + 1) * MINI_WINDOW_MS;
                 let slice_end = e.min(w_end);
-                busy_ms[w] += (slice_end - t) as f64;
+                busy_ms[w] += exact_f64(span_ms(t, slice_end));
                 span[w].0 = span[w].0.min(t);
                 span[w].1 = span[w].1.max(slice_end);
                 t = slice_end;
@@ -201,7 +203,7 @@ impl WarehouseCostModel {
         let clusters_at = |t: SimTime| -> f64 {
             let w = window_of(t).min(n_windows - 1);
             let (lo, hi) = span[w];
-            let active_ms = if hi > lo { (hi - lo) as f64 } else { 0.0 };
+            let active_ms = if hi > lo { exact_f64(hi - lo) } else { 0.0 };
             let concurrency = if active_ms > 0.0 {
                 busy_ms[w] / active_ms
             } else {
@@ -209,7 +211,7 @@ impl WarehouseCostModel {
             };
             self.clusters.predict(
                 concurrency,
-                arrivals[w] * 3_600_000.0 / MINI_WINDOW_MS as f64,
+                arrivals[w] * 3_600_000.0 / exact_f64(MINI_WINDOW_MS),
                 original.max_concurrency,
                 original.max_clusters,
             )
@@ -233,19 +235,16 @@ impl WarehouseCostModel {
         let auto = original.auto_suspend_ms;
         let mut sessions: Vec<(SimTime, SimTime)> = Vec::new();
         for (s, e) in active {
-            let merges = sessions
-                .last()
-                .is_some_and(|&(_, sess_end)| auto == 0 || s <= sess_end + auto);
-            if merges {
+            match sessions.last_mut() {
                 // Gap bills in full (warehouse stayed up through it).
-                let last = sessions.last_mut().expect("merges implies non-empty");
-                last.1 = last.1.max(e);
-            } else {
-                if let Some(last) = sessions.last_mut() {
-                    // Suspend after the auto-suspend tail, then a new session.
-                    last.1 += auto;
+                Some(last) if auto == 0 || s <= last.1 + auto => last.1 = last.1.max(e),
+                last => {
+                    if let Some(last) = last {
+                        // Suspend after the auto-suspend tail, then a new session.
+                        last.1 += auto;
+                    }
+                    sessions.push((s, e));
                 }
-                sessions.push((s, e));
             }
         }
         if auto > 0 {
@@ -264,14 +263,14 @@ impl WarehouseCostModel {
             while t < e {
                 let w_end = origin + (window_of(t) as SimTime + 1) * MINI_WINDOW_MS;
                 let slice_end = e.min(w_end);
-                let credits = (slice_end - t) as f64 * rate_per_ms * clusters_at(t);
+                let credits = exact_f64(span_ms(t, slice_end)) * rate_per_ms * clusters_at(t);
                 hourly.add(t, credits);
                 t = slice_end;
             }
             // 60-second minimum per session (per running cluster at start).
             let dur = e - s;
             if dur < 60_000 {
-                let topup = (60_000 - dur) as f64 * rate_per_ms * clusters_at(s);
+                let topup = exact_f64(60_000 - dur) * rate_per_ms * clusters_at(s);
                 hourly.add(s, topup);
             }
         }

@@ -1,0 +1,252 @@
+//! The ratcheted baseline (`lint-baseline.toml`).
+//!
+//! Violations that existed when a rule landed are frozen in the baseline
+//! with a justification; the gate then only ratchets down:
+//!
+//! * a `(rule, file)` count **above** its baseline entry fails the run
+//!   (new violation introduced);
+//! * a count **below** the entry is reported as slack — the entry should be
+//!   tightened (regenerate with `--write-baseline`) so the improvement
+//!   cannot silently regress;
+//! * any `(rule, file)` pair with no entry fails outright.
+//!
+//! The file is a deliberately tiny TOML subset — `[[allow]]` tables with
+//! string/integer keys — parsed here without a TOML dependency. Everything
+//! the parser accepts, [`write`] can produce, and vice versa.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One frozen entry: up to `count` diagnostics of `rule` in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub count: usize,
+    pub reason: String,
+}
+
+/// The parsed baseline, keyed by (rule, file).
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), BaselineEntry>,
+}
+
+/// A baseline parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    pub fn entries(&self) -> impl Iterator<Item = &BaselineEntry> {
+        self.entries.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, rule: &str, file: &str) -> Option<&BaselineEntry> {
+        self.entries.get(&(rule.to_string(), file.to_string()))
+    }
+
+    pub fn insert(&mut self, entry: BaselineEntry) {
+        self.entries
+            .insert((entry.rule.clone(), entry.file.clone()), entry);
+    }
+
+    /// Parses the TOML subset. Unknown keys and malformed lines are errors:
+    /// a baseline that silently drops entries would un-freeze violations.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut out = Baseline::default();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    finish(entry, &mut out, lineno)?;
+                }
+                current = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    count: 0,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key outside an [[allow]] table".to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => entry.rule = unquote(value, lineno)?,
+                "file" => entry.file = unquote(value, lineno)?,
+                "reason" => entry.reason = unquote(value, lineno)?,
+                "count" => {
+                    entry.count = value.parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("count must be an integer, got `{value}`"),
+                    })?;
+                }
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            let last = text.lines().count();
+            finish(entry, &mut out, last)?;
+        }
+        Ok(out)
+    }
+
+    /// Renders the baseline back to its canonical text form.
+    pub fn write(&self) -> String {
+        let mut out = String::from(
+            "# kwo-lint ratcheted baseline.\n\
+             # Each entry freezes pre-existing diagnostics of `rule` in `file` at `count`.\n\
+             # Counts may only go down: lower the count (or delete the entry) when you\n\
+             # burn a violation down; the gate fails if a count is exceeded or a new\n\
+             # (rule, file) pair appears. Regenerate with `kwo-lint --write-baseline`\n\
+             # (justifications are preserved by hand — review the diff).\n",
+        );
+        for e in self.entries.values() {
+            let _ = write!(
+                out,
+                "\n[[allow]]\nrule = \"{}\"\nfile = \"{}\"\ncount = {}\nreason = \"{}\"\n",
+                e.rule, e.file, e.count, e.reason
+            );
+        }
+        out
+    }
+}
+
+fn finish(entry: BaselineEntry, out: &mut Baseline, lineno: usize) -> Result<(), ParseError> {
+    if entry.rule.is_empty() || entry.file.is_empty() {
+        return Err(ParseError {
+            line: lineno,
+            message: "[[allow]] table needs both `rule` and `file`".to_string(),
+        });
+    }
+    if entry.reason.is_empty() {
+        return Err(ParseError {
+            line: lineno,
+            message: format!(
+                "[[allow]] for {} in {} has no reason — baseline entries must be justified",
+                entry.rule, entry.file
+            ),
+        });
+    }
+    out.insert(entry);
+    Ok(())
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, ParseError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ParseError {
+            line: lineno,
+            message: format!("expected a quoted string, got `{value}`"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.insert(BaselineEntry {
+            rule: "D5".into(),
+            file: "crates/x/src/lib.rs".into(),
+            count: 3,
+            reason: "poisoned-lock expects".into(),
+        });
+        b.insert(BaselineEntry {
+            rule: "D1".into(),
+            file: "crates/y/src/a.rs".into(),
+            count: 1,
+            reason: "wall-time metric".into(),
+        });
+        let text = b.write();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let e = parsed.get("D5", "crates/x/src/lib.rs").unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.reason, "poisoned-lock expects");
+    }
+
+    #[test]
+    fn reasonless_entry_is_rejected() {
+        let text = "[[allow]]\nrule = \"D5\"\nfile = \"f.rs\"\ncount = 1\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.message.contains("no reason"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(
+            Baseline::parse("rule = \"D5\"\n").is_err(),
+            "key outside table"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nrule = D5\n").is_err(),
+            "unquoted value"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"D5\"\nfile = \"f\"\ncount = x\nreason = \"r\"\n")
+                .is_err(),
+            "bad count"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nbogus = \"v\"\n").is_err(),
+            "unknown key"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n[[allow]]\n# inline\nrule = \"D3\"\nfile = \"f.rs\"\ncount = 2\nreason = \"r\"\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.get("D3", "f.rs").unwrap().count, 2);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(Baseline::parse("# nothing frozen\n").unwrap().is_empty());
+        assert!(Baseline::parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Diagnostics and the machine-readable JSON report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id, e.g. "D2".
+    pub rule: String,
+    /// Short rule name, e.g. "no-ambient-rng".
+    pub name: String,
+    /// The matched source fragment.
+    pub snippet: String,
+    /// Human explanation with the fix direction.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: Dn (name) snippet — message` for terminal output.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {} ({}) `{}` — {}",
+            self.file, self.line, self.col, self.rule, self.name, self.snippet, self.message
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the deterministic machine-readable report: diagnostics sorted by
+/// (file, line, col, rule), plus per-rule counts. Hand-rolled writer — the
+/// lint engine stays dependency-free so it can never be broken by the crates
+/// it checks.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &sorted {
+        *counts.entry(d.rule.as_str()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"total\": ");
+    let _ = write!(out, "{}", sorted.len());
+    out.push_str(",\n  \"counts\": {");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(rule), n);
+    }
+    if !counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"diagnostics\": [");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.rule),
+            json_escape(&d.name),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.snippet),
+            json_escape(&d.message)
+        );
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, rule: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            col: 1,
+            rule: rule.into(),
+            name: "n".into(),
+            snippet: "s".into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_sorted_and_counted() {
+        let diags = vec![
+            diag("b.rs", 2, "D2"),
+            diag("a.rs", 9, "D1"),
+            diag("b.rs", 1, "D2"),
+        ];
+        let json = to_json(&diags);
+        assert!(json.contains("\"total\": 3"));
+        assert!(json.contains("\"D1\": 1"));
+        assert!(json.contains("\"D2\": 2"));
+        let a = json.find("a.rs").unwrap();
+        let b = json.find("b.rs").unwrap();
+        assert!(a < b, "sorted by file");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut d = diag("a.rs", 1, "D4");
+        d.snippet = "x == \"q\"\n".into();
+        let json = to_json(&[d]);
+        assert!(json.contains("x == \\\"q\\\"\\n"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"total\": 0"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,427 @@
+//! The lint driver: workspace walk, rule application, allow-directive
+//! filtering, baseline ratcheting, and the fixture self-check.
+
+use crate::baseline::Baseline;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, AllowDirective, Marker};
+use crate::rules::{all_rules, FileInfo, FileKind};
+use crate::scope::annotate_test_scope;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never linted.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".devstubs", "fixtures"];
+
+/// Collects every workspace `.rs` file under `root`, repo-relative and
+/// sorted (deterministic diagnostic order). The fixture corpus is excluded:
+/// it exists to *contain* violations.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileResult {
+    pub diags: Vec<Diagnostic>,
+    /// Markers found (fixture mode only cares).
+    pub markers: Vec<Marker>,
+}
+
+/// Lints one file's source. `rel_path` is the repo-relative path used both
+/// for diagnostics and rule scoping; fixture files override the latter via
+/// a `// lint-fixture: <pretend-path>` header (the diagnostics still carry
+/// the real path).
+pub fn lint_source(rel_path: &str, src: &str) -> FileResult {
+    let pretend = src.lines().next().and_then(|l| {
+        l.trim()
+            .strip_prefix("// lint-fixture:")
+            .map(|p| p.trim().to_string())
+    });
+    let info = FileInfo::classify(pretend.as_deref().unwrap_or(rel_path));
+    let mut result = FileResult::default();
+
+    let mut lexed = lex(src);
+    result.markers = std::mem::take(&mut lexed.markers);
+    if info.kind == FileKind::TestLike {
+        return result;
+    }
+    annotate_test_scope(&mut lexed.tokens);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in all_rules() {
+        if !(rule.applies)(&info) {
+            continue;
+        }
+        for hit in (rule.scan)(&lexed.tokens) {
+            raw.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: hit.line,
+                col: hit.col,
+                rule: rule.id.to_string(),
+                name: rule.name.to_string(),
+                snippet: hit.snippet,
+                message: rule.message.to_string(),
+            });
+        }
+    }
+    result.diags = apply_allows(raw, &lexed.allows, rel_path);
+    result
+}
+
+/// Applies allow directives: `// lint: allow(Dn) — reason` suppresses rule
+/// `Dn` on its own line and the next line. Directives with no justification
+/// do not suppress and are themselves diagnostics; directives that suppress
+/// nothing are diagnostics too (stale allows must not accumulate).
+fn apply_allows(
+    raw: Vec<Diagnostic>,
+    allows: &[AllowDirective],
+    rel_path: &str,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allows.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for (ai, a) in allows.iter().enumerate() {
+            if a.rule == d.rule
+                && !a.reason.is_empty()
+                && (d.line == a.line || d.line == a.line + 1)
+            {
+                used[ai] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (ai, a) in allows.iter().enumerate() {
+        if a.reason.is_empty() {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: a.rule.clone(),
+                name: "allow-without-reason".to_string(),
+                snippet: format!("lint: allow({})", a.rule),
+                message:
+                    "allow directive has no justification — write `// lint: allow(Dn) — <reason>`"
+                        .to_string(),
+            });
+        } else if !used[ai] {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: a.rule.clone(),
+                name: "stale-allow".to_string(),
+                snippet: format!("lint: allow({})", a.rule),
+                message: "allow directive suppresses nothing — remove it".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Lints the whole workspace rooted at `root`. Diagnostics are sorted by
+/// (file, line, col, rule) and per-rule totals are published to keebo-obs
+/// (`kwo_lint.diag.<rule>`).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        diags.extend(lint_source(&rel, &src).diags);
+    }
+    diags.sort();
+    let mut per_rule: BTreeMap<String, u64> = BTreeMap::new();
+    for d in &diags {
+        *per_rule.entry(d.rule.to_lowercase()).or_insert(0) += 1;
+    }
+    for (rule, n) in per_rule {
+        keebo_obs::global()
+            .counter(&format!("kwo_lint.diag.{rule}"))
+            .add(n);
+    }
+    Ok(diags)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Outcome of gating diagnostics against the baseline.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Hard failures: new violations (or counts above baseline).
+    pub failures: Vec<String>,
+    /// Ratchet slack: baseline entries whose count can be lowered.
+    pub slack: Vec<String>,
+}
+
+impl GateResult {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks `diags` against `baseline`: every (rule, file) count must be at
+/// or under its frozen entry; pairs without an entry fail.
+pub fn check_baseline(diags: &[Diagnostic], baseline: &Baseline) -> GateResult {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry((d.rule.clone(), d.file.clone())).or_insert(0) += 1;
+    }
+    let mut result = GateResult::default();
+    for ((rule, file), n) in &counts {
+        match baseline.get(rule, file) {
+            None => result.failures.push(format!(
+                "{file}: {n} new {rule} violation(s) (not in baseline)"
+            )),
+            Some(e) if *n > e.count => result.failures.push(format!(
+                "{file}: {rule} count {n} exceeds baseline {} — fix the new violation(s)",
+                e.count
+            )),
+            Some(e) if *n < e.count => result.slack.push(format!(
+                "{file}: {rule} baseline {} but only {n} remain — tighten the entry",
+                e.count
+            )),
+            Some(_) => {}
+        }
+    }
+    for e in baseline.entries() {
+        if !counts.contains_key(&(e.rule.clone(), e.file.clone())) {
+            result.slack.push(format!(
+                "{}: {} baseline {} but 0 remain — delete the entry",
+                e.file, e.rule, e.count
+            ));
+        }
+    }
+    result
+}
+
+/// Builds a baseline freezing the given diagnostics (reasons are stamped
+/// with a placeholder the committer must edit).
+pub fn freeze(diags: &[Diagnostic]) -> Baseline {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry((d.rule.clone(), d.file.clone())).or_insert(0) += 1;
+    }
+    let mut out = Baseline::default();
+    for ((rule, file), count) in counts {
+        out.insert(crate::baseline::BaselineEntry {
+            rule,
+            file,
+            count,
+            reason: "TODO: justify or burn down".to_string(),
+        });
+    }
+    out
+}
+
+/// Fixture self-check outcome.
+#[derive(Debug, Default)]
+pub struct FixtureReport {
+    /// Diagnostics produced over the corpus (sorted).
+    pub diags: Vec<Diagnostic>,
+    /// `//~ Dn` markers with no matching diagnostic: the rule missed a
+    /// true positive.
+    pub missed: Vec<String>,
+    /// Diagnostics on lines with no marker: a false positive trap fired.
+    pub unexpected: Vec<String>,
+}
+
+impl FixtureReport {
+    pub fn passed(&self) -> bool {
+        self.missed.is_empty() && self.unexpected.is_empty()
+    }
+}
+
+/// Runs the engine over the fixture corpus at `dir` and cross-checks the
+/// diagnostics against the `//~ Dn` expectation markers, line by line.
+pub fn run_fixtures(dir: &Path) -> io::Result<FixtureReport> {
+    let mut files = Vec::new();
+    walk(dir, &mut files)?;
+    files.sort();
+    let mut report = FixtureReport::default();
+    for path in &files {
+        let rel = rel_path(dir, path);
+        let src = fs::read_to_string(path)?;
+        let result = lint_source(&rel, &src);
+        let mut expected: BTreeMap<(String, u32), usize> = BTreeMap::new();
+        for mk in &result.markers {
+            *expected.entry((mk.rule.clone(), mk.line)).or_insert(0) += 1;
+        }
+        let mut got: BTreeMap<(String, u32), usize> = BTreeMap::new();
+        for d in &result.diags {
+            *got.entry((d.rule.clone(), d.line)).or_insert(0) += 1;
+        }
+        for ((rule, line), n) in &expected {
+            let g = got.get(&(rule.clone(), *line)).copied().unwrap_or(0);
+            if g < *n {
+                report
+                    .missed
+                    .push(format!("{rel}:{line}: expected {rule} ({n}x), got {g}"));
+            }
+        }
+        for ((rule, line), n) in &got {
+            let e = expected.get(&(rule.clone(), *line)).copied().unwrap_or(0);
+            if *n > e {
+                report.unexpected.push(format!(
+                    "{rel}:{line}: unexpected {rule} ({n}x, {e} marked)"
+                ));
+            }
+        }
+        report.diags.extend(result.diags);
+    }
+    report.diags.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineEntry;
+
+    fn d(rule: &str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            col: 1,
+            rule: rule.into(),
+            name: String::new(),
+            snippet: String::new(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn lint_source_applies_rules_by_pretend_path() {
+        // Same source, different pretend locations: D6 fires only on the
+        // billing path.
+        let src =
+            "// lint-fixture: crates/cdw-sim/src/billing.rs\nfn f(s: u64) -> f64 { s as f64 }\n";
+        let r = lint_source("fix.rs", src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, "D6");
+        assert_eq!(
+            r.diags[0].file, "fix.rs",
+            "diagnostic carries the real path"
+        );
+
+        let src2 = "// lint-fixture: crates/agent/src/dqn.rs\nfn f(s: u64) -> f64 { s as f64 }\n";
+        assert!(lint_source("fix.rs", src2).diags.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let src = "// lint-fixture: crates/core/src/x.rs\n\
+                   // lint: allow(D5) — documented invariant\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = lint_source("x.rs", src);
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert_eq!(r.diags[0].line, 4, "only the un-annotated unwrap remains");
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_diagnostic_and_does_not_suppress() {
+        let src = "// lint-fixture: crates/core/src/x.rs\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(D5)\n";
+        let r = lint_source("x.rs", src);
+        assert_eq!(r.diags.len(), 2, "{:?}", r.diags);
+        assert!(r.diags.iter().any(|d| d.name == "allow-without-reason"));
+        assert!(r.diags.iter().any(|d| d.name == "no-panic-paths"));
+    }
+
+    #[test]
+    fn stale_allow_is_a_diagnostic() {
+        let src = "// lint-fixture: crates/core/src/x.rs\n\
+                   // lint: allow(D2) — nothing here uses rng anymore\n\
+                   fn f() {}\n";
+        let r = lint_source("x.rs", src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].name, "stale-allow");
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_new_and_exceeded() {
+        let mut b = Baseline::default();
+        b.insert(BaselineEntry {
+            rule: "D5".into(),
+            file: "a.rs".into(),
+            count: 1,
+            reason: "r".into(),
+        });
+        // Exactly at baseline: pass.
+        assert!(check_baseline(&[d("D5", "a.rs", 1)], &b).passed());
+        // Above baseline: fail.
+        let over = check_baseline(&[d("D5", "a.rs", 1), d("D5", "a.rs", 9)], &b);
+        assert!(!over.passed());
+        assert!(over.failures[0].contains("exceeds baseline"));
+        // Not in baseline at all: fail.
+        let new = check_baseline(&[d("D2", "b.rs", 3)], &b);
+        assert!(!new.passed());
+        assert!(new.failures[0].contains("not in baseline"));
+    }
+
+    #[test]
+    fn baseline_gate_reports_slack_both_ways() {
+        let mut b = Baseline::default();
+        b.insert(BaselineEntry {
+            rule: "D5".into(),
+            file: "a.rs".into(),
+            count: 3,
+            reason: "r".into(),
+        });
+        b.insert(BaselineEntry {
+            rule: "D3".into(),
+            file: "gone.rs".into(),
+            count: 2,
+            reason: "r".into(),
+        });
+        let g = check_baseline(&[d("D5", "a.rs", 1)], &b);
+        assert!(g.passed());
+        assert_eq!(g.slack.len(), 2);
+        assert!(g.slack.iter().any(|s| s.contains("tighten")));
+        assert!(g.slack.iter().any(|s| s.contains("delete")));
+    }
+
+    #[test]
+    fn freeze_then_check_passes() {
+        let diags = vec![d("D5", "a.rs", 1), d("D5", "a.rs", 2), d("D1", "b.rs", 7)];
+        let b = freeze(&diags);
+        assert_eq!(b.len(), 2);
+        assert!(check_baseline(&diags, &b).passed());
+    }
+}

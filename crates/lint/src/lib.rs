@@ -1,0 +1,35 @@
+//! # kwo-lint — repo-local determinism & numeric-safety lints
+//!
+//! The KWO control loop is trusted because its decisions replay bit-for-bit
+//! and its billing arithmetic is exact. The dynamic suite (fleet-digest
+//! identity, the billing oracle, the fuzzer) *detects* violations of those
+//! invariants; this crate *prevents* them from entering the tree, as a
+//! self-contained static pass with no syn/rustc dependency:
+//!
+//! | rule | name               | invariant protected                         |
+//! |------|--------------------|---------------------------------------------|
+//! | D1   | no-wall-clock      | replayable decisions (sim time only)         |
+//! | D2   | no-ambient-rng     | name-keyed seed streams                      |
+//! | D3   | ordered-iteration  | bit-identical digests/reports                |
+//! | D4   | no-float-eq        | exact credit arithmetic                      |
+//! | D5   | no-panic-paths     | fleet runs never abort mid-flight            |
+//! | D6   | checked-casts      | billing precision (2^53 edge, sign)          |
+//!
+//! Findings are suppressed per site with `// lint: allow(Dn) — reason`
+//! (the justification is mandatory) or frozen in `lint-baseline.toml`,
+//! which only ratchets down. See the `kwo-lint` binary for the CLI.
+
+pub mod baseline;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use diag::{to_json, Diagnostic};
+pub use engine::{
+    check_baseline, freeze, lint_source, lint_workspace, run_fixtures, workspace_files,
+    FixtureReport, GateResult,
+};
+pub use rules::{all_rules, rule_by_id, FileInfo, FileKind};

@@ -1,0 +1,176 @@
+//! Test-scope annotation over the token stream.
+//!
+//! Every rule exempts test-only code: `#[cfg(test)]` items, `#[test]`
+//! functions, and the repo's `mod tests { ... }` idiom. The pass walks the
+//! token stream once, tracking brace depth, and marks tokens inside a
+//! test-scoped brace group with `in_test = true`. Attribute recognition is
+//! token-based:
+//!
+//! * `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` → test scope for
+//!   the next brace-delimited item (or cleared at a `;` for statements);
+//! * `#[cfg(not(test))]` is **not** test scope (the `not(` look-behind);
+//! * `#[cfg_attr(...)]` never creates test scope (it conditions another
+//!   attribute, not the item's compilation);
+//! * `mod tests` / `mod test` → test scope for the following brace group.
+
+use crate::lexer::Tok;
+
+/// Marks tokens that belong to test-only code.
+pub fn annotate_test_scope(tokens: &mut [Tok]) {
+    // Stack of brace frames; `true` frames are test scope.
+    let mut frames: Vec<bool> = Vec::new();
+    // A test attribute (or `mod tests`) was seen; the next `{` at this
+    // point opens a test frame. Cleared by `;` (attribute on a non-brace
+    // statement like `#[cfg(test)] use x;`).
+    let mut pending_test = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let in_test_now = pending_test || frames.iter().any(|&t| t);
+        tokens[i].in_test = in_test_now;
+
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute's bracket group.
+            let mut j = i + 1;
+            let mut depth = 0usize;
+            let attr_start = j;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                tokens[j].in_test = in_test_now;
+                j += 1;
+            }
+            let attr = &tokens[attr_start..=j.min(tokens.len() - 1)];
+            if attr_is_test(attr) {
+                pending_test = true;
+            }
+            i = j + 1;
+            continue;
+        }
+
+        if tokens[i].is_ident("mod")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("tests") || t.is_ident("test"))
+        {
+            pending_test = true;
+            tokens[i].in_test = true;
+            if let Some(t) = tokens.get_mut(i + 1) {
+                t.in_test = true;
+            }
+            i += 2;
+            continue;
+        }
+
+        if tokens[i].is_punct('{') {
+            frames.push(pending_test);
+            pending_test = false;
+            // The opening brace itself belongs to the scope it opens.
+            tokens[i].in_test = frames.iter().any(|&t| t);
+        } else if tokens[i].is_punct('}') {
+            frames.pop();
+        } else if tokens[i].is_punct(';') && frames.iter().all(|&t| !t) {
+            // An attribute consumed by a braceless item at top level.
+            pending_test = false;
+        }
+        i += 1;
+    }
+}
+
+/// Does this attribute token group (contents between `[` and `]`) gate the
+/// item to test builds?
+fn attr_is_test(attr: &[Tok]) -> bool {
+    // `cfg_attr` conditions another attribute, never the item itself.
+    if attr.iter().any(|t| t.is_ident("cfg_attr")) {
+        return false;
+    }
+    for (k, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            // Reject `not(test)`: ident `not` then `(` immediately before.
+            let negated = k >= 2 && attr[k - 1].is_punct('(') && attr[k - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_flag_of(src: &str, ident: &str) -> bool {
+        let mut lexed = lex(src);
+        annotate_test_scope(&mut lexed.tokens);
+        lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("ident {ident} not found"))
+            .in_test
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_scope() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn helper() { target(); } }";
+        assert!(test_flag_of(src, "target"));
+        assert!(!test_flag_of(src, "lib"));
+    }
+
+    #[test]
+    fn mod_tests_without_attr_is_test_scope() {
+        let src = "mod tests { fn t() { target(); } } fn lib() { other(); }";
+        assert!(test_flag_of(src, "target"));
+        assert!(!test_flag_of(src, "other"));
+    }
+
+    #[test]
+    fn test_fn_attribute_scopes_one_item() {
+        let src = "#[test]\nfn t() { inside(); }\nfn lib() { outside(); }";
+        assert!(test_flag_of(src, "inside"));
+        assert!(!test_flag_of(src, "outside"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_scope() {
+        let src = "#[cfg(not(test))]\nfn lib() { target(); }";
+        assert!(!test_flag_of(src, "target"));
+    }
+
+    #[test]
+    fn cfg_all_test_is_test_scope() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn t() { target(); }";
+        assert!(test_flag_of(src, "target"));
+    }
+
+    #[test]
+    fn attribute_on_statement_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { target(); }";
+        assert!(!test_flag_of(src, "target"));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_stay_test() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { if x { deep(); } } }\nfn lib() { out(); }";
+        assert!(test_flag_of(src, "deep"));
+        assert!(!test_flag_of(src, "out"));
+    }
+
+    #[test]
+    fn cfg_attr_does_not_create_test_scope() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { }\nfn lib() { target(); }";
+        assert!(!test_flag_of(src, "target"));
+        // And the struct body itself is not test scope either.
+        let mut lexed = lex(src);
+        annotate_test_scope(&mut lexed.tokens);
+        assert!(lexed.tokens.iter().all(|t| !t.in_test));
+    }
+}

@@ -1,0 +1,40 @@
+// lint-fixture: crates/core/src/fixture_d1.rs
+//! D1 no-wall-clock: true positives and false-positive traps.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() //~ D1
+}
+
+pub fn bad_qualified() -> std::time::Instant {
+    std::time::Instant::now() //~ D1
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() //~ D1
+}
+
+// Trap: reading an *existing* Instant is fine — only the wall-clock read is
+// banned.
+pub fn ok_elapsed(start: Instant) -> Duration {
+    start.elapsed()
+}
+
+// Trap: `Instant::now()` in this comment must not fire.
+pub fn ok_comment_mention() {}
+
+pub fn ok_string_mention() -> &'static str {
+    "call Instant::now() at your peril"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_test_code_may_read_the_clock() {
+        let _ = Instant::now();
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,35 @@
+// lint-fixture: crates/core/src/fixture_d2.rs
+//! D2 no-ambient-rng: true positives and false-positive traps.
+
+pub fn bad_thread_rng() {
+    let mut _rng = rand::thread_rng(); //~ D2
+}
+
+pub fn bad_from_entropy() {
+    let _rng = rand::rngs::StdRng::from_entropy(); //~ D2
+}
+
+pub fn bad_rand_random() -> f64 {
+    rand::random() //~ D2
+}
+
+// Trap: a similarly named local identifier is not the ambient constructor.
+pub fn ok_similar_names(thread_rng_calls: u64) -> u64 {
+    thread_rng_calls + 1
+}
+
+// Trap: `thread_rng()` inside a doc comment must not fire.
+/// Never use `thread_rng()` here; derive from `derive_stream_seed` instead.
+pub fn ok_doc_mention() {}
+
+pub fn ok_string_mention() -> &'static str {
+    "thread_rng() and from_entropy() are banned"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_use_ambient_rng() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,36 @@
+// lint-fixture: crates/core/src/fixture_d3.rs
+//! D3 ordered-iteration: true positives and false-positive traps.
+
+use std::collections::HashMap; //~ D3
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn bad_type_and_ctor() -> u64 {
+    let m: HashMap<String, u64> = HashMap::new(); //~ D3 D3
+    m.values().sum()
+}
+
+pub fn bad_hashset() -> usize {
+    let s = std::collections::HashSet::from([1u32, 2, 3]); //~ D3
+    s.len()
+}
+
+// Trap: ordered collections are the sanctioned replacement.
+pub fn ok_btree() -> u64 {
+    let m: BTreeMap<String, u64> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    m.values().sum::<u64>() + s.len() as u64
+}
+
+// Trap: `HashMap` in this comment must not fire.
+pub fn ok_comment_mention() -> &'static str {
+    "HashMap iteration order is nondeterministic"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_use_hash_collections() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+// lint-fixture: crates/core/src/fixture_d4.rs
+//! D4 no-float-eq: true positives and false-positive traps.
+
+pub fn bad_eq_zero(credits: f64) -> bool {
+    credits == 0.0 //~ D4
+}
+
+pub fn bad_neq_epsilon(x: f64) -> bool {
+    x != 1e-9 //~ D4
+}
+
+pub fn bad_literal_left(y: f64) -> bool {
+    0.5 == y //~ D4
+}
+
+pub fn bad_negative_literal(x: f64) -> bool {
+    x == -1.0 //~ D4
+}
+
+pub fn bad_f64_constant(x: f64) -> bool {
+    x == f64::INFINITY //~ D4
+}
+
+// Trap: integer equality is exact and fine.
+pub fn ok_int_eq(n: u64) -> bool {
+    n == 0
+}
+
+// Trap: ordering comparisons against float literals are fine.
+pub fn ok_ordering(n: f64) -> bool {
+    n <= 0.5 && n >= -0.5 && n < 1.0
+}
+
+// Trap: bit-pattern comparison is the sanctioned exact check.
+pub fn ok_bitwise(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_compare_floats_exactly() {
+        assert!(super::ok_bitwise(0.25, 0.25));
+        let x = 0.5f64;
+        assert!(x == 0.5);
+    }
+}

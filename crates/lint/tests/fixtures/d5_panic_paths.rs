@@ -1,0 +1,50 @@
+// lint-fixture: crates/core/src/fixture_d5.rs
+//! D5 no-panic-paths: true positives, the allow-directive escape hatch, and
+//! false-positive traps.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ D5
+}
+
+pub fn bad_expect(x: Result<u32, String>) -> u32 {
+    x.expect("must parse") //~ D5
+}
+
+pub fn bad_panic(kind: u8) -> u32 {
+    match kind {
+        0 => 1,
+        _ => panic!("unreachable kind {kind}"), //~ D5
+    }
+}
+
+// A justified allow suppresses the next line and produces no diagnostic.
+pub fn ok_allowed(x: Option<u32>) -> u32 {
+    // lint: allow(D5) — x is populated by the constructor, documented invariant
+    x.unwrap()
+}
+
+// Trap: the non-panicking variants must not fire.
+pub fn ok_fallbacks(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+// Trap: `unwrap()` in a doc comment must not fire.
+/// Prefer `unwrap_or` over `unwrap()` in library code.
+pub fn ok_doc_mention() {}
+
+// Trap: `panic!` inside a string must not fire.
+pub fn ok_string_mention() -> &'static str {
+    "never panic!(..) in the control loop"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_unwrap_and_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+// lint-fixture: crates/costmodel/src/fixture_d6.rs
+//! D6 checked-casts: true positives and false-positive traps. The pretend
+//! path sits under `crates/costmodel/src/`, one of the billing-precision
+//! paths where bare `as u64` / `as f64` casts are banned.
+
+pub fn bad_widen_to_f64(secs: u64) -> f64 {
+    secs as f64 //~ D6
+}
+
+pub fn bad_narrow_to_u64(ms: f64) -> u64 {
+    ms as u64 //~ D6
+}
+
+pub fn bad_chained(ms: u32) -> f64 {
+    (ms as u64) as f64 //~ D6 D6
+}
+
+// Trap: casts to other widths are outside D6's scope (clippy covers them).
+pub fn ok_other_widths(n: u64) -> usize {
+    n as usize + (n as u32 as usize)
+}
+
+// Trap: `as f64` in a comment must not fire.
+pub fn ok_comment_mention() -> &'static str {
+    "write exact_f64(x) instead of x as f64"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_cast_bare() {
+        let secs: u64 = 90;
+        assert!((secs as f64) > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+// lint-fixture: crates/core/src/fixture_fp.rs
+//! Pure false-positive traps: every banned pattern appears below only in a
+//! lexical position where it is NOT code (strings, comments, doc comments)
+//! or in test-only scope. This file must produce ZERO diagnostics — any
+//! diagnostic here is reported by `--smoke` as unexpected.
+
+// Trap: line comment — Instant::now(), thread_rng(), HashMap, x.unwrap(),
+// credits == 0.0, secs as f64.
+
+/* Trap: block comment — SystemTime::now(), from_entropy(), HashSet,
+   x.expect("m"), panic!("boom"), /* nested: rand::random() */ still inside. */
+
+/// Trap: doc comment — `Instant::now()`, `thread_rng()`, `HashMap::new()`,
+/// `x.unwrap()`, `credits == 0.0`, `ms as u64`.
+pub fn traps_in_docs() {}
+
+pub fn traps_in_strings() -> String {
+    let a = "Instant::now() thread_rng() HashMap x.unwrap() panic!(no)";
+    let b = r#"SystemTime::now() from_entropy() HashSet y.expect("m")"#;
+    let c = "credits == 0.0 || x != 1e-9";
+    format!("{a}{b}{c}")
+}
+
+pub fn traps_in_char_literals() -> [char; 2] {
+    // `'a'` must lex as a char literal, not start a lifetime that swallows
+    // the rest of the line.
+    ['a', '=']
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn traps_in_test_mod() {
+        let t = Instant::now();
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        m.insert(1, 0.5);
+        assert!(m.get(&1).copied().unwrap() == 0.5);
+        let _ = t.elapsed();
+    }
+}
+
+#[cfg(test)]
+fn trap_cfg_test_fn(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(all(test, feature = "slow-tests"))]
+fn trap_cfg_all_test(x: Option<u32>) -> u32 {
+    x.expect("gated to test builds")
+}

@@ -1,0 +1,22 @@
+// lint-fixture: crates/core/src/fixture_not_test.rs
+//! `#[cfg(not(test))]` and `#[cfg_attr(...)]` items are live code: the test
+//! exemption must NOT extend to them.
+
+#[cfg(not(test))]
+pub fn bad_not_test_is_live(x: Option<u32>) -> u32 {
+    x.unwrap() //~ D5
+}
+
+#[cfg_attr(feature = "strict", deny(warnings))]
+pub fn bad_cfg_attr_is_live() {
+    let _rng = rand::thread_rng(); //~ D2
+}
+
+// An attribute on a braceless item must not leak test scope onto what
+// follows it.
+#[cfg(test)]
+use std::time::Instant as TestOnlyInstant;
+
+pub fn bad_after_braceless_test_import() -> std::time::Instant {
+    std::time::Instant::now() //~ D1
+}

@@ -114,6 +114,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(i, k);
+                // lint: allow(D4) — exact-zero skip is a sparsity fast path, not a tolerance check
                 if a == 0.0 {
                     continue;
                 }
@@ -159,14 +160,12 @@ impl Matrix {
 
         for col in 0..n {
             // Partial pivot: largest magnitude in this column at/below diagonal.
-            let pivot = (col..n)
-                .max_by(|&i, &j| {
-                    a.get(i, col)
-                        .abs()
-                        .partial_cmp(&a.get(j, col).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("non-empty pivot range");
+            let pivot = (col..n).max_by(|&i, &j| {
+                a.get(i, col)
+                    .abs()
+                    .partial_cmp(&a.get(j, col).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })?;
             if a.get(pivot, col).abs() < 1e-12 {
                 return None;
             }
@@ -181,6 +180,7 @@ impl Matrix {
             let diag = a.get(col, col);
             for r in (col + 1)..n {
                 let factor = a.get(r, col) / diag;
+                // lint: allow(D4) — exact-zero skip is a sparsity fast path, not a tolerance check
                 if factor == 0.0 {
                     continue;
                 }

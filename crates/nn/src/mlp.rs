@@ -153,6 +153,7 @@ impl ForwardTrace {
     pub fn output(&self) -> &[f64] {
         self.activations
             .last()
+            // lint: allow(D5) — forward_trace always pushes the input row first
             .expect("trace has at least the input")
     }
 }
@@ -199,6 +200,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
+        // lint: allow(D5) — the constructor asserts layer_sizes.len() >= 2
         *self.config.layer_sizes.last().unwrap()
     }
 
@@ -212,7 +214,10 @@ impl Mlp {
 
     /// Forward pass returning only the output.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.forward_trace(input).activations.pop().unwrap()
+        self.forward_trace(input)
+            .activations
+            .pop()
+            .unwrap_or_default()
     }
 
     /// Forward pass that keeps every intermediate activation for backprop.
@@ -231,7 +236,8 @@ impl Mlp {
         activations.push(input.to_vec());
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.weights.matvec(activations.last().unwrap());
+            let prev = activations.last().map(Vec::as_slice).unwrap_or(input);
+            let mut z = layer.weights.matvec(prev);
             for (zv, b) in z.iter_mut().zip(&layer.biases) {
                 *zv += b;
             }
@@ -268,6 +274,7 @@ impl Mlp {
             // dL/dW = delta (outer) input, dL/db = delta
             let wg = &mut grads.weight_grads[i];
             for (r, &d) in delta.iter().enumerate() {
+                // lint: allow(D4) — exact-zero skip is a sparsity fast path, not a tolerance check
                 if d == 0.0 {
                     continue;
                 }
@@ -283,6 +290,7 @@ impl Mlp {
             if i > 0 {
                 let mut prev = vec![0.0; layer.weights.cols()];
                 for (r, &d) in delta.iter().enumerate() {
+                    // lint: allow(D4) — exact-zero skip is a sparsity fast path, not a tolerance check
                     if d == 0.0 {
                         continue;
                     }

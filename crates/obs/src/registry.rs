@@ -10,7 +10,15 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a metrics map, recovering from poisoning. The maps hold plain
+/// handle data (Arc'd atomics), which a panic on another thread cannot
+/// leave in a torn state, so observability keeps working instead of
+/// cascading the abort into every instrumented thread.
+fn lock_metrics<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A monotonically increasing counter.
 #[derive(Clone, Debug)]
@@ -232,7 +240,7 @@ impl MetricsRegistry {
 
     /// Returns (registering on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock_metrics(&self.counters);
         map.entry(name.to_string())
             .or_insert_with(|| Counter::new(self.enabled.clone()))
             .clone()
@@ -240,7 +248,7 @@ impl MetricsRegistry {
 
     /// Returns (registering on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock_metrics(&self.gauges);
         map.entry(name.to_string())
             .or_insert_with(|| Gauge::new(self.enabled.clone()))
             .clone()
@@ -250,7 +258,7 @@ impl MetricsRegistry {
     /// the given finite bucket upper bounds. Bounds passed on subsequent
     /// lookups of an existing name are ignored.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock_metrics(&self.histograms);
         map.entry(name.to_string())
             .or_insert_with(|| Histogram::with_bounds(bounds, self.enabled.clone()))
             .clone()
@@ -258,24 +266,15 @@ impl MetricsRegistry {
 
     /// Copies out every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap()
+        let counters = lock_metrics(&self.counters)
             .iter()
             .map(|(n, c)| (n.clone(), c.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges = lock_metrics(&self.gauges)
             .iter()
             .map(|(n, g)| (n.clone(), g.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
+        let histograms = lock_metrics(&self.histograms)
             .iter()
             .map(|(n, h)| h.snapshot(n))
             .collect();
@@ -290,13 +289,13 @@ impl MetricsRegistry {
     /// valid (they share the zeroed atomics), so this is safe to call
     /// between benchmark phases or tests.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in lock_metrics(&self.counters).values() {
             c.value.store(0, Ordering::Relaxed);
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in lock_metrics(&self.gauges).values() {
             g.bits.store(0f64.to_bits(), Ordering::Relaxed);
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in lock_metrics(&self.histograms).values() {
             for b in &h.inner.buckets {
                 b.store(0, Ordering::Relaxed);
             }

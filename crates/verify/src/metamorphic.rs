@@ -68,6 +68,7 @@ pub fn run_scenario(
     });
     if resume_at_start {
         sim.alter_warehouse(wh, WarehouseCommand::Resume, ActionSource::External)
+            // lint: allow(D5) — verification harness must abort loudly on a broken premise
             .expect("resume from suspended");
     }
     for q in queries {

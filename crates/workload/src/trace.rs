@@ -50,8 +50,8 @@ impl WorkloadTrace {
         }
         let n = self.queries.len();
         let total_work: f64 = self.queries.iter().map(|q| q.work_ms_xs).sum();
-        let first = self.queries.first().unwrap().arrival;
-        let last = self.queries.last().unwrap().arrival;
+        let first = self.queries.first().map_or(0, |q| q.arrival);
+        let last = self.queries.last().map_or(0, |q| q.arrival);
         let mut per_day = std::collections::BTreeMap::new();
         for q in &self.queries {
             *per_day.entry(q.arrival / DAY_MS).or_insert(0usize) += 1;

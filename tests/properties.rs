@@ -2,6 +2,11 @@
 //! simulator conservation laws, cost-model monotonicity, cache bounds, and
 //! constraint-mask safety.
 
+// Offline builds patch proptest with a no-op stub (.devstubs/), under which
+// the imports and strategy helpers below count as unused; real proptest
+// (CI) uses all of them.
+#![allow(unused_imports, dead_code)]
+
 use cdw_sim::{
     billing::{session_credits, HourlyCredits, MIN_BILL_SECONDS},
     Account, CacheState, QuerySpec, Simulator, WarehouseConfig, WarehouseSize, HOUR_MS, MINUTE_MS,
