@@ -10,7 +10,6 @@
 
 use crate::action::{AgentAction, AUTO_SUSPEND_LADDER_MS};
 use crate::state::AgentState;
-use rand::rngs::StdRng;
 
 /// Anything that can pick an action for a warehouse at a decision point.
 pub trait Policy {
@@ -20,7 +19,7 @@ pub trait Policy {
         &mut self,
         state: &AgentState,
         mask: &[bool; AgentAction::COUNT],
-        rng: &mut StdRng,
+        rng: &mut dyn rand::RngCore,
     ) -> AgentAction;
 
     /// Name for logs and reports.
@@ -36,7 +35,7 @@ impl Policy for StaticPolicy {
         &mut self,
         _state: &AgentState,
         _mask: &[bool; AgentAction::COUNT],
-        _rng: &mut StdRng,
+        _rng: &mut dyn rand::RngCore,
     ) -> AgentAction {
         AgentAction::NoOp
     }
@@ -67,7 +66,7 @@ impl Policy for AutoSuspendRuleOfThumb {
         &mut self,
         state: &AgentState,
         mask: &[bool; AgentAction::COUNT],
-        _rng: &mut StdRng,
+        _rng: &mut dyn rand::RngCore,
     ) -> AgentAction {
         let current = state.config.auto_suspend_ms;
         let step = if current > self.target_ms {
@@ -116,7 +115,7 @@ impl Policy for DegradedFallback {
         &mut self,
         state: &AgentState,
         mask: &[bool; AgentAction::COUNT],
-        _rng: &mut StdRng,
+        _rng: &mut dyn rand::RngCore,
     ) -> AgentAction {
         if state.queue_depth >= self.queue_depth_threshold {
             if mask[AgentAction::ClustersUp.index()] {
@@ -139,6 +138,7 @@ mod tests {
     use super::*;
     use crate::slider::SliderPosition;
     use cdw_sim::{WarehouseConfig, WarehouseSize, HOUR_MS};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use telemetry::WindowFeatures;
 

@@ -184,16 +184,11 @@ fn main() {
         invoice: rep.invoice.clone(),
         ops: rep.ops.clone(),
     };
-    let json = serde_json::to_string_pretty(&out).expect("serialize bench output");
-    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
-    println!("wrote BENCH_fleet.json");
+    bench::report::write_json("BENCH_fleet.json", &out);
 
     // Export the observability counters/histograms accumulated across all
     // runs (queue waits, tick wall times, actuation outcomes, shard walls).
     let metrics = keebo::obs::prometheus_text(&keebo::obs::global().snapshot());
-    std::fs::write("BENCH_fleet_metrics.prom", &metrics).expect("write BENCH_fleet_metrics.prom");
-    println!(
-        "wrote BENCH_fleet_metrics.prom ({} lines)",
-        metrics.lines().count()
-    );
+    bench::report::write_report("BENCH_fleet_metrics.prom", &metrics);
+    println!("exported {} metric lines", metrics.lines().count());
 }

@@ -91,17 +91,13 @@ fn main() {
         out.completed_queries,
         out.failure_count
     );
-    let json = serde_json::to_string_pretty(&out).expect("serialize fuzz output");
-    std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
-    println!("wrote BENCH_fuzz.json");
+    bench::report::write_json("BENCH_fuzz.json", &out);
 
     if report.failure_count > 0 {
         // Persist every shrunk repro (seed, kind, minimized genome hex,
         // decoded case) so a CI artifact is enough to replay the failure
         // locally with `verify::fuzz_one(seed, &FuzzConfig::default())`.
-        let repro =
-            serde_json::to_string_pretty(&report.failures).expect("serialize fuzz failures");
-        std::fs::write("FUZZ_repro.json", &repro).expect("write FUZZ_repro.json");
+        bench::report::write_json("FUZZ_repro.json", &report.failures);
         for f in &report.failures {
             eprintln!(
                 "FAIL seed {} [{}]: {} (genome {} -> {} bytes)",

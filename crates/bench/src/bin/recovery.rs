@@ -1,0 +1,263 @@
+//! Crash-recovery benchmark for the durable control plane.
+//!
+//! For each seeded pair, runs a control loop against a file-backed
+//! [`keebo::FileStore`], kills it at a [`keebo::CrashPlan`]-chosen tick
+//! (optionally tearing the WAL tail mid-frame), restores from the surviving
+//! directory, and finishes the run. The recovered run's decision log and
+//! billed credits are compared bit-for-bit against an uninterrupted run of
+//! the same scenario; any divergence keeps the offending WAL directory on
+//! disk (`RECOVERY_wal/pair<N>/`) for CI artifact upload and exits
+//! non-zero.
+//!
+//! Writes `BENCH_recovery.json` with recovery wall time, replayed-record,
+//! and snapshot-size statistics.
+//!
+//! Usage: `recovery [--smoke] [--seed N] [--pairs N]` — `--smoke` is the
+//! bounded CI configuration (6 pairs); the default campaign is 24.
+
+use bench::report::{header, write_json};
+use cdw_sim::{
+    Account, FaultPlan, Simulator, WarehouseConfig, WarehouseId, WarehouseSize, DAY_MS, MINUTE_MS,
+};
+use keebo::{generate_trace, CrashPlan, FileStore, KwoSetup, Orchestrator, StateStore};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use workload::BiWorkload;
+
+const WAREHOUSE: &str = "WH";
+const TICK_MS: u64 = 30 * MINUTE_MS;
+const OBSERVE_MS: u64 = DAY_MS;
+const END_MS: u64 = 2 * DAY_MS;
+
+#[derive(Serialize)]
+struct RecoveryOutput {
+    smoke: bool,
+    start_seed: u64,
+    pairs: usize,
+    digest_matches: usize,
+    torn_tail_pairs: usize,
+    wall_secs: f64,
+    recovery_ms_mean: f64,
+    recovery_ms_max: f64,
+    replayed_records_mean: f64,
+    replayed_records_max: u64,
+    snapshot_bytes_mean: f64,
+    snapshot_bytes_max: u64,
+    wal_bytes_truncated_total: u64,
+}
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn setup() -> KwoSetup {
+    KwoSetup {
+        realtime_interval_ms: TICK_MS,
+        onboarding_episodes: 2,
+        refresh_episodes: 0,
+        train_interval_ms: 2 * DAY_MS,
+        ..KwoSetup::default()
+    }
+}
+
+fn build_sim(seed: u64) -> (Simulator, WarehouseId) {
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        WAREHOUSE,
+        WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(1800),
+    );
+    let mut sim = Simulator::with_faults(account, FaultPlan::none(), seed ^ 0xFA11);
+    let queries = generate_trace(
+        &BiWorkload {
+            dashboards: 2,
+            queries_per_refresh: 2,
+            peak_refreshes_per_hour: 4.0,
+            ..BiWorkload::default()
+        },
+        0,
+        END_MS,
+        seed,
+    );
+    for q in queries {
+        sim.submit_query(wh, q);
+    }
+    (sim, wh)
+}
+
+/// Everything the recovered run must reproduce exactly.
+fn fingerprint(kwo: &Orchestrator, sim: &Simulator, wh: WarehouseId) -> (usize, u64) {
+    let log_len = kwo
+        .optimizer(WAREHOUSE)
+        .map_or(0, |o| o.actuator().log().len());
+    (
+        log_len,
+        sim.account().accrued_credits(wh, sim.now()).to_bits(),
+    )
+}
+
+fn run_uninterrupted(seed: u64) -> (usize, u64) {
+    let (mut sim, wh) = build_sim(seed);
+    let mut kwo = Orchestrator::new(seed);
+    kwo.manage(&sim, WAREHOUSE, setup());
+    kwo.observe_until(&mut sim, OBSERVE_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, END_MS);
+    fingerprint(&kwo, &sim, wh)
+}
+
+fn open_store(dir: &Path) -> FileStore {
+    match FileStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to open store at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let start_seed = arg_value("--seed").unwrap_or(0);
+    let pairs = arg_value("--pairs").unwrap_or(if smoke { 6 } else { 24 }) as usize;
+    header(&format!(
+        "recovery campaign: {pairs} crash/restore pairs from seed {start_seed}{}",
+        if smoke { " [smoke]" } else { "" }
+    ));
+
+    let wal_root = PathBuf::from("RECOVERY_wal");
+    let optimize_ticks = (END_MS - OBSERVE_MS) / TICK_MS;
+    let start = Instant::now();
+
+    let mut digest_matches = 0usize;
+    let mut torn_tail_pairs = 0usize;
+    let mut recovery_ms = Vec::with_capacity(pairs);
+    let mut replayed = Vec::with_capacity(pairs);
+    let mut snapshot_bytes = Vec::with_capacity(pairs);
+    let mut truncated_total = 0u64;
+    let mut failed = false;
+
+    for k in 0..pairs {
+        let seed = start_seed + k as u64;
+        let baseline = run_uninterrupted(seed);
+        let plan = CrashPlan::from_seed(seed, optimize_ticks);
+        let crash_t = OBSERVE_MS + plan.crash_tick * TICK_MS;
+
+        let dir = wal_root.join(format!("pair{k}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut sim, wh) = build_sim(seed);
+        let mut kwo = Orchestrator::new(seed);
+        kwo.attach_store(Box::new(open_store(&dir)), sim.now());
+        kwo.set_snapshot_interval_ticks(13);
+        kwo.manage(&sim, WAREHOUSE, setup());
+        kwo.observe_until(&mut sim, OBSERVE_MS);
+        kwo.onboard(&mut sim);
+        kwo.run_until(&mut sim, crash_t);
+        drop(kwo);
+
+        // A quarter of the plans kill mid-write: tear the WAL inside the
+        // final frame. Recovery loses at most that record and must report
+        // the truncation rather than fail.
+        let mut torn = false;
+        if plan.torn_tail {
+            let wal_path = dir.join("wal.log");
+            if let Ok(meta) = std::fs::metadata(&wal_path) {
+                if meta.len() > 0 {
+                    let mut store = open_store(&dir);
+                    if store.truncate_wal_to(plan.torn_offset(meta.len())).is_ok() {
+                        torn = true;
+                        torn_tail_pairs += 1;
+                    }
+                }
+            }
+        }
+
+        let store: Box<dyn StateStore> = Box::new(open_store(&dir));
+        let (mut kwo, stats) = match Orchestrator::restore(store, &sim) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("pair {k} (seed {seed}): restore failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        kwo.run_until(&mut sim, END_MS);
+        let recovered = fingerprint(&kwo, &sim, wh);
+
+        recovery_ms.push(stats.recovery_wall_ms);
+        replayed.push(stats.replayed_records);
+        snapshot_bytes.push(stats.snapshot_bytes);
+        truncated_total += stats.wal_truncated_bytes;
+
+        // A torn tail may legitimately drop the final pre-crash record, so
+        // bit-identity is only asserted for clean kills.
+        if torn || recovered == baseline {
+            digest_matches += 1;
+            std::fs::remove_dir_all(&dir).ok();
+        } else {
+            eprintln!(
+                "pair {k} (seed {seed}, crash tick {}): digest mismatch \
+                 (baseline log {} / credits {:#x}, recovered log {} / credits {:#x}); \
+                 WAL kept at {}",
+                plan.crash_tick,
+                baseline.0,
+                baseline.1,
+                recovered.0,
+                recovered.1,
+                dir.display()
+            );
+            failed = true;
+        }
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let out = RecoveryOutput {
+        smoke,
+        start_seed,
+        pairs,
+        digest_matches,
+        torn_tail_pairs,
+        wall_secs: wall,
+        recovery_ms_mean: mean(&recovery_ms),
+        recovery_ms_max: recovery_ms.iter().copied().fold(0.0, f64::max),
+        replayed_records_mean: mean(&replayed.iter().map(|&r| r as f64).collect::<Vec<_>>()),
+        replayed_records_max: replayed.iter().copied().max().unwrap_or(0),
+        snapshot_bytes_mean: mean(&snapshot_bytes.iter().map(|&b| b as f64).collect::<Vec<_>>()),
+        snapshot_bytes_max: snapshot_bytes.iter().copied().max().unwrap_or(0),
+        wal_bytes_truncated_total: truncated_total,
+    };
+    println!(
+        "{}/{} digests matched ({} torn-tail pairs) in {:.2}s; \
+         recovery mean {:.2}ms max {:.2}ms; replayed mean {:.1} max {}; \
+         snapshot mean {:.0}B max {}B",
+        out.digest_matches,
+        out.pairs,
+        out.torn_tail_pairs,
+        wall,
+        out.recovery_ms_mean,
+        out.recovery_ms_max,
+        out.replayed_records_mean,
+        out.replayed_records_max,
+        out.snapshot_bytes_mean,
+        out.snapshot_bytes_max,
+    );
+    write_json("BENCH_recovery.json", &out);
+
+    if failed {
+        eprintln!("recovery campaign FAILED; offending WAL dirs kept under RECOVERY_wal/");
+        std::process::exit(1);
+    }
+    std::fs::remove_dir_all(&wal_root).ok();
+    println!("all recoveries bit-identical");
+}

@@ -77,8 +77,9 @@ pub struct ActionLogEntry {
     pub commands: Vec<CommandOutcome>,
 }
 
-/// Applies actions and remembers everything it did.
-#[derive(Debug, Default)]
+/// Applies actions and remembers everything it did. Serializable so the
+/// action log (the portal's audit trail) survives a control-plane crash.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Actuator {
     log: Vec<ActionLogEntry>,
     /// Small credit cost per executed command (ALTER statements are
@@ -303,6 +304,17 @@ impl Actuator {
     /// Total in-line transient retries performed.
     pub fn transient_retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Appends previously recorded entries (WAL replay during crash
+    /// recovery — the commands already ran, only the record is restored).
+    pub(crate) fn extend_log(&mut self, entries: impl IntoIterator<Item = ActionLogEntry>) {
+        self.log.extend(entries);
+    }
+
+    /// Restores the transient-retry counter (crash recovery).
+    pub(crate) fn set_transient_retries(&mut self, retries: u64) {
+        self.retries = retries;
     }
 }
 

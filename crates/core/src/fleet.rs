@@ -25,6 +25,7 @@
 use crate::dashboard::OpsKpis;
 use crate::orchestrator::{derive_stream_seed, KwoSetup, Orchestrator};
 use crate::pricing::{Invoice, ValueBasedPricing};
+use crate::store::MemStore;
 use cdw_sim::{Account, FaultPlan, QuerySpec, SimTime, Simulator, WarehouseConfig};
 use costmodel::SavingsReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -166,6 +167,9 @@ pub struct FleetController {
     seed: u64,
     pricing: ValueBasedPricing,
     tenants: Vec<TenantSpec>,
+    /// When set, every shard orchestrator journals to its own in-memory
+    /// state store (durability plumbing on, zero cross-shard sharing).
+    persistence: bool,
 }
 
 /// One shard: a tenant's isolated simulator plus its orchestrator.
@@ -182,11 +186,21 @@ impl FleetController {
             seed,
             pricing: ValueBasedPricing::default(),
             tenants: Vec::new(),
+            persistence: false,
         }
     }
 
     pub fn with_pricing(mut self, pricing: ValueBasedPricing) -> Self {
         self.pricing = pricing;
+        self
+    }
+
+    /// Turns on per-shard durable journaling (an isolated [`MemStore`] per
+    /// tenant orchestrator). Persistence is write-path bookkeeping only, so
+    /// fleet results stay bit-identical with it on or off — the zero-
+    /// perturbation contract the fleet tests pin.
+    pub fn with_persistence(mut self) -> Self {
+        self.persistence = true;
         self
     }
 
@@ -220,6 +234,9 @@ impl FleetController {
             sim.submit_trace(w.queries.iter().cloned().map(|q| (id, q)));
         }
         let mut kwo = Orchestrator::new(tenant_seed);
+        if self.persistence {
+            kwo.attach_store(Box::new(MemStore::new()), sim.now());
+        }
         for w in &tenant.warehouses {
             kwo.manage(&sim, &w.name, w.setup.clone());
         }
@@ -470,6 +487,23 @@ mod tests {
         }
         let trace_off = no_trace.run(DAY_MS, 2 * DAY_MS, 2).digest();
         assert_eq!(metrics_on, trace_off, "trace on/off must not perturb");
+    }
+
+    #[test]
+    fn persistence_is_zero_perturbation_across_thread_counts() {
+        // Durable journaling is pure write-path bookkeeping: a fleet run
+        // with per-shard state stores must produce the same bit-identical
+        // digest as one without, at any worker count.
+        let plain = small_fleet(21, 2);
+        let durable = small_fleet(21, 2).with_persistence();
+        let baseline = plain.run(DAY_MS, 2 * DAY_MS, 1).digest();
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                durable.run(DAY_MS, 2 * DAY_MS, threads).digest(),
+                baseline,
+                "persisted fleet digest diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -97,7 +97,9 @@ pub struct HealthTransition {
 }
 
 /// Evaluates [`HealthSignals`] into a [`HealthState`] and keeps history.
-#[derive(Debug)]
+/// Serializable so degradation history and tick counters survive a
+/// control-plane crash (the chaos KPIs are computed from them).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HealthMonitor {
     settings: HealthSettings,
     state: HealthState,

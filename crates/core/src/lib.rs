@@ -61,18 +61,22 @@
 pub mod actuator;
 pub mod consolidation;
 pub mod dashboard;
+pub mod drng;
 pub mod fleet;
 pub mod health;
 pub mod monitoring;
 pub mod orchestrator;
+pub mod persist;
 pub mod pricing;
 pub mod reconciler;
+pub mod store;
 
 pub use actuator::{
     ActionLogEntry, ActionOutcome, Actuator, CommandOutcome, CommandStatus, LogEntryKind,
 };
 pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
 pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
+pub use drng::DetRng;
 pub use fleet::{FleetController, FleetReport, TenantReport, TenantSpec, WarehouseSpec};
 pub use health::{
     DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState, HealthTransition,
@@ -81,8 +85,15 @@ pub use monitoring::{is_external_config_change, Monitor, RealTimeState};
 pub use orchestrator::{
     derive_stream_seed, KwoSetup, ManageError, Orchestrator, WarehouseOptimizer,
 };
+pub use persist::{
+    CtlState, OptimizerSnapshot, PersistError, PersistRecord, RecoveryStats, RetrainRecord,
+    SnapshotState, FORMAT_VERSION,
+};
 pub use pricing::{Invoice, ValueBasedPricing};
 pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
+pub use store::{
+    scan_frames, CrashPlan, FileStore, FrameScan, MemStore, StateStore, StoreContents,
+};
 
 // Re-export the user-facing configuration surface so downstream users need
 // only this crate for common setups.

@@ -46,8 +46,9 @@ pub struct RealTimeState {
     pub should_back_off: bool,
 }
 
-/// Sliding-statistics monitor for one warehouse.
-#[derive(Debug, Clone)]
+/// Sliding-statistics monitor for one warehouse. Serializable so the spike
+/// detector's trailing history survives a control-plane crash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Monitor {
     /// Trailing per-interval arrival counts for the spike z-score.
     history: Vec<f64>,

@@ -23,10 +23,16 @@
 //! while degraded, and repeated actuation failures freeze optimization
 //! entirely while the [`Reconciler`] keeps probing the control plane.
 
-use crate::actuator::{Actuator, LogEntryKind};
+use crate::actuator::{ActionLogEntry, Actuator, LogEntryKind};
+use crate::drng::DetRng;
 use crate::health::{DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState};
 use crate::monitoring::{Monitor, RealTimeState};
+use crate::persist::{
+    self, CtlState, OptimizerSnapshot, PersistError, PersistRecord, RecoveryStats, RetrainRecord,
+    SnapshotState,
+};
 use crate::reconciler::{Reconciler, ReconcilerSettings};
+use crate::store::StateStore;
 use agent::{
     baseline_p99, reconstruct_specs, train_on_workload, AgentAction, AgentState, ConstraintSet,
     DegradedFallback, DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, Policy, SliderPosition,
@@ -229,6 +235,18 @@ fn intended_config(mut cfg: WarehouseConfig, commands: &[WarehouseCommand]) -> W
     cfg
 }
 
+/// What one tick did that replay cannot re-derive from the simulator: the
+/// nondeterministic inputs (training seeds, the observed transition) and
+/// whether telemetry was ingested. Captured unconditionally per tick, read
+/// by [`WarehouseOptimizer::tick_record`] when a state store is attached.
+#[derive(Debug, Clone, Default)]
+struct TickEffects {
+    fetched: bool,
+    retrain: Option<RetrainRecord>,
+    transition: Option<Transition>,
+    train_step_seed: Option<u64>,
+}
+
 /// The per-warehouse optimization state: smart model, cost model, telemetry,
 /// monitoring, actuation, and learning bookkeeping.
 pub struct WarehouseOptimizer {
@@ -249,7 +267,7 @@ pub struct WarehouseOptimizer {
     reconciler: Reconciler,
     health: HealthMonitor,
     fallback: DegradedFallback,
-    rng: StdRng,
+    rng: DetRng,
     onboarded: bool,
     last_train: SimTime,
     last_action: Option<AgentAction>,
@@ -274,7 +292,11 @@ pub struct WarehouseOptimizer {
     healthy_streak: u32,
     /// Per-tick decision log (ring buffer; capacity from
     /// [`KwoSetup::trace_capacity`]). Write-only from the control loop.
+    /// Deliberately *not* persisted: it is observability, recreated empty
+    /// after recovery so the trace never perturbs (or bloats) durability.
     trace: DecisionTrace,
+    /// Replay-relevant effects of the current tick (see [`TickEffects`]).
+    effects: TickEffects,
 }
 
 impl WarehouseOptimizer {
@@ -285,7 +307,7 @@ impl WarehouseOptimizer {
         setup: KwoSetup,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let agent = DqnAgent::new(DqnConfig::default(), &mut rng);
         // The reconciler's jitter stream is derived from the optimizer seed
         // but independent of the learning stream, so adding or removing
@@ -321,6 +343,7 @@ impl WarehouseOptimizer {
             pending_auto_suspend: None,
             healthy_streak: 0,
             trace,
+            effects: TickEffects::default(),
             name,
         }
     }
@@ -375,6 +398,12 @@ impl WarehouseOptimizer {
         self.paused_until.is_some_and(|t| now < t)
     }
 
+    /// Whether this optimizer has completed onboarding (a warm-restored
+    /// optimizer reports `true` immediately — no re-onboarding).
+    pub fn onboarded(&self) -> bool {
+        self.onboarded
+    }
+
     /// Moves the slider (no retraining needed; the model re-calibrates its
     /// decisions because the slider is part of its state — §4.3).
     pub fn set_slider(&mut self, slider: SliderPosition) {
@@ -391,10 +420,24 @@ impl WarehouseOptimizer {
     }
 
     /// Trains the cost model and smart model from accumulated telemetry.
-    fn train(&mut self, now: SimTime, episodes: usize) {
+    /// Returns the episode seed drawn from the learning RNG, or `None` when
+    /// an early path skipped the episode loop (the WAL records the outcome
+    /// so recovery replays the exact same pass).
+    fn train(&mut self, now: SimTime, episodes: usize) -> Option<u64> {
+        self.train_with(now, episodes, None)
+    }
+
+    /// [`Self::train`], but replay can inject the originally drawn episode
+    /// seed instead of advancing the learning RNG.
+    fn train_with(
+        &mut self,
+        now: SimTime,
+        episodes: usize,
+        replay_seed: Option<u64>,
+    ) -> Option<u64> {
         let records = self.store.queries(&self.name).to_vec();
         if records.is_empty() {
-            return;
+            return None;
         }
         let cfg = &self.expected_config;
         self.cost_model =
@@ -408,7 +451,7 @@ impl WarehouseOptimizer {
             .collect();
         if recent.is_empty() || episodes == 0 {
             self.last_train = now;
-            return;
+            return None;
         }
         let mut specs = reconstruct_specs(&recent, &self.cost_model.latency);
         // Shift arrivals to episode-local time.
@@ -447,7 +490,10 @@ impl WarehouseOptimizer {
             baseline_p99_ms: episode_baseline,
             tail_ms: HOUR_MS,
         };
-        let seed: u64 = self.rng.gen();
+        let seed: u64 = match replay_seed {
+            Some(s) => s,
+            None => self.rng.gen(),
+        };
         train_on_workload(
             &mut self.agent,
             &specs,
@@ -459,6 +505,7 @@ impl WarehouseOptimizer {
             seed,
         );
         self.last_train = now;
+        Some(seed)
     }
 
     /// The live health signals at `now` (pre-reconcile: this tick's repair
@@ -529,6 +576,7 @@ impl WarehouseOptimizer {
     fn tick(&mut self, sim: &mut Simulator) {
         // lint: allow(D1) — wall time only feeds the tick-duration histogram, never a decision
         let t0 = Instant::now();
+        self.effects = TickEffects::default();
         self.tick_inner(sim);
         tick_wall_histogram().observe(t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -536,6 +584,7 @@ impl WarehouseOptimizer {
     fn tick_inner(&mut self, sim: &mut Simulator) {
         let now = sim.now();
         let fetched = self.fetch(sim);
+        self.effects.fetched = fetched;
 
         let signals = self.health_signals(sim, now);
         let health = self.health.evaluate(now, signals);
@@ -547,7 +596,9 @@ impl WarehouseOptimizer {
             && self.health.can_train()
             && now.saturating_sub(self.last_train) >= self.setup.train_interval_ms
         {
-            self.train(now, self.setup.refresh_episodes);
+            let episodes = self.setup.refresh_episodes;
+            let seed = self.train(now, episodes);
+            self.effects.retrain = Some(RetrainRecord { episodes, seed });
         }
         if !self.onboarded {
             // Observation mode: learn the workload before acting. Events
@@ -861,15 +912,19 @@ impl WarehouseOptimizer {
                 agent::compute_reward(credits_now - self.prev_credits, &perf, self.setup.slider)
                     - churn;
             tick_reward = Some(reward);
-            self.agent.observe(Transition {
+            let transition = Transition {
                 state: ps,
                 action: pa,
                 reward,
                 next_state: state_vec.clone(),
                 next_mask: mask,
                 terminal: false,
-            });
-            let mut train_rng = StdRng::seed_from_u64(self.rng.gen());
+            };
+            let ts_seed: u64 = self.rng.gen();
+            self.effects.transition = Some(transition.clone());
+            self.effects.train_step_seed = Some(ts_seed);
+            self.agent.observe(transition);
+            let mut train_rng = StdRng::seed_from_u64(ts_seed);
             self.agent.train_step(&mut train_rng);
         }
         self.prev_credits = credits_now;
@@ -1028,6 +1083,165 @@ impl WarehouseOptimizer {
             },
         )
     }
+
+    /// Every mutable control scalar/cursor, captured post-event for the WAL.
+    fn export_ctl(&self) -> CtlState {
+        CtlState {
+            expected_config: self.expected_config.clone(),
+            slider: self.setup.slider,
+            onboarded: self.onboarded,
+            last_train: self.last_train,
+            last_action: self.last_action,
+            prev_state: self.prev_state.clone(),
+            prev_credits: self.prev_credits,
+            prev_dropped: self.prev_dropped,
+            paused_until: self.paused_until,
+            baseline_p99_ms: self.baseline_p99_ms,
+            events_cursor: self.events_cursor,
+            last_good_config: self.last_good_config.clone(),
+            pending_auto_suspend: self.pending_auto_suspend,
+            healthy_streak: self.healthy_streak,
+            rng: self.rng.clone(),
+            monitor: self.monitor.clone(),
+            fetcher: self.fetcher.clone(),
+            reconciler: self.reconciler.clone(),
+            health: self.health.clone(),
+            actuator_cost_per_command: self.actuator.cost_per_command,
+            actuator_max_transient_retries: self.actuator.max_transient_retries,
+            actuator_transient_retries: self.actuator.transient_retries(),
+        }
+    }
+
+    /// Imports a [`CtlState`] wholesale — the learning RNG, cursors, and
+    /// backoff schedules land exactly where the exporter left them.
+    fn import_ctl(&mut self, ctl: CtlState) {
+        self.expected_config = ctl.expected_config;
+        self.setup.slider = ctl.slider;
+        self.onboarded = ctl.onboarded;
+        self.last_train = ctl.last_train;
+        self.last_action = ctl.last_action;
+        self.prev_state = ctl.prev_state;
+        self.prev_credits = ctl.prev_credits;
+        self.prev_dropped = ctl.prev_dropped;
+        self.paused_until = ctl.paused_until;
+        self.baseline_p99_ms = ctl.baseline_p99_ms;
+        self.events_cursor = ctl.events_cursor;
+        self.last_good_config = ctl.last_good_config;
+        self.pending_auto_suspend = ctl.pending_auto_suspend;
+        self.healthy_streak = ctl.healthy_streak;
+        self.rng = ctl.rng;
+        self.monitor = ctl.monitor;
+        self.fetcher = ctl.fetcher;
+        self.reconciler = ctl.reconciler;
+        self.health = ctl.health;
+        self.actuator.cost_per_command = ctl.actuator_cost_per_command;
+        self.actuator.max_transient_retries = ctl.actuator_max_transient_retries;
+        self.actuator
+            .set_transient_retries(ctl.actuator_transient_retries);
+    }
+
+    /// Everything needed to rebuild this optimizer without replaying its
+    /// history (the decision trace is deliberately excluded).
+    fn export_snapshot(&self) -> OptimizerSnapshot {
+        OptimizerSnapshot {
+            name: self.name.clone(),
+            original_config: self.original_config.clone(),
+            setup: self.setup.clone(),
+            agent: self.agent.export_state(),
+            cost_model: self.cost_model.clone(),
+            telemetry: self.store.clone(),
+            actuator_log: self.actuator.log().to_vec(),
+            ctl: self.export_ctl(),
+        }
+    }
+
+    /// Rebuilds an optimizer from a snapshot against the surviving
+    /// simulator (which still knows the warehouse by name).
+    fn from_snapshot(snap: OptimizerSnapshot, sim: &Simulator) -> Result<Self, PersistError> {
+        let wh = sim.account().warehouse_id(&snap.name).ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "snapshot references warehouse {} absent from the simulator",
+                snap.name
+            ))
+        })?;
+        let agent = DqnAgent::from_state(snap.agent).map_err(PersistError::Corrupt)?;
+        let mut o = WarehouseOptimizer::new(wh, snap.name, snap.original_config, snap.setup, 0);
+        o.agent = agent;
+        o.cost_model = snap.cost_model;
+        o.store = snap.telemetry;
+        o.actuator = Actuator::new();
+        o.actuator.extend_log(snap.actuator_log);
+        o.import_ctl(snap.ctl);
+        Ok(o)
+    }
+
+    /// Builds the WAL record for the tick that just ran. `log_from` is the
+    /// actuator-log length captured before the tick.
+    fn tick_record(&self, now: SimTime, log_from: usize) -> PersistRecord {
+        PersistRecord::Tick {
+            warehouse: self.name.clone(),
+            now,
+            fetched: self.effects.fetched,
+            retrain: self.effects.retrain,
+            transition: self.effects.transition.clone(),
+            train_step_seed: self.effects.train_step_seed,
+            log_delta: self.actuator.log()[log_from..].to_vec(),
+            ctl: self.export_ctl(),
+        }
+    }
+
+    /// Replays one logged tick. Re-ingests telemetry by cursor range and
+    /// re-runs training with the recorded seeds, but never touches the
+    /// account (fetch overhead and ALTERs already happened before the
+    /// crash) and never advances the live RNG — the final `import_ctl`
+    /// restores every control scalar, RNG included, to the post-tick state.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_tick(
+        &mut self,
+        sim: &Simulator,
+        now: SimTime,
+        fetched: bool,
+        retrain: Option<RetrainRecord>,
+        transition: Option<Transition>,
+        train_step_seed: Option<u64>,
+        log_delta: Vec<ActionLogEntry>,
+        ctl: CtlState,
+    ) {
+        if fetched {
+            let (q0, e0) = self.fetcher.cursors();
+            let (q1, e1) = ctl.fetcher.cursors();
+            let account = sim.account();
+            let queries = account.query_records();
+            let events = account.event_records();
+            // Clamp defensively: a corrupt record must degrade, not panic.
+            let q0 = q0.min(queries.len());
+            let q1 = q1.min(queries.len()).max(q0);
+            let e0 = e0.min(events.len());
+            let e1 = e1.min(events.len()).max(e0);
+            self.store.ingest_queries(queries[q0..q1].iter().cloned());
+            self.store.ingest_events(events[e0..e1].iter().cloned());
+            let names: Vec<String> = account
+                .ledger()
+                .warehouse_names()
+                .map(str::to_string)
+                .collect();
+            for name in names {
+                let credits = account.ledger().warehouse(&name);
+                self.store.set_billing(&name, credits);
+            }
+            self.store.note_fetch_success(now);
+        }
+        if let Some(rt) = retrain {
+            self.train_with(now, rt.episodes, rt.seed);
+        }
+        if let (Some(t), Some(seed)) = (transition, train_step_seed) {
+            self.agent.observe(t);
+            let mut train_rng = StdRng::seed_from_u64(seed);
+            self.agent.train_step(&mut train_rng);
+        }
+        self.actuator.extend_log(log_delta);
+        self.import_ctl(ctl);
+    }
 }
 
 /// The conservative action monitoring substitutes when backing off: undo the
@@ -1069,10 +1283,18 @@ fn is_capacity_increasing(a: AgentAction) -> bool {
     )
 }
 
+/// Default snapshot cadence: one full snapshot every 48 control ticks
+/// (a day at the 30-minute cadence) compacts the WAL and bounds replay.
+pub const DEFAULT_SNAPSHOT_INTERVAL_TICKS: u64 = 48;
+
 /// Coordinates one optimizer per managed warehouse.
 pub struct Orchestrator {
     optimizers: Vec<WarehouseOptimizer>,
     seed: u64,
+    /// Durable state store; `None` runs in-memory only (the default).
+    store: Option<Box<dyn StateStore>>,
+    snapshot_interval_ticks: u64,
+    ticks_since_snapshot: u64,
 }
 
 impl Orchestrator {
@@ -1081,6 +1303,105 @@ impl Orchestrator {
         Self {
             optimizers: Vec::new(),
             seed,
+            store: None,
+            snapshot_interval_ticks: DEFAULT_SNAPSHOT_INTERVAL_TICKS,
+            ticks_since_snapshot: 0,
+        }
+    }
+
+    /// Attaches a durable state store and immediately writes a full
+    /// snapshot, so attaching mid-run is safe: recovery never needs records
+    /// from before the store existed. From here on every control event is
+    /// appended to the WAL and a snapshot is written every
+    /// [`Self::set_snapshot_interval_ticks`] ticks.
+    ///
+    /// Persistence is fail-open: if the store ever errors, it is detached
+    /// (optimization continues undurably) and
+    /// `keebo.store.append_errors` / `keebo.store.snapshot_errors` count
+    /// the loss.
+    pub fn attach_store(&mut self, store: Box<dyn StateStore>, at: SimTime) {
+        self.store = Some(store);
+        self.ticks_since_snapshot = 0;
+        self.snapshot_now(at);
+    }
+
+    /// Whether a durable store is currently attached (fail-open errors
+    /// detach it).
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Snapshot cadence in control ticks; 0 disables periodic snapshots
+    /// (the WAL then grows until [`Self::restore`] compacts it).
+    pub fn set_snapshot_interval_ticks(&mut self, ticks: u64) {
+        self.snapshot_interval_ticks = ticks;
+    }
+
+    /// Appends one record to the WAL, fail-open.
+    fn persist_append(&mut self, record: &PersistRecord) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let ok = match persist::encode_record(record) {
+            Ok(bytes) => store.append(&bytes).is_ok(),
+            Err(_) => false,
+        };
+        if !ok {
+            keebo_obs::global()
+                .counter("keebo.store.append_errors")
+                .inc();
+            self.store = None;
+        }
+    }
+
+    /// Writes a full snapshot and truncates the WAL, fail-open.
+    fn snapshot_now(&mut self, at: SimTime) {
+        if self.store.is_none() {
+            return;
+        }
+        let snap = SnapshotState {
+            version: persist::FORMAT_VERSION,
+            seed: self.seed,
+            at,
+            optimizers: self
+                .optimizers
+                .iter()
+                .map(|o| o.export_snapshot())
+                .collect(),
+        };
+        let ok = match persist::encode_snapshot(&snap) {
+            Ok(bytes) => self
+                .store
+                .as_mut()
+                .is_some_and(|s| s.write_snapshot(&bytes).is_ok()),
+            Err(_) => false,
+        };
+        if ok {
+            self.ticks_since_snapshot = 0;
+            keebo_obs::global()
+                .gauge("keebo.store.snapshot_age_ticks")
+                .set(0.0);
+        } else {
+            keebo_obs::global()
+                .counter("keebo.store.snapshot_errors")
+                .inc();
+            self.store = None;
+        }
+    }
+
+    /// Per-global-tick snapshot bookkeeping.
+    fn note_persisted_tick(&mut self, at: SimTime) {
+        if self.store.is_none() {
+            return;
+        }
+        self.ticks_since_snapshot += 1;
+        keebo_obs::global()
+            .gauge("keebo.store.snapshot_age_ticks")
+            .set(self.ticks_since_snapshot as f64);
+        if self.snapshot_interval_ticks > 0
+            && self.ticks_since_snapshot >= self.snapshot_interval_ticks
+        {
+            self.snapshot_now(at);
         }
     }
 
@@ -1121,10 +1442,18 @@ impl Orchestrator {
         self.optimizers.push(WarehouseOptimizer::new(
             wh,
             warehouse.to_string(),
-            original,
-            setup,
+            original.clone(),
+            setup.clone(),
             seed,
         ));
+        if self.store.is_some() {
+            let record = PersistRecord::Manage {
+                warehouse: warehouse.to_string(),
+                original_config: original,
+                setup,
+            };
+            self.persist_append(&record);
+        }
         Ok(())
     }
 
@@ -1144,17 +1473,34 @@ impl Orchestrator {
 
     /// Changes a warehouse's slider (takes effect at the next decision).
     pub fn set_slider(&mut self, warehouse: &str, slider: SliderPosition) {
-        if let Some(o) = self.optimizer_mut(warehouse) {
-            o.set_slider(slider);
+        let Some(o) = self.optimizer_mut(warehouse) else {
+            return;
+        };
+        o.set_slider(slider);
+        if self.store.is_some() {
+            let record = PersistRecord::SliderChanged {
+                warehouse: warehouse.to_string(),
+                slider,
+            };
+            self.persist_append(&record);
         }
     }
 
     /// Clears an external-change pause ("the admin explicitly asks the
     /// optimizations to continue", §4.4).
     pub fn admin_resume(&mut self, sim: &Simulator, warehouse: &str) {
-        if let Some(o) = self.optimizer_mut(warehouse) {
-            o.paused_until = None;
-            o.expected_config = sim.account().describe(o.wh).config;
+        let Some(o) = self.optimizer_mut(warehouse) else {
+            return;
+        };
+        o.paused_until = None;
+        o.expected_config = sim.account().describe(o.wh).config;
+        let expected = o.expected_config.clone();
+        if self.store.is_some() {
+            let record = PersistRecord::AdminResume {
+                warehouse: warehouse.to_string(),
+                expected_config: expected,
+            };
+            self.persist_append(&record);
         }
     }
 
@@ -1165,14 +1511,25 @@ impl Orchestrator {
     }
 
     /// Trains every optimizer on the telemetry collected so far and enables
-    /// optimization.
+    /// optimization. Persisted as one Tick record per optimizer (onboarding
+    /// is a fetch + train, exactly what a tick record can replay).
     pub fn onboard(&mut self, sim: &mut Simulator) {
         let now = sim.now();
-        for o in &mut self.optimizers {
-            o.fetch(sim);
-            let episodes = o.setup.onboarding_episodes;
-            o.train(now, episodes);
-            o.onboarded = true;
+        for i in 0..self.optimizers.len() {
+            let log_from = self.optimizers[i].actuator.log().len();
+            {
+                let o = &mut self.optimizers[i];
+                o.effects = TickEffects::default();
+                o.effects.fetched = o.fetch(sim);
+                let episodes = o.setup.onboarding_episodes;
+                let seed = o.train(now, episodes);
+                o.effects.retrain = Some(RetrainRecord { episodes, seed });
+                o.onboarded = true;
+            }
+            if self.store.is_some() {
+                let record = self.optimizers[i].tick_record(now, log_from);
+                self.persist_append(&record);
+            }
         }
     }
 
@@ -1198,11 +1555,18 @@ impl Orchestrator {
         let mut t = (sim.now() / tick + 1) * tick;
         while t <= until {
             sim.run_until(t);
-            for o in &mut self.optimizers {
-                if t.is_multiple_of(o.setup.realtime_interval_ms) {
-                    o.tick(sim);
+            for i in 0..self.optimizers.len() {
+                if !t.is_multiple_of(self.optimizers[i].setup.realtime_interval_ms) {
+                    continue;
+                }
+                let log_from = self.optimizers[i].actuator.log().len();
+                self.optimizers[i].tick(sim);
+                if self.store.is_some() {
+                    let record = self.optimizers[i].tick_record(t, log_from);
+                    self.persist_append(&record);
                 }
             }
+            self.note_persisted_tick(t);
             t += tick;
         }
         sim.run_until(until);
@@ -1220,6 +1584,138 @@ impl Orchestrator {
             // lint: allow(D5) — reporting on an unmanaged warehouse is a caller bug worth aborting
             .unwrap_or_else(|| panic!("unknown warehouse {warehouse}"))
             .savings_report(sim, start, end)
+    }
+
+    /// Rebuilds a warm orchestrator from a durable store: loads the latest
+    /// snapshot, replays every WAL record on top, re-attaches the store, and
+    /// compacts (the recovered state becomes the new snapshot baseline).
+    ///
+    /// The simulator is the *surviving* warehouse side of the crash — only
+    /// the control plane died — so replay resolves warehouses by name
+    /// against it and re-reads telemetry by cursor range, but never charges
+    /// it or re-issues ALTERs.
+    ///
+    /// A clean crash (at a tick boundary, after the append) recovers
+    /// bit-identically; a torn WAL tail loses at most the last unflushed
+    /// record and is reported in [`RecoveryStats::wal_truncated_bytes`].
+    pub fn restore(
+        mut store: Box<dyn StateStore>,
+        sim: &Simulator,
+    ) -> Result<(Self, RecoveryStats), PersistError> {
+        // lint: allow(D1) — recovery wall time is reported, never decided on
+        let t0 = Instant::now();
+        let contents = store.load()?;
+        let Some(snapshot_bytes) = contents.snapshot else {
+            return Err(PersistError::Corrupt(
+                "state store has no snapshot (attach_store writes one immediately; \
+                 nothing to restore)"
+                    .to_string(),
+            ));
+        };
+        let snap = persist::decode_snapshot(&snapshot_bytes)?;
+        let mut orch = Orchestrator::new(snap.seed);
+        for osnap in snap.optimizers {
+            let o = WarehouseOptimizer::from_snapshot(osnap, sim)?;
+            orch.optimizers.push(o);
+        }
+        let mut replayed_records = 0u64;
+        for bytes in &contents.records {
+            let record = persist::decode_record(bytes)?;
+            orch.apply_record(record, sim)?;
+            replayed_records += 1;
+        }
+        orch.store = Some(store);
+        // Compact: recovered state becomes the new snapshot baseline, so a
+        // second crash never replays this WAL again.
+        orch.snapshot_now(sim.now());
+        let obs = keebo_obs::global();
+        obs.counter("keebo.store.recoveries_total").inc();
+        obs.counter("keebo.store.wal_truncated_bytes")
+            .add(contents.truncated_bytes);
+        let stats = RecoveryStats {
+            replayed_records,
+            wal_truncated_bytes: contents.truncated_bytes,
+            snapshot_bytes: snapshot_bytes.len() as u64,
+            recovery_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok((orch, stats))
+    }
+
+    /// Applies one replayed WAL record.
+    fn apply_record(&mut self, record: PersistRecord, sim: &Simulator) -> Result<(), PersistError> {
+        match record {
+            PersistRecord::Manage {
+                warehouse,
+                original_config,
+                setup,
+            } => {
+                let wh = sim.account().warehouse_id(&warehouse).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "manage record references warehouse {warehouse} absent from the simulator"
+                    ))
+                })?;
+                if self.optimizer(&warehouse).is_some() {
+                    return Err(PersistError::Corrupt(format!(
+                        "duplicate manage record for {warehouse}"
+                    )));
+                }
+                let seed = derive_stream_seed(self.seed, &warehouse);
+                self.optimizers.push(WarehouseOptimizer::new(
+                    wh,
+                    warehouse,
+                    original_config,
+                    setup,
+                    seed,
+                ));
+            }
+            PersistRecord::Tick {
+                warehouse,
+                now,
+                fetched,
+                retrain,
+                transition,
+                train_step_seed,
+                log_delta,
+                ctl,
+            } => {
+                let o = self.optimizer_mut(&warehouse).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "tick record for unmanaged warehouse {warehouse}"
+                    ))
+                })?;
+                o.replay_tick(
+                    sim,
+                    now,
+                    fetched,
+                    retrain,
+                    transition,
+                    train_step_seed,
+                    log_delta,
+                    ctl,
+                );
+            }
+            PersistRecord::SliderChanged { warehouse, slider } => {
+                let o = self.optimizer_mut(&warehouse).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "slider record for unmanaged warehouse {warehouse}"
+                    ))
+                })?;
+                o.set_slider(slider);
+            }
+            PersistRecord::AdminResume {
+                warehouse,
+                expected_config,
+            } => {
+                let o = self.optimizer_mut(&warehouse).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "admin-resume record for unmanaged warehouse {warehouse}"
+                    ))
+                })?;
+                o.paused_until = None;
+                o.expected_config = expected_config;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,218 @@
+//! Persisted record and snapshot types for the durable control plane.
+//!
+//! The orchestrator appends one [`PersistRecord`] per control event to its
+//! [`crate::store::StateStore`] and periodically writes a full
+//! [`SnapshotState`]. Recovery (`Orchestrator::restore`) loads the snapshot
+//! and replays the log:
+//!
+//! * every record carries the *post*-event control state ([`CtlState`]),
+//!   imported wholesale after replaying the event's side effects — so the
+//!   RNG, cursors, and backoff schedules land exactly where they were;
+//! * nondeterministic inputs that recovery cannot re-derive are logged
+//!   explicitly: the training seed drawn from the learning RNG, the episode
+//!   count in force at the time (onboarding vs refresh), the transition the
+//!   agent observed, and the admin's expected config at resume time;
+//! * side effects already applied to the surviving simulator/warehouse
+//!   (fetch overhead charges, ALTER statements) are *not* re-run — replay
+//!   re-ingests telemetry by cursor range and re-trains models, but never
+//!   touches the account.
+//!
+//! All encoding is serde JSON: self-describing, append-friendly, and
+//! byte-exact for finite floats (the digest pins in the recovery tests
+//! depend on that).
+
+use crate::drng::DetRng;
+use crate::health::HealthMonitor;
+use crate::monitoring::Monitor;
+use crate::orchestrator::KwoSetup;
+use crate::reconciler::Reconciler;
+use agent::{AgentAction, DqnAgentState, SliderPosition, Transition};
+use cdw_sim::{SimTime, WarehouseConfig};
+use costmodel::WarehouseCostModel;
+use serde::{Deserialize, Serialize};
+use telemetry::{TelemetryFetcher, TelemetryStore};
+
+use crate::actuator::ActionLogEntry;
+
+/// Bumped on any incompatible change to the persisted schema.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why persisted state could not be decoded or applied.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Storage-layer failure (open, read, torn snapshot).
+    Io(std::io::Error),
+    /// Payload bytes did not decode as the expected record/snapshot type.
+    Codec(String),
+    /// Decoded state is internally inconsistent or does not match the
+    /// simulator it is being restored against.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "state store io error: {e}"),
+            PersistError::Codec(m) => write!(f, "state decode error: {m}"),
+            PersistError::Corrupt(m) => write!(f, "persisted state corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Post-tick control state of one optimizer: every mutable scalar/cursor the
+/// decision loop reads, including the learning RNG. Importing this after a
+/// replayed tick puts the optimizer exactly where the original left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtlState {
+    pub expected_config: WarehouseConfig,
+    pub slider: SliderPosition,
+    pub onboarded: bool,
+    pub last_train: SimTime,
+    pub last_action: Option<AgentAction>,
+    pub prev_state: Option<(Vec<f64>, usize)>,
+    pub prev_credits: f64,
+    pub prev_dropped: u64,
+    pub paused_until: Option<SimTime>,
+    pub baseline_p99_ms: f64,
+    pub events_cursor: SimTime,
+    pub last_good_config: Option<WarehouseConfig>,
+    pub pending_auto_suspend: Option<SimTime>,
+    pub healthy_streak: u32,
+    pub rng: DetRng,
+    pub monitor: Monitor,
+    pub fetcher: TelemetryFetcher,
+    pub reconciler: Reconciler,
+    pub health: HealthMonitor,
+    pub actuator_cost_per_command: f64,
+    pub actuator_max_transient_retries: u32,
+    pub actuator_transient_retries: u64,
+}
+
+/// A logged retraining pass: the episode count in force (onboarding and
+/// refresh differ) and the seed drawn from the learning RNG. The seed is
+/// `None` when training took an early path that never reached the episode
+/// loop (no recent records, or zero episodes) — the cost model still
+/// refreshed, so replay must still run the pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrainRecord {
+    pub episodes: usize,
+    pub seed: Option<u64>,
+}
+
+/// One WAL record. Every control-plane event that mutates optimizer state
+/// maps to exactly one record, appended after the event completes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+// `Tick` dominating the enum size is fine: records live only long enough to
+// be encoded (or decoded and applied), never accumulate in memory.
+#[allow(clippy::large_enum_variant)]
+pub enum PersistRecord {
+    /// A warehouse came under management (its learning seed re-derives from
+    /// the orchestrator seed and the name; the original config is recorded
+    /// because the live config may have changed since).
+    Manage {
+        warehouse: String,
+        original_config: WarehouseConfig,
+        setup: KwoSetup,
+    },
+    /// One control tick (also covers onboarding, which is a fetch + train).
+    Tick {
+        warehouse: String,
+        now: SimTime,
+        /// Whether the telemetry fetch succeeded (replay re-ingests the
+        /// cursor ranges without re-charging overhead).
+        fetched: bool,
+        /// A (re)training pass ran this tick.
+        retrain: Option<RetrainRecord>,
+        /// The transition observed this tick, if any.
+        transition: Option<Transition>,
+        /// Seed for the train step paired with that transition.
+        train_step_seed: Option<u64>,
+        /// Action-log entries appended this tick (the ALTERs already ran
+        /// against the surviving warehouse; only the record is restored).
+        log_delta: Vec<ActionLogEntry>,
+        /// Post-tick control state, imported wholesale at replay.
+        ctl: CtlState,
+    },
+    /// The admin moved the cost/performance slider.
+    SliderChanged {
+        warehouse: String,
+        slider: SliderPosition,
+    },
+    /// The admin cleared an external-change pause. Carries the config
+    /// observed at resume time — the historical simulator state is not
+    /// recoverable at replay.
+    AdminResume {
+        warehouse: String,
+        expected_config: WarehouseConfig,
+    },
+}
+
+/// Everything needed to rebuild one optimizer without replaying history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizerSnapshot {
+    pub name: String,
+    pub original_config: WarehouseConfig,
+    pub setup: KwoSetup,
+    pub agent: DqnAgentState,
+    pub cost_model: WarehouseCostModel,
+    pub telemetry: TelemetryStore,
+    pub actuator_log: Vec<ActionLogEntry>,
+    pub ctl: CtlState,
+}
+
+/// A point-in-time snapshot of the whole orchestrator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotState {
+    pub version: u32,
+    pub seed: u64,
+    /// Simulator time when the snapshot was taken.
+    pub at: SimTime,
+    pub optimizers: Vec<OptimizerSnapshot>,
+}
+
+pub fn encode_record(record: &PersistRecord) -> Result<Vec<u8>, PersistError> {
+    serde_json::to_vec(record).map_err(|e| PersistError::Codec(e.to_string()))
+}
+
+/// Total decoder: arbitrary bytes yield `Err`, never a panic (fuzzed).
+pub fn decode_record(bytes: &[u8]) -> Result<PersistRecord, PersistError> {
+    serde_json::from_slice(bytes).map_err(|e| PersistError::Codec(e.to_string()))
+}
+
+pub fn encode_snapshot(snapshot: &SnapshotState) -> Result<Vec<u8>, PersistError> {
+    serde_json::to_vec(snapshot).map_err(|e| PersistError::Codec(e.to_string()))
+}
+
+/// Total decoder: arbitrary bytes yield `Err`, never a panic (fuzzed).
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, PersistError> {
+    let snap: SnapshotState =
+        serde_json::from_slice(bytes).map_err(|e| PersistError::Codec(e.to_string()))?;
+    if snap.version != FORMAT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot format v{} (this build reads v{FORMAT_VERSION})",
+            snap.version
+        )));
+    }
+    Ok(snap)
+}
+
+/// What recovery did, for operators and the `recovery` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes dropped from a torn WAL tail.
+    pub wal_truncated_bytes: u64,
+    /// Size of the snapshot payload the recovery started from.
+    pub snapshot_bytes: u64,
+    /// Wall-clock time spent in restore (observability only).
+    pub recovery_wall_ms: f64,
+}

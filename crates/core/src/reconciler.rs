@@ -15,9 +15,9 @@
 //! and simultaneous reconcilers don't retry in lockstep.
 
 use crate::actuator::{ActionOutcome, Actuator, LogEntryKind};
+use crate::drng::DetRng;
 use cdw_sim::{SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseId, MINUTE_MS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Backoff and convergence tuning.
@@ -57,13 +57,15 @@ pub enum ReconcileOutcome {
 }
 
 /// Tracks the desired configuration of one warehouse and re-drives drift.
-#[derive(Debug)]
+/// Fully serializable (the jitter RNG included) so the durable control plane
+/// can freeze and resume backoff schedules bit-identically across a crash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Reconciler {
     desired: Option<WarehouseConfig>,
     next_attempt_at: SimTime,
     consecutive_failures: u32,
     settings: ReconcilerSettings,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl Reconciler {
@@ -77,7 +79,7 @@ impl Reconciler {
             next_attempt_at: 0,
             consecutive_failures: 0,
             settings,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
         }
     }
 

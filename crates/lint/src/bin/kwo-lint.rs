@@ -50,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "kwo-lint: determinism & numeric-safety lints (D1-D6)\n\
+                    "kwo-lint: determinism & numeric-safety lints (D1-D7)\n\
                      usage: kwo-lint [--root DIR] [--baseline FILE] [--json FILE]\n\
                      \x20      [--write-baseline] [--smoke] [--quiet]"
                 );

@@ -14,6 +14,7 @@
 //! | D4   | no-float-eq        | exact credit arithmetic                      |
 //! | D5   | no-panic-paths     | fleet runs never abort mid-flight            |
 //! | D6   | checked-casts      | billing precision (2^53 edge, sign)          |
+//! | D7   | durable-io         | fail-open persistence (io handled, not unwrapped) |
 //!
 //! Findings are suppressed per site with `// lint: allow(Dn) — reason`
 //! (the justification is mandatory) or frozen in `lint-baseline.toml`,

@@ -1,4 +1,4 @@
-//! The domain rules D1–D6.
+//! The domain rules D1–D7.
 //!
 //! Each rule is a matcher over the lexed token stream of one file plus a
 //! scope predicate saying where the rule applies. The rules encode the
@@ -83,7 +83,7 @@ pub fn all_rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 6] = [
+static RULES: [Rule; 7] = [
     Rule {
         id: "D1",
         name: "no-wall-clock",
@@ -131,6 +131,17 @@ static RULES: [Rule; 6] = [
                     || f.path.starts_with("crates/costmodel/src/"))
         },
         scan: scan_bare_casts,
+    },
+    Rule {
+        id: "D7",
+        name: "durable-io",
+        message: "io unwrap/expect or unchecked file write outside the durable store: handle the io::Result (the control plane persists fail-open) or route output through the StateStore / bench::report helpers",
+        applies: |f| {
+            f.kind != FileKind::TestLike
+                && f.path != "crates/core/src/store.rs"
+                && f.path != "crates/bench/src/report.rs"
+        },
+        scan: scan_durable_io,
     },
 ];
 
@@ -292,6 +303,141 @@ fn scan_panic_paths(toks: &[Tok]) -> Vec<RuleMatch> {
     out
 }
 
+/// Io-returning callees whose `Result` must not be unwrapped outside the
+/// durable store. `read`/`write` are NOT here: they are too common as
+/// ordinary method names (`RwLock::read`/`write` legitimately unwrap their
+/// poison Result) and match only in `fs::`-qualified form.
+const IO_FNS: [&str; 19] = [
+    "copy",
+    "create",
+    "create_dir",
+    "create_dir_all",
+    "create_new",
+    "flush",
+    "metadata",
+    "open",
+    "read_to_end",
+    "read_to_string",
+    "remove_dir",
+    "remove_dir_all",
+    "remove_file",
+    "rename",
+    "seek",
+    "set_len",
+    "sync_all",
+    "sync_data",
+    "write_all",
+];
+
+/// Walks back from a `)` at `close` to its matching `(`; returns the index
+/// of the callee identifier immediately before it, if any.
+fn callee_of_close_paren(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut j = close;
+    while depth > 0 {
+        j = j.checked_sub(1)?;
+        if toks[j].is_punct(')') {
+            depth += 1;
+        } else if toks[j].is_punct('(') {
+            depth -= 1;
+        }
+    }
+    j.checked_sub(1).filter(|&k| toks[k].kind == TokKind::Ident)
+}
+
+/// Walks forward from a `(` at `open` to its matching `)`.
+fn matching_close_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Is the callee identifier at `k` an io-flavored call?
+fn is_io_callee(toks: &[Tok], k: usize) -> bool {
+    let qualified_fs = k >= 3
+        && toks[k - 1].is_punct(':')
+        && toks[k - 2].is_punct(':')
+        && toks[k - 3].is_ident("fs");
+    match toks[k].text.as_str() {
+        "read" | "write" => qualified_fs,
+        name => IO_FNS.contains(&name),
+    }
+}
+
+/// Does the statement containing the token at `i` bind or forward its
+/// value? Scans back to the previous statement boundary looking for `=`
+/// (let bindings, assignments, `=>` arms) or `return`.
+fn stmt_binds_value(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.is_punct('=') || t.is_ident("return") {
+            return true;
+        }
+    }
+    false
+}
+
+/// D7: io calls with the `Result` unwrapped (`fs::write(..).expect(..)`,
+/// `File::open(p).unwrap()`) and file writes whose `Result` is silently
+/// dropped (`f.write_all(b);`). The durable store and the bench report
+/// helper are the sanctioned homes for this io; everywhere else the
+/// fallibility must be surfaced.
+fn scan_durable_io(toks: &[Tok]) -> Vec<RuleMatch> {
+    let mut out = Vec::new();
+    for (i, t) in live(toks) {
+        // io_call(..).unwrap() / io_call(..).expect(..)
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks[i - 2].is_punct(')')
+        {
+            if let Some(callee) = callee_of_close_paren(toks, i - 2) {
+                if is_io_callee(toks, callee) {
+                    out.push(m(t, format!("{}(..).{}()", toks[callee].text, t.text)));
+                }
+            }
+        }
+        // Unchecked write: statement-level `.write_all(..);`,
+        // `File::create(..);`, or `fs::write(..);` with the Result dropped.
+        let write_target = (t.is_ident("write_all") && i > 0 && toks[i - 1].is_punct('.'))
+            || (t.is_ident("create")
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("File"))
+            || (t.is_ident("write")
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("fs"));
+        if write_target && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(close) = matching_close_paren(toks, i + 1) {
+                if toks.get(close + 1).is_some_and(|n| n.is_punct(';'))
+                    && !stmt_binds_value(toks, i)
+                {
+                    out.push(m(t, format!("unchecked {}(..)", t.text)));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// D6: `as u64` / `as f64`.
 fn scan_bare_casts(toks: &[Tok]) -> Vec<RuleMatch> {
     let mut out = Vec::new();
@@ -371,6 +517,48 @@ mod tests {
         assert_eq!(run(scan_bare_casts, "let x = n as u64;").len(), 1);
         assert!(run(scan_bare_casts, "let x = n as usize;").is_empty());
         assert!(run(scan_bare_casts, "let x = n as u8;").is_empty());
+    }
+
+    #[test]
+    fn durable_io_flags_unwrapped_io_calls() {
+        assert_eq!(
+            run(scan_durable_io, "let f = File::open(p).unwrap();").len(),
+            1
+        );
+        assert_eq!(
+            run(scan_durable_io, "std::fs::write(p, d).expect(\"w\");").len(),
+            1
+        );
+        assert_eq!(run(scan_durable_io, "f.write_all(&buf).unwrap();").len(), 1);
+        assert_eq!(
+            run(scan_durable_io, "fs::create_dir_all(dir).unwrap();").len(),
+            1
+        );
+        // Nested parens in the arguments are matched through.
+        assert_eq!(
+            run(scan_durable_io, "fs::write(p, render(a, b)).unwrap();").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn durable_io_flags_dropped_write_results() {
+        assert_eq!(run(scan_durable_io, "f.write_all(&buf);").len(), 1);
+        assert_eq!(run(scan_durable_io, "File::create(path);").len(), 1);
+        assert_eq!(run(scan_durable_io, "std::fs::write(p, d);").len(), 1);
+    }
+
+    #[test]
+    fn durable_io_leaves_handled_io_alone() {
+        assert!(run(scan_durable_io, "f.write_all(&buf)?;").is_empty());
+        assert!(run(scan_durable_io, "let r = File::create(path);").is_empty());
+        assert!(run(scan_durable_io, "if fs::write(p, d).is_err() { fail(); }").is_empty());
+        assert!(run(scan_durable_io, "return file.write_all(b);").is_empty());
+        // Mutex/RwLock poison unwraps are not io.
+        assert!(run(scan_durable_io, "let g = lock.read().unwrap();").is_empty());
+        assert!(run(scan_durable_io, "let g = lock.write().unwrap();").is_empty());
+        // Non-io unwraps belong to D5, not D7.
+        assert!(run(scan_durable_io, "let v = map.get(k).unwrap();").is_empty());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+// lint-fixture: crates/bench/src/bin/fixture_d7.rs
+//! D7 durable-io: true positives and false-positive traps. The pretend path
+//! is binary code (so D5, which bans every unwrap in library code, stays
+//! out of the way and the markers isolate D7): io results must be handled
+//! or routed through the StateStore / bench::report helpers even in bins.
+
+use std::fs::{self, File};
+use std::io::Write;
+
+pub fn bad_unwrap_open(path: &str) -> File {
+    File::open(path).unwrap() //~ D7
+}
+
+pub fn bad_expect_write(path: &str, data: &str) {
+    fs::write(path, data).expect("write report"); //~ D7
+}
+
+pub fn bad_unwrap_write_all(f: &mut File, buf: &[u8]) {
+    f.write_all(buf).unwrap(); //~ D7
+}
+
+pub fn bad_expect_nested_args(path: &str, a: u32, b: u32) {
+    fs::write(path, format!("{}", a.max(b))).expect("w"); //~ D7
+}
+
+pub fn bad_dropped_write_result(f: &mut File, buf: &[u8]) {
+    f.write_all(buf); //~ D7
+}
+
+pub fn bad_dropped_create(path: &str) {
+    File::create(path); //~ D7
+}
+
+pub fn bad_dropped_fs_write(path: &str) {
+    fs::write(path, "x"); //~ D7
+}
+
+// A justified allow suppresses the next line and produces no diagnostic.
+pub fn ok_allowed(path: &str) {
+    // lint: allow(D7) — scratch file in a doc example, failure is harmless
+    fs::write(path, "x").unwrap();
+}
+
+// Trap: propagated or handled io must not fire.
+pub fn ok_propagated(f: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    fs::write("a", "b")?;
+    f.write_all(buf)?;
+    let _probe = File::create("c");
+    if fs::write("d", "e").is_err() {
+        return f.write_all(b"fallback");
+    }
+    f.flush()
+}
+
+// Trap: lock-poison unwraps are not io (`read`/`write` only match
+// `fs::`-qualified).
+pub fn ok_lock_unwraps(lock: &std::sync::RwLock<u32>) -> u32 {
+    let r = *lock.read().unwrap();
+    *lock.write().unwrap() = r + 1;
+    r
+}
+
+// Trap: non-io unwrap belongs to D5's jurisdiction, not D7's.
+pub fn ok_non_io_unwrap(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+// Trap: `fs::write(..).unwrap()` in a comment or string must not fire.
+pub fn ok_mentions() -> &'static str {
+    "never fs::write(path, data).unwrap() outside the store"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trap_tests_may_unwrap_io() {
+        std::fs::write("/tmp/kwo-lint-d7-trap", "x").unwrap();
+        std::fs::remove_file("/tmp/kwo-lint-d7-trap").unwrap();
+    }
+}

@@ -4,6 +4,8 @@
 //! own the state (moments) for every parameter tensor of a network: the MLP
 //! uses two slots per layer (weights, biases).
 
+use serde::{Deserialize, Serialize};
+
 /// A first-order optimizer over flat parameter buffers.
 pub trait Optimizer {
     /// Applies one update to `params` given `grads` for parameter slot `slot`.
@@ -20,7 +22,7 @@ pub trait Optimizer {
 }
 
 /// Plain stochastic gradient descent with optional momentum.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sgd {
     lr: f64,
     momentum: f64,
@@ -64,7 +66,7 @@ impl Optimizer for Sgd {
 }
 
 /// Adam optimizer (Kingma & Ba) with bias correction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     lr: f64,
     beta1: f64,

@@ -85,6 +85,48 @@ impl<T: Clone> ReplayBuffer<T> {
         self.items.clear();
         self.next = 0;
     }
+
+    /// Index the next push will write to (the ring cursor).
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// Rebuilds a buffer from exported parts, validating the ring invariants.
+    /// The inverse of reading `capacity()`/`iter()`/`next_index()`/
+    /// `total_pushed()`; used to restore persisted agent state.
+    pub fn from_parts(
+        capacity: usize,
+        items: Vec<T>,
+        next: usize,
+        total_pushed: u64,
+    ) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("replay buffer capacity must be positive".into());
+        }
+        if items.len() > capacity {
+            return Err(format!(
+                "replay buffer holds {} items but capacity is {capacity}",
+                items.len()
+            ));
+        }
+        if next >= capacity {
+            return Err(format!(
+                "replay cursor {next} out of range for capacity {capacity}"
+            ));
+        }
+        if total_pushed < items.len() as u64 {
+            return Err(format!(
+                "total_pushed {total_pushed} is less than stored item count {}",
+                items.len()
+            ));
+        }
+        Ok(Self {
+            capacity,
+            items,
+            next,
+            total_pushed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +220,35 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: ReplayBuffer<u8> = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_wrapped_ring() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(i);
+        }
+        let rebuilt = ReplayBuffer::from_parts(
+            buf.capacity(),
+            buf.iter().copied().collect(),
+            buf.next_index(),
+            buf.total_pushed(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.capacity(), buf.capacity());
+        assert_eq!(rebuilt.next_index(), buf.next_index());
+        assert_eq!(rebuilt.total_pushed(), buf.total_pushed());
+        assert_eq!(
+            rebuilt.iter().copied().collect::<Vec<_>>(),
+            buf.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_invalid_shapes() {
+        assert!(ReplayBuffer::<u8>::from_parts(0, vec![], 0, 0).is_err());
+        assert!(ReplayBuffer::from_parts(2, vec![1, 2, 3], 0, 3).is_err());
+        assert!(ReplayBuffer::from_parts(2, vec![1], 2, 1).is_err());
+        assert!(ReplayBuffer::from_parts(4, vec![1, 2], 0, 1).is_err());
     }
 }

@@ -44,7 +44,7 @@ impl fmt::Display for FetchError {
 impl std::error::Error for FetchError {}
 
 /// Pulls telemetry from an [`Account`] into a [`TelemetryStore`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TelemetryFetcher {
     /// Index of the next unconsumed query record in the account stream.
     query_cursor: usize,
@@ -76,6 +76,13 @@ impl Default for TelemetryFetcher {
 impl TelemetryFetcher {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Current `(query, event)` stream cursors: indexes of the next
+    /// unconsumed records in the account's append-only telemetry streams.
+    /// Used by crash recovery to re-ingest exactly the delivered ranges.
+    pub fn cursors(&self) -> (usize, usize) {
+        (self.query_cursor, self.event_cursor)
     }
 
     /// Fetches new records from the account into the store, charging

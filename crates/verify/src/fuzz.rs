@@ -352,6 +352,38 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
     Ok(stats)
 }
 
+/// Drives the durable control plane's persistence decoders with the raw
+/// genome bytes. The decoders advertise totality — arbitrary input yields a
+/// value or an error, never a panic — and this probe holds them to it on
+/// every fuzz case: the frame scanner over the whole genome, the
+/// record/snapshot decoders over the genome itself, and the record decoder
+/// again over each checksum-valid payload the scanner recovered.
+pub fn probe_persist_decoders(bytes: &[u8]) -> Result<(), CaseFailure> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let scan = keebo::scan_frames(bytes);
+        assert!(
+            scan.valid_bytes <= bytes.len(),
+            "frame scanner overran its input"
+        );
+        for payload in &scan.payloads {
+            let _ = keebo::persist::decode_record(payload);
+        }
+        let _ = keebo::persist::decode_record(bytes);
+        let _ = keebo::persist::decode_snapshot(bytes);
+    }))
+    .map_err(|payload| {
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        CaseFailure {
+            kind: FailureKind::Panic,
+            message: format!("persist decoder panicked on genome bytes: {message}"),
+        }
+    })
+}
+
 /// [`run_case`] with panics converted into [`FailureKind::Panic`] failures.
 pub fn run_case_catching(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
     match catch_unwind(AssertUnwindSafe(|| run_case(case))) {
@@ -437,6 +469,24 @@ pub fn shrink_bytes(seed: u64, bytes: &[u8], kind: FailureKind, cfg: &FuzzConfig
 /// Runs one seed end to end: generate → decode → run → shrink on failure.
 pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> Result<CaseStats, FailureReport> {
     let bytes = generate_bytes(seed, cfg.bytes_per_case);
+    if let Err(failure) = probe_persist_decoders(&bytes) {
+        // Shrink against the probe alone: the simulator pipeline is not
+        // involved in a decoder panic.
+        let shrunk = shrink_with(
+            &bytes,
+            |candidate| probe_persist_decoders(candidate).is_err(),
+            cfg.max_shrink_runs,
+        );
+        return Err(FailureReport {
+            seed,
+            kind: format!("{:?}", failure.kind),
+            message: failure.message,
+            original_len: bytes.len(),
+            shrunk_len: shrunk.len(),
+            shrunk_bytes_hex: to_hex(&shrunk),
+            shrunk_case: "<persist decoder probe>".to_string(),
+        });
+    }
     let case = decode(seed, &bytes, cfg);
     match run_case_catching(&case) {
         Ok(stats) => Ok(stats),
@@ -525,6 +575,16 @@ mod tests {
             total_ops += stats.ops_applied;
         }
         assert!(total_ops > 0, "cases decoded to actual operations");
+    }
+
+    #[test]
+    fn persist_decoder_probe_is_clean_on_genomes() {
+        for seed in 0..200u64 {
+            let bytes = generate_bytes(seed, 256);
+            probe_persist_decoders(&bytes).expect("decoders are total on genome bytes");
+        }
+        probe_persist_decoders(&[]).expect("decoders are total on empty input");
+        probe_persist_decoders(&[0xff; 512]).expect("decoders are total on saturated input");
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! 3. a 14-day run through overlapping fault windows (ALTER bursts,
 //!    throttling, a 6 h telemetry outage, partial batches, slow resumes,
 //!    delayed command application) finishes with the reconciler converged,
-//!    a valid warehouse config, and positive — if reduced — savings.
+//!    a valid warehouse config, and positive — if reduced — savings;
+//! 4. the `OpsKpis` reliability counters (degraded ticks, fetch outages,
+//!    transient retries, ...) survive a mid-scenario orchestrator rebuild
+//!    from the durable store — a crash must not zero the ops history.
 
 use cdw_sim::{
     Account, FaultPlan, Simulator, WarehouseConfig, WarehouseId, WarehouseSize, DAY_MS, HOUR_MS,
     MINUTE_MS,
 };
-use keebo::{generate_trace, HealthState, KwoSetup, OpsKpis, Orchestrator};
+use keebo::{generate_trace, HealthState, KwoSetup, MemStore, OpsKpis, Orchestrator};
 use workload::BiWorkload;
 
 const WAREHOUSE: &str = "BI_WH";
@@ -111,6 +114,86 @@ fn same_seed_and_fault_plan_reproduce_the_same_run() {
         )
     };
     assert_eq!(fingerprint(&go()), fingerprint(&go()));
+}
+
+#[test]
+fn ops_kpis_survive_a_mid_scenario_rebuild() {
+    const TOTAL: u64 = 12;
+    const OBSERVE: u64 = 5;
+    // Tick-aligned kill between fault windows: after the telemetry outage
+    // (day 8–8.25) has inflated the reliability counters, before the slow
+    // resumes of day 10.
+    const CRASH_MS: u64 = 9 * DAY_MS + 5 * HOUR_MS;
+    let plan = || {
+        FaultPlan::none()
+            .with_alter_burst(6 * DAY_MS, 7 * DAY_MS, 0.9)
+            .with_telemetry_outage(8 * DAY_MS, 8 * DAY_MS + 6 * HOUR_MS)
+            .with_slow_resumes(10 * DAY_MS, 10 * DAY_MS + 6 * HOUR_MS, 120_000, 0.5)
+    };
+
+    // Uninterrupted reference.
+    let baseline = run_kwo(
+        |account| Simulator::with_faults(account, plan(), 7),
+        TOTAL,
+        OBSERVE,
+        41,
+    );
+    let baseline_kpis = OpsKpis::collect(
+        baseline.kwo.optimizer(WAREHOUSE).unwrap(),
+        baseline.sim.now(),
+    );
+
+    // Same scenario, but the control plane journals to a store, dies at
+    // CRASH_MS, and is rebuilt from the snapshot + WAL.
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        WAREHOUSE,
+        WarehouseConfig::new(WarehouseSize::Large).with_auto_suspend_secs(3600),
+    );
+    let mut sim = Simulator::with_faults(account, plan(), 7);
+    for q in generate_trace(&BiWorkload::default(), 0, TOTAL * DAY_MS, 41) {
+        sim.submit_query(wh, q);
+    }
+    let store = MemStore::new();
+    let mut kwo = Orchestrator::new(41);
+    kwo.attach_store(Box::new(store.clone()), sim.now());
+    kwo.manage(
+        &sim,
+        WAREHOUSE,
+        KwoSetup {
+            realtime_interval_ms: 30 * MINUTE_MS,
+            onboarding_episodes: 3,
+            refresh_episodes: 0,
+            ..KwoSetup::default()
+        },
+    );
+    kwo.observe_until(&mut sim, OBSERVE * DAY_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, CRASH_MS);
+    drop(kwo);
+
+    let (mut kwo, stats) = Orchestrator::restore(Box::new(store), &sim).expect("rebuild");
+    assert!(stats.replayed_records > 0, "rebuild replayed WAL records");
+    kwo.run_until(&mut sim, TOTAL * DAY_MS);
+
+    let o = kwo.optimizer(WAREHOUSE).unwrap();
+    let kpis = OpsKpis::collect(o, sim.now());
+    // The pre-crash ops history is still there — a rebuild must not zero
+    // the reliability counters the faults inflated before the kill...
+    assert!(kpis.fetch_outages > 0, "outage count lost: {kpis:?}");
+    assert!(kpis.degraded_ticks > 0, "degraded ticks lost: {kpis:?}");
+    // ...and the full KPI snapshot matches the uninterrupted run exactly,
+    // counters and health trajectory both.
+    assert_eq!(
+        format!("{kpis:?}"),
+        format!("{baseline_kpis:?}"),
+        "reliability KPIs diverged across the rebuild"
+    );
+    assert_eq!(
+        fingerprint(&Run { sim, kwo, wh }),
+        fingerprint(&baseline),
+        "decision log / billing diverged across the rebuild"
+    );
 }
 
 #[test]
