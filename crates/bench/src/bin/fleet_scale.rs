@@ -1,15 +1,25 @@
-//! Fleet-scale control-plane benchmark.
+//! 1k-tenant fleet throughput benchmark.
 //!
-//! Builds an N-tenant × M-warehouse fleet with mixed archetypes, drives it
-//! through observe → onboard → optimize at several worker-thread counts,
-//! and reports throughput (warehouses simulated per second), speedup vs a
-//! single thread, and the fleet savings rollup. The same fleet must produce
-//! *bit-identical* aggregates at every thread count — the run aborts if the
-//! report digests disagree.
+//! The paper's deployment optimizes fleets across many customer accounts
+//! ("millions of queries"); KEA-style centralized tuning only pays off when
+//! the harness can cheaply drive thousands of clusters. This bench is the
+//! scale probe for that claim: it builds a 1000-tenant × 4-warehouse
+//! mixed-archetype fleet (4000 warehouses), drives it on a persistent
+//! [`WorkerPool`] at 1/2/4/8 worker threads, and writes a
+//! `BENCH_fleet_scale.json` trajectory — warehouses/sec per thread count,
+//! shard build vs drive seconds kept apart, and the report digest at every
+//! point — for later PRs to ratchet against.
 //!
-//! Usage: `fleet [--smoke]` — `--smoke` runs a tiny 2×2 fleet over 2 days
-//! (the CI configuration); the default is 4 tenants × 4 warehouses over
-//! 3 days.
+//! Invariants enforced here, not just reported:
+//!
+//! * the fleet digest is bit-identical at every thread count (the run
+//!   aborts otherwise);
+//! * on genuinely multi-core hardware (≥4 CPUs, non-smoke), 4 threads must
+//!   clear 2× the single-thread throughput.
+//!
+//! Usage: `fleet_scale [--smoke]` — `--smoke` shrinks to an 8×2 fleet at
+//! 1/2 threads (the CI configuration); the default is the full 1k-tenant
+//! fleet over 2 simulated days (1 observed).
 
 use bench::report::{header, pct, table};
 use cdw_sim::{WarehouseConfig, WarehouseSize, DAY_MS, MINUTE_MS};
@@ -21,19 +31,15 @@ use serde::Serialize;
 use std::time::Instant;
 use workload::{fleet_mix, generate_trace};
 
-const SEED: u64 = 42;
+const SEED: u64 = 1009;
 
 #[derive(Serialize)]
 struct RunRow {
     threads: usize,
     wall_secs: f64,
-    /// Cumulative worker seconds spent *building* shards (account setup +
-    /// trace submission). Kept out of the drive figure: the original bench
-    /// timed construction inside the same window as simulation, inflating
-    /// wall_secs and flattening speedup_vs_1.
+    /// Cumulative worker seconds building shards (trace submission etc.).
     build_secs: f64,
-    /// Cumulative worker seconds spent *driving* shards (observe/onboard/
-    /// optimize + report rollup).
+    /// Cumulative worker seconds driving shards (simulate + optimize).
     drive_secs: f64,
     warehouses_per_sec: f64,
     speedup_vs_1: f64,
@@ -49,6 +55,7 @@ struct FleetShape {
     total_days: u64,
     seed: u64,
     smoke: bool,
+    host_cpus: usize,
 }
 
 #[derive(Serialize)]
@@ -74,9 +81,9 @@ fn bench_setup() -> KwoSetup {
     }
 }
 
-fn build_fleet(tenants: usize, per_tenant: usize, total_days: u64, light: bool) -> FleetController {
+fn build_fleet(tenants: usize, per_tenant: usize, total_days: u64) -> FleetController {
     let mut fleet = FleetController::new(SEED);
-    let members = fleet_mix(tenants, per_tenant, light);
+    let members = fleet_mix(tenants, per_tenant, true);
     let mut current: Option<TenantSpec> = None;
     for m in members {
         let spec = WarehouseSpec {
@@ -109,16 +116,22 @@ fn build_fleet(tenants: usize, per_tenant: usize, total_days: u64, light: bool) 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (tenants, per_tenant, observe_days, total_days) =
-        if smoke { (2, 2, 1, 2) } else { (4, 4, 1, 3) };
-    let fleet = build_fleet(tenants, per_tenant, total_days, true);
+        if smoke { (8, 2, 1, 2) } else { (1000, 4, 1, 2) };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let build_start = Instant::now();
+    let fleet = build_fleet(tenants, per_tenant, total_days);
     let warehouses = fleet.warehouse_count();
     header(&format!(
-        "fleet bench: {tenants} tenants x {per_tenant} warehouses, \
-         {total_days} days ({observe_days} observed), seed {SEED}"
+        "fleet_scale bench: {tenants} tenants x {per_tenant} warehouses, \
+         {total_days} days ({observe_days} observed), seed {SEED}, \
+         {host_cpus} host cpus (specs built in {:.1}s)",
+        build_start.elapsed().as_secs_f64()
     ));
 
-    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
-    // One persistent pool reused across every run: the digest must not care.
+    // One persistent pool, sized for the widest run, reused across every
+    // thread count: pool reuse must be digest-invisible.
     let pool = WorkerPool::new(*thread_counts.iter().max().unwrap());
     let mut runs: Vec<RunRow> = Vec::new();
     let mut reports: Vec<FleetReport> = Vec::new();
@@ -136,6 +149,11 @@ fn main() {
             speedup_vs_1: runs.first().map_or(1.0, |r| r.wall_secs / wall),
             digest: format!("{:016x}", report.digest()),
         });
+        let row = runs.last().unwrap();
+        println!(
+            "  {} threads: {:.1}s wall (build {:.1}s, drive {:.1}s worker-time), {:.1} wh/s",
+            threads, row.wall_secs, row.build_secs, row.drive_secs, row.warehouses_per_sec
+        );
         reports.push(report);
     }
 
@@ -145,6 +163,21 @@ fn main() {
         "fleet aggregates diverged across thread counts: {:?}",
         runs.iter().map(|r| &r.digest).collect::<Vec<_>>()
     );
+
+    // The scale-out acceptance bar: 4 threads must at least double the
+    // single-thread throughput — but only where the hardware can possibly
+    // deliver it (a 1-core container cannot, and smoke runs are too small
+    // for stable ratios).
+    if !smoke && host_cpus >= 4 {
+        let one = runs.iter().find(|r| r.threads == 1).unwrap();
+        let four = runs.iter().find(|r| r.threads == 4).unwrap();
+        assert!(
+            four.warehouses_per_sec >= 2.0 * one.warehouses_per_sec,
+            "4-thread throughput {:.1} wh/s < 2x single-thread {:.1} wh/s",
+            four.warehouses_per_sec,
+            one.warehouses_per_sec
+        );
+    }
 
     let rep = &reports[0];
     let savings_fraction = if rep.estimated_without_keebo > 0.0 {
@@ -193,6 +226,7 @@ fn main() {
             total_days,
             seed: SEED,
             smoke,
+            host_cpus,
         },
         runs,
         aggregates_bit_identical: identical,
@@ -203,11 +237,9 @@ fn main() {
         invoice: rep.invoice.clone(),
         ops: rep.ops.clone(),
     };
-    bench::report::write_json("BENCH_fleet.json", &out);
+    bench::report::write_json("BENCH_fleet_scale.json", &out);
 
-    // Export the observability counters/histograms accumulated across all
-    // runs (queue waits, tick wall times, actuation outcomes, shard walls).
     let metrics = keebo::obs::prometheus_text(&keebo::obs::global().snapshot());
-    bench::report::write_report("BENCH_fleet_metrics.prom", &metrics);
+    bench::report::write_report("BENCH_fleet_scale_metrics.prom", &metrics);
     println!("exported {} metric lines", metrics.lines().count());
 }

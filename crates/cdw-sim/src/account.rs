@@ -126,6 +126,13 @@ impl Account {
         &self.event_records
     }
 
+    /// Pre-sizes the query-record log for `additional` more completions, so
+    /// bulk trace submission amortizes the log's growth up front instead of
+    /// reallocating on the event hot path.
+    pub fn reserve_query_records(&mut self, additional: usize) {
+        self.query_records.reserve(additional);
+    }
+
     /// Records metadata/actuation overhead credits (charged by the
     /// telemetry fetcher and actuator in the keebo crate).
     pub fn charge_overhead(&mut self, at: SimTime, credits: f64) {

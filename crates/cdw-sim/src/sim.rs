@@ -16,6 +16,7 @@ use crate::warehouse::WhEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An event addressed to one warehouse.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,15 @@ enum Event {
     Arrival {
         wh: WarehouseId,
         spec: QuerySpec,
+    },
+    /// A query arrival referencing a shared trace arena instead of carrying
+    /// the spec inline: `traces[trace][idx]`. Keeps heap nodes small and
+    /// lets the fleet share one immutable trace across shards without
+    /// deep-cloning every [`QuerySpec`].
+    TraceArrival {
+        wh: WarehouseId,
+        trace: u32,
+        idx: u32,
     },
     Warehouse {
         wh: WarehouseId,
@@ -89,6 +99,12 @@ pub struct Simulator {
     processed_events: u64,
     injector: FaultInjector,
     post_event_hook: Option<PostEventHook>,
+    /// Immutable traces referenced by [`Event::TraceArrival`] events.
+    traces: Vec<Arc<[QuerySpec]>>,
+    /// Reusable scratch buffer for the per-event effect schedule: the event
+    /// hot path drains it back into the heap instead of allocating a fresh
+    /// `Vec` per event.
+    scratch: Vec<(SimTime, WhEvent)>,
 }
 
 impl Simulator {
@@ -110,6 +126,8 @@ impl Simulator {
             processed_events: 0,
             injector: FaultInjector::new(plan, fault_seed),
             post_event_hook: None,
+            traces: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -210,6 +228,45 @@ impl Simulator {
         }
     }
 
+    /// Schedules a whole trace for one warehouse from a *shared* immutable
+    /// buffer. The specs are never cloned into the event heap: each arrival
+    /// event carries only `(trace, index)` into an arena slot holding the
+    /// `Arc`, so many shards can replay the same trace with one allocation
+    /// fleet-wide. Event ordering (arrival time, then submission sequence)
+    /// is identical to feeding the same specs through
+    /// [`Simulator::submit_trace`], so results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if any arrival time is in the simulated past, like
+    /// [`Simulator::submit_query`].
+    pub fn submit_trace_shared(&mut self, wh: WarehouseId, trace: Arc<[QuerySpec]>) {
+        assert!(
+            self.traces.len() < u32::MAX as usize && trace.len() <= u32::MAX as usize,
+            "trace arena overflow"
+        );
+        let slot = self.traces.len() as u32;
+        self.queue.reserve(trace.len());
+        self.account.reserve_query_records(trace.len());
+        for (idx, spec) in trace.iter().enumerate() {
+            assert!(
+                spec.arrival >= self.clock,
+                "query {} arrival {} is in the past (now {})",
+                spec.id,
+                spec.arrival,
+                self.clock
+            );
+            self.push(
+                spec.arrival,
+                Event::TraceArrival {
+                    wh,
+                    trace: slot,
+                    idx: idx as u32,
+                },
+            );
+        }
+        self.traces.push(trace);
+    }
+
     /// Applies an `ALTER WAREHOUSE` command right now.
     ///
     /// Under an active fault plan the command may instead fail with a
@@ -233,13 +290,15 @@ impl Simulator {
             }
             AlterFault::None => {}
         }
-        let mut schedule = Vec::new();
+        let mut schedule = std::mem::take(&mut self.scratch);
+        debug_assert!(schedule.is_empty());
         let res = self
             .account
             .apply_command(wh, self.clock, cmd, source, &mut schedule);
-        for (at, ev) in schedule {
+        for (at, ev) in schedule.drain(..) {
             self.push_wh(wh, at, ev);
         }
+        self.scratch = schedule;
         res
     }
 
@@ -260,16 +319,27 @@ impl Simulator {
             debug_assert!(sch.at >= self.clock, "event from the past");
             self.clock = sch.at;
             self.processed_events += 1;
-            let mut schedule = Vec::new();
-            match sch.event {
+            // Reuse the scratch schedule buffer across events: take it out,
+            // fill it while the account is borrowed, then drain it back into
+            // the heap and return its capacity. Zero allocations at steady
+            // state.
+            let mut schedule = std::mem::take(&mut self.scratch);
+            debug_assert!(schedule.is_empty());
+            let target = match sch.event {
                 Event::Arrival { wh, spec } => {
                     self.account
                         .with_warehouse(wh, self.clock, &mut schedule, |w, ctx| {
                             w.submit(ctx, spec)
                         });
-                    for (at, ev) in schedule {
-                        self.push_wh(wh, at, ev);
-                    }
+                    wh
+                }
+                Event::TraceArrival { wh, trace, idx } => {
+                    let spec = self.traces[trace as usize][idx as usize].clone();
+                    self.account
+                        .with_warehouse(wh, self.clock, &mut schedule, |w, ctx| {
+                            w.submit(ctx, spec)
+                        });
+                    wh
                 }
                 Event::Warehouse { wh, ev } => {
                     self.account
@@ -284,9 +354,7 @@ impl Simulator {
                                 w.on_retire_check(ctx, cluster_id)
                             }
                         });
-                    for (at, ev) in schedule {
-                        self.push_wh(wh, at, ev);
-                    }
+                    wh
                 }
                 Event::Deferred { wh, cmd, source } => {
                     let res =
@@ -295,11 +363,13 @@ impl Simulator {
                     if res.is_err() {
                         self.injector.note_deferred_apply_error();
                     }
-                    for (at, ev) in schedule {
-                        self.push_wh(wh, at, ev);
-                    }
+                    wh
                 }
+            };
+            for (at, ev) in schedule.drain(..) {
+                self.push_wh(target, at, ev);
             }
+            self.scratch = schedule;
             if let Some(hook) = self.post_event_hook.as_mut() {
                 (hook.0)(&self.account, self.clock);
             }
@@ -928,5 +998,44 @@ mod command_tests {
         );
         sim.run_until(HOUR_MS);
         assert_eq!(sim.account().warehouse(wh).longest_running_ms(sim.now()), 0);
+    }
+
+    #[test]
+    fn shared_trace_is_bit_identical_to_per_query_submission() {
+        let cfg = WarehouseConfig::new(WarehouseSize::Small)
+            .with_auto_suspend_secs(120)
+            .with_clusters(1, 3)
+            .with_policy(ScalingPolicy::Standard);
+        let trace: Vec<QuerySpec> = (0..40)
+            .map(|i| {
+                q(
+                    i,
+                    (i as SimTime) * 1_700 % 50_000,
+                    500.0 + 137.0 * (i % 7) as f64,
+                )
+            })
+            .collect();
+
+        let (mut cloned, wh_a) = sim_one(cfg.clone());
+        cloned.submit_trace(trace.iter().cloned().map(|spec| (wh_a, spec)));
+        cloned.run_to_completion();
+
+        let (mut shared, wh_b) = sim_one(cfg);
+        shared.submit_trace_shared(wh_b, trace.into());
+        shared.run_to_completion();
+
+        assert_eq!(cloned.now(), shared.now());
+        assert_eq!(
+            cloned.account().query_records(),
+            shared.account().query_records()
+        );
+        assert_eq!(
+            cloned.account().event_records(),
+            shared.account().event_records()
+        );
+        assert_eq!(
+            cloned.account().ledger().warehouse("WH").total().to_bits(),
+            shared.account().ledger().warehouse("WH").total().to_bits()
+        );
     }
 }

@@ -8,8 +8,10 @@
 //! parallel across tenants.
 //!
 //! [`FleetController`] shards tenants into independent simulator/optimizer
-//! pairs and drives the shards concurrently with `std::thread::scope`.
-//! Determinism is preserved by construction:
+//! pairs and drives the shards concurrently on a persistent
+//! [`WorkerPool`] (see [`crate::pool`]) — or a transient one, for the
+//! convenience [`FleetController::run`] entry point. Determinism is
+//! preserved by construction:
 //!
 //! * every random stream is derived from the fleet seed and a *name* via
 //!   [`derive_stream_seed`] — the tenant name for the orchestrator and
@@ -17,20 +19,26 @@
 //!   optimizer — never from creation order or thread identity;
 //! * each shard's result lands in a slot indexed by its spec order, and
 //!   aggregation folds the slots in that order;
+//! * query traces live in shared immutable [`std::sync::Arc`] buffers
+//!   replayed through the simulator's trace arena
+//!   ([`Simulator::submit_trace_shared`]), so shard construction never
+//!   deep-clones a workload and buffer reuse cannot leak state between
+//!   shards;
 //!
 //! so a fleet run produces bit-identical [`FleetReport`]s whether it runs
-//! on 1 thread or 16, and each warehouse behaves exactly as it would if it
-//! were the only thing the controller managed.
+//! on 1 thread or 16, on a fresh pool or a reused one, and each warehouse
+//! behaves exactly as it would if it were the only thing the controller
+//! managed.
 
 use crate::dashboard::OpsKpis;
 use crate::orchestrator::{derive_stream_seed, KwoSetup, Orchestrator};
+use crate::pool::WorkerPool;
 use crate::pricing::{Invoice, ValueBasedPricing};
 use crate::store::MemStore;
 use cdw_sim::{Account, FaultPlan, QuerySpec, SimTime, Simulator, WarehouseConfig};
 use costmodel::SavingsReport;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
-use std::thread;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One warehouse a tenant brings to the fleet: its name, starting
 /// configuration, optimizer setup, and query trace.
@@ -40,8 +48,10 @@ pub struct WarehouseSpec {
     pub config: WarehouseConfig,
     pub setup: KwoSetup,
     /// The workload replayed on this warehouse (arrival-ordered or not;
-    /// the simulator orders events itself).
-    pub queries: Vec<QuerySpec>,
+    /// the simulator orders events itself). Shared and immutable: building
+    /// a shard hands the same buffer to the simulator's trace arena
+    /// instead of cloning every [`QuerySpec`].
+    pub queries: Arc<[QuerySpec]>,
 }
 
 /// One tenant: an isolated account whose warehouses are optimized by one
@@ -113,37 +123,117 @@ pub struct FleetReport {
     pub ops: OpsKpis,
 }
 
-impl FleetReport {
-    /// Order-sensitive FNV-1a digest over every float bit pattern and
-    /// counter in the report. Two runs of the same fleet are *bit-identical*
-    /// iff their digests match — the determinism contract the bench and
-    /// tests check across thread counts.
-    pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bits: u64| {
-            for b in bits.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        for t in &self.tenants {
-            for w in &t.warehouses {
-                eat(w.savings.estimated_without_keebo.to_bits());
-                eat(w.savings.actual_with_keebo.to_bits());
-                eat(w.savings.estimated_savings.to_bits());
-                eat(w.invoice.charge_credits.to_bits());
-                eat(w.ops.actions_applied as u64);
-                eat(w.ops.actions_failed as u64);
-                eat(w.ops.rollbacks as u64);
-                eat(w.ops.reconciliations as u64);
-                eat(w.ops.transient_retries);
-                eat(w.ops.fetch_outages);
-            }
+/// Incremental order-sensitive FNV-1a accumulator for [`FleetReport`]
+/// digests. Kept private: the digest is a determinism fingerprint, not a
+/// stable serialization format.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn eat(&mut self, bits: u64) {
+        for b in bits.to_le_bytes() {
+            self.byte(b);
         }
-        eat(self.warehouses as u64);
-        eat(self.estimated_savings.to_bits());
-        eat(self.invoice.charge_credits.to_bits());
-        h
+    }
+
+    fn eat_f(&mut self, v: f64) {
+        self.eat(v.to_bits());
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` hash apart.
+    fn eat_str(&mut self, s: &str) {
+        self.eat(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn eat_invoice(&mut self, inv: &Invoice) {
+        self.eat_f(inv.billable_savings_credits);
+        self.eat_f(inv.charge_credits);
+        self.eat_f(inv.customer_net_credits);
+    }
+
+    fn eat_savings(&mut self, s: &SavingsReport) {
+        self.eat(s.window_start);
+        self.eat(s.window_end);
+        self.eat_f(s.estimated_without_keebo);
+        self.eat_f(s.actual_with_keebo);
+        self.eat_f(s.estimated_savings);
+        self.eat_f(s.savings_fraction);
+        self.eat_f(s.replay.estimated_credits);
+        self.eat(s.replay.active_ms);
+        self.eat(s.replay.sessions as u64);
+        self.eat(s.replay.replayed_queries as u64);
+        // BTreeMap-backed: iteration order is hour order, deterministic.
+        self.eat(s.replay.hourly.iter().count() as u64);
+        for (hour, credits) in s.replay.hourly.iter() {
+            self.eat(hour);
+            self.eat_f(credits);
+        }
+    }
+
+    fn eat_ops(&mut self, ops: &OpsKpis) {
+        self.eat(ops.health.digest_code());
+        self.eat(ops.healthy_ticks);
+        self.eat(ops.degraded_ticks);
+        self.eat(ops.frozen_ticks);
+        self.eat(ops.actions_applied as u64);
+        self.eat(ops.actions_failed as u64);
+        self.eat(ops.rollbacks as u64);
+        self.eat(ops.reconciliations as u64);
+        self.eat(ops.transient_retries);
+        self.eat(ops.fetch_outages);
+        self.eat(ops.fetch_partials);
+        self.eat(ops.telemetry_staleness_ms);
+    }
+}
+
+impl FleetReport {
+    /// Order-sensitive FNV-1a digest over *every* field of the report:
+    /// names, each warehouse's full savings report (replay buckets
+    /// included), invoices, every ops KPI (health state and tick counters
+    /// included), and the tenant/fleet rollups. Two runs of the same fleet
+    /// are *bit-identical* iff their digests match — the determinism
+    /// contract the bench and tests check across thread counts.
+    ///
+    /// Any field added to [`OpsKpis`], [`SavingsReport`], or [`Invoice`]
+    /// must be hashed here; the table-driven digest-sensitivity test
+    /// enforces the current coverage so omissions fail loudly instead of
+    /// silently weakening the gate (the pre-fix digest skipped
+    /// `fetch_partials`, staleness, and the health state entirely).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for t in &self.tenants {
+            h.eat_str(&t.tenant);
+            h.eat(t.warehouses.len() as u64);
+            for w in &t.warehouses {
+                h.eat_str(&w.warehouse);
+                h.eat_savings(&w.savings);
+                h.eat_invoice(&w.invoice);
+                h.eat_ops(&w.ops);
+            }
+            h.eat_f(t.estimated_without_keebo);
+            h.eat_f(t.actual_with_keebo);
+            h.eat_f(t.estimated_savings);
+            h.eat_invoice(&t.invoice);
+            h.eat_ops(&t.ops);
+        }
+        h.eat(self.warehouses as u64);
+        h.eat_f(self.estimated_without_keebo);
+        h.eat_f(self.actual_with_keebo);
+        h.eat_f(self.estimated_savings);
+        h.eat_invoice(&self.invoice);
+        h.eat_ops(&self.ops);
+        h.0
     }
 }
 
@@ -161,12 +251,29 @@ fn add_invoice(acc: &mut Invoice, inv: &Invoice) {
     acc.customer_net_credits += inv.customer_net_credits;
 }
 
+/// Wall-clock accounting for one fleet run, split at the bug line the
+/// original bench got wrong: shard *construction* (trace submission,
+/// orchestrator wiring) used to be timed inside the same window as shard
+/// *driving* (simulation + optimization), inflating `wall_secs` and
+/// flattening the apparent thread speedup. Both are cumulative worker
+/// seconds across all shards, not elapsed wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetRunStats {
+    /// Seconds spent building shards (account setup + trace submission).
+    pub build_secs: f64,
+    /// Seconds spent driving shards (observe/onboard/optimize + rollup).
+    pub drive_secs: f64,
+}
+
 /// Drives a fleet of tenants, each on its own shard, in parallel.
 #[derive(Debug, Clone)]
 pub struct FleetController {
     seed: u64,
     pricing: ValueBasedPricing,
-    tenants: Vec<TenantSpec>,
+    /// Shared so worker-pool jobs (which need `'static` captures) can hold
+    /// the specs without cloning the fleet. [`FleetController::add_tenant`]
+    /// copy-on-writes via [`Arc::make_mut`].
+    tenants: Arc<Vec<TenantSpec>>,
     /// When set, every shard orchestrator journals to its own in-memory
     /// state store (durability plumbing on, zero cross-shard sharing).
     persistence: bool,
@@ -185,7 +292,7 @@ impl FleetController {
         Self {
             seed,
             pricing: ValueBasedPricing::default(),
-            tenants: Vec::new(),
+            tenants: Arc::new(Vec::new()),
             persistence: false,
         }
     }
@@ -205,7 +312,7 @@ impl FleetController {
     }
 
     pub fn add_tenant(&mut self, tenant: TenantSpec) -> &mut Self {
-        self.tenants.push(tenant);
+        Arc::make_mut(&mut self.tenants).push(tenant);
         self
     }
 
@@ -217,9 +324,127 @@ impl FleetController {
         self.tenants.iter().map(|t| t.warehouses.len()).sum()
     }
 
+    /// Runs the whole fleet on a *transient* pool: every tenant observes
+    /// until `observe_until`, onboards, then optimizes until `until`.
+    /// Shards run concurrently on up to `threads` workers pulling from a
+    /// shared work queue; the report is bit-identical for any
+    /// `threads >= 1`. Callers driving many runs (the scale bench, repeated
+    /// experiments) should create one [`WorkerPool`] and use
+    /// [`FleetController::run_on`] to skip the per-run spawn/join churn.
+    ///
+    /// # Panics
+    /// Panics if the fleet has no tenants or `threads == 0`.
+    pub fn run(&self, observe_until: SimTime, until: SimTime, threads: usize) -> FleetReport {
+        assert!(threads > 0, "need at least one worker thread");
+        let pool = WorkerPool::new(threads.min(self.tenants.len()).max(1));
+        self.run_on(&pool, observe_until, until, threads)
+    }
+
+    /// Like [`FleetController::run`], but on a caller-owned persistent
+    /// [`WorkerPool`], using at most `parallelism` of its workers. The
+    /// report is bit-identical for any pool size and parallelism.
+    ///
+    /// # Panics
+    /// Panics if the fleet has no tenants or `parallelism == 0`, and
+    /// re-raises the first shard panic after the run drains (the pool
+    /// itself stays usable).
+    pub fn run_on(
+        &self,
+        pool: &WorkerPool,
+        observe_until: SimTime,
+        until: SimTime,
+        parallelism: usize,
+    ) -> FleetReport {
+        self.run_on_timed(pool, observe_until, until, parallelism).0
+    }
+
+    /// [`FleetController::run_on`] plus per-run wall-clock accounting:
+    /// cumulative shard *build* seconds and shard *drive* seconds, kept
+    /// apart so benches stop billing trace construction to the simulator
+    /// (the timing bug the 4×4 bench shipped with).
+    pub fn run_on_timed(
+        &self,
+        pool: &WorkerPool,
+        observe_until: SimTime,
+        until: SimTime,
+        parallelism: usize,
+    ) -> (FleetReport, FleetRunStats) {
+        assert!(!self.tenants.is_empty(), "fleet has no tenants");
+        assert!(parallelism > 0, "need at least one worker thread");
+        let shards = self.tenants.len();
+        keebo_obs::global()
+            .gauge("keebo.fleet.tenants")
+            .set(shards as f64);
+        keebo_obs::global()
+            .gauge("keebo.fleet.workers")
+            .set(parallelism.min(pool.size()).min(shards) as f64);
+
+        let ctx = Arc::new(ShardCtx {
+            seed: self.seed,
+            pricing: self.pricing,
+            persistence: self.persistence,
+            tenants: Arc::clone(&self.tenants),
+            observe_until,
+            until,
+            results: Mutex::new(vec![None; shards]),
+            build_micros: AtomicU64::new(0),
+            drive_micros: AtomicU64::new(0),
+        });
+        let jobs = Arc::clone(&ctx);
+        pool.run_indexed(shards, parallelism, move |index| jobs.run_shard(index));
+
+        let tenants: Vec<TenantReport> = ctx
+            .results
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter_mut()
+            // lint: allow(D5) — the work queue hands every index to exactly one worker
+            .map(|slot| slot.take().expect("every shard reports"))
+            .collect();
+
+        let mut invoice = zero_invoice();
+        for t in &tenants {
+            add_invoice(&mut invoice, &t.invoice);
+        }
+        let report = FleetReport {
+            warehouses: tenants.iter().map(|t| t.warehouses.len()).sum(),
+            estimated_without_keebo: tenants.iter().map(|t| t.estimated_without_keebo).sum(),
+            actual_with_keebo: tenants.iter().map(|t| t.actual_with_keebo).sum(),
+            estimated_savings: tenants.iter().map(|t| t.estimated_savings).sum(),
+            ops: OpsKpis::rollup(tenants.iter().map(|t| &t.ops)),
+            invoice,
+            tenants,
+        };
+        let stats = FleetRunStats {
+            build_secs: ctx.build_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            drive_secs: ctx.drive_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        };
+        (report, stats)
+    }
+}
+
+/// Everything a pool job needs to run one shard: the fleet parameters, the
+/// shared tenant specs, spec-order result slots, and the build/drive time
+/// accumulators. `'static` by construction (all owned or [`Arc`]) so jobs
+/// can outlive the `run_on` stack frame on the persistent pool's workers.
+struct ShardCtx {
+    seed: u64,
+    pricing: ValueBasedPricing,
+    persistence: bool,
+    tenants: Arc<Vec<TenantSpec>>,
+    observe_until: SimTime,
+    until: SimTime,
+    results: Mutex<Vec<Option<TenantReport>>>,
+    build_micros: AtomicU64,
+    drive_micros: AtomicU64,
+}
+
+impl ShardCtx {
     /// Builds one tenant's shard: an account with the tenant's warehouses,
     /// a fault-injecting simulator, the submitted traces, and a shard-local
-    /// orchestrator managing every warehouse. All seeds derive from names.
+    /// orchestrator managing every warehouse. All seeds derive from names;
+    /// traces go through the simulator's shared-trace arena, so no
+    /// [`QuerySpec`] is ever cloned here.
     fn build_shard(&self, tenant: &TenantSpec) -> FleetShard {
         let tenant_seed = derive_stream_seed(self.seed, &tenant.name);
         let (account, ids) = Account::with_warehouses(
@@ -231,7 +456,7 @@ impl FleetController {
         let fault_seed = derive_stream_seed(tenant_seed, "faults");
         let mut sim = Simulator::with_faults(account, tenant.fault_plan.clone(), fault_seed);
         for (w, id) in tenant.warehouses.iter().zip(ids) {
-            sim.submit_trace(w.queries.iter().cloned().map(|q| (id, q)));
+            sim.submit_trace_shared(id, Arc::clone(&w.queries));
         }
         let mut kwo = Orchestrator::new(tenant_seed);
         if self.persistence {
@@ -247,22 +472,28 @@ impl FleetController {
         }
     }
 
-    /// Drives one shard through the full lifecycle and rolls up its report.
-    fn run_shard(&self, index: usize, observe_until: SimTime, until: SimTime) -> TenantReport {
-        // lint: allow(D1) — wall time only feeds the shard-duration histogram, never a decision
-        let t0 = std::time::Instant::now();
+    /// Drives one shard through the full lifecycle, rolls up its report
+    /// into the spec-order slot, and attributes build vs drive wall time
+    /// separately (the old bench lumped both into one window).
+    fn run_shard(&self, index: usize) {
         let tenant = &self.tenants[index];
+        // lint: allow(D1) — wall time only feeds the build/drive histograms, never a decision
+        let t0 = std::time::Instant::now();
         let mut shard = self.build_shard(tenant);
-        shard.kwo.observe_until(&mut shard.sim, observe_until);
+        let build = t0.elapsed();
+        // lint: allow(D1) — wall time only feeds the build/drive histograms, never a decision
+        let t1 = std::time::Instant::now();
+        shard.kwo.observe_until(&mut shard.sim, self.observe_until);
         shard.kwo.onboard(&mut shard.sim);
-        shard.kwo.run_until(&mut shard.sim, until);
+        shard.kwo.run_until(&mut shard.sim, self.until);
 
         let now = shard.sim.now();
         let mut warehouses = Vec::with_capacity(shard.warehouses.len());
         for name in &shard.warehouses {
-            let savings = shard
-                .kwo
-                .savings_report(&shard.sim, name, observe_until, until);
+            let savings =
+                shard
+                    .kwo
+                    .savings_report(&shard.sim, name, self.observe_until, self.until);
             let invoice = self.pricing.invoice(&savings);
             // lint: allow(D5) — shard.warehouses lists exactly the names onboard() managed
             let ops = OpsKpis::collect(shard.kwo.optimizer(name).expect("managed warehouse"), now);
@@ -277,13 +508,7 @@ impl FleetController {
         for w in &warehouses {
             add_invoice(&mut invoice, &w.invoice);
         }
-        keebo_obs::global()
-            .histogram(
-                "keebo.fleet.shard_wall_ms",
-                &[100.0, 500.0, 2_000.0, 10_000.0, 60_000.0, 300_000.0],
-            )
-            .observe(t0.elapsed().as_secs_f64() * 1e3);
-        TenantReport {
+        let report = TenantReport {
             tenant: tenant.name.clone(),
             estimated_without_keebo: warehouses
                 .iter()
@@ -294,70 +519,22 @@ impl FleetController {
             ops: OpsKpis::rollup(warehouses.iter().map(|w| &w.ops)),
             invoice,
             warehouses,
-        }
-    }
-
-    /// Runs the whole fleet: every tenant observes until `observe_until`,
-    /// onboards, then optimizes until `until`. Shards run concurrently on
-    /// up to `threads` workers pulling from a shared work queue; the report
-    /// is bit-identical for any `threads >= 1`.
-    ///
-    /// # Panics
-    /// Panics if the fleet has no tenants or `threads == 0`.
-    pub fn run(&self, observe_until: SimTime, until: SimTime, threads: usize) -> FleetReport {
-        assert!(!self.tenants.is_empty(), "fleet has no tenants");
-        assert!(threads > 0, "need at least one worker thread");
-        let shards = self.tenants.len();
-        let workers = threads.min(shards);
+        };
+        let drive = t1.elapsed();
+        self.build_micros
+            .fetch_add(build.as_micros() as u64, Ordering::Relaxed);
+        self.drive_micros
+            .fetch_add(drive.as_micros() as u64, Ordering::Relaxed);
+        let buckets = [1.0, 10.0, 100.0, 500.0, 2_000.0, 10_000.0, 60_000.0];
         keebo_obs::global()
-            .gauge("keebo.fleet.tenants")
-            .set(shards as f64);
+            .histogram("keebo.fleet.shard_build_ms", &buckets)
+            .observe(build.as_secs_f64() * 1e3);
         keebo_obs::global()
-            .gauge("keebo.fleet.workers")
-            .set(workers as f64);
-
-        let results: Mutex<Vec<Option<TenantReport>>> = Mutex::new(vec![None; shards]);
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Work-stealing queue: assignment order is racy, but
-                    // each shard is self-contained and results land in
-                    // spec-order slots, so the report does not depend on
-                    // which worker ran what.
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= shards {
-                        break;
-                    }
-                    let report = self.run_shard(index, observe_until, until);
-                    // Recover from poisoning: slots hold plain data, and a
-                    // panicked sibling worker already propagates via scope.
-                    results.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(report);
-                });
-            }
-        });
-
-        let tenants: Vec<TenantReport> = results
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .into_iter()
-            // lint: allow(D5) — the work queue hands every index to exactly one worker
-            .map(|r| r.expect("every shard reports"))
-            .collect();
-
-        let mut invoice = zero_invoice();
-        for t in &tenants {
-            add_invoice(&mut invoice, &t.invoice);
-        }
-        FleetReport {
-            warehouses: tenants.iter().map(|t| t.warehouses.len()).sum(),
-            estimated_without_keebo: tenants.iter().map(|t| t.estimated_without_keebo).sum(),
-            actual_with_keebo: tenants.iter().map(|t| t.actual_with_keebo).sum(),
-            estimated_savings: tenants.iter().map(|t| t.estimated_savings).sum(),
-            ops: OpsKpis::rollup(tenants.iter().map(|t| &t.ops)),
-            invoice,
-            tenants,
-        }
+            .histogram("keebo.fleet.shard_drive_ms", &buckets)
+            .observe(drive.as_secs_f64() * 1e3);
+        // Recover from poisoning: slots hold plain data, and a panicked
+        // sibling shard already propagates via the pool batch.
+        self.results.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(report);
     }
 }
 
@@ -407,7 +584,7 @@ mod tests {
             name: name.to_string(),
             config: WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(1800),
             setup: fast_setup(),
-            queries,
+            queries: queries.into(),
         }
     }
 
@@ -543,6 +720,205 @@ mod tests {
             solo_t.warehouses[0].savings.actual_with_keebo.to_bits(),
             both_t.warehouses[0].savings.actual_with_keebo.to_bits()
         );
+    }
+
+    #[test]
+    fn reused_pool_matches_fresh_pools_bit_for_bit() {
+        // The pool-reuse contract: consecutive runs on one persistent pool
+        // produce the same digest as runs on freshly spawned pools (which
+        // is what `run` uses under the hood).
+        let fleet = small_fleet(31, 2);
+        let fresh = fleet.run(DAY_MS, 2 * DAY_MS, 2).digest();
+        let pool = WorkerPool::new(3);
+        let first = fleet.run_on(&pool, DAY_MS, 2 * DAY_MS, 2).digest();
+        let second = fleet.run_on(&pool, DAY_MS, 2 * DAY_MS, 3).digest();
+        assert_eq!(first, fresh, "persistent pool diverged from fresh pool");
+        assert_eq!(second, fresh, "pool reuse perturbed the digest");
+    }
+
+    #[test]
+    fn pool_wider_and_narrower_than_fleet_both_work() {
+        let fleet = small_fleet(33, 2);
+        // threads > shards: the extra capacity must idle harmlessly.
+        let wide = WorkerPool::new(8);
+        let wide_digest = fleet.run_on(&wide, DAY_MS, 2 * DAY_MS, 8).digest();
+        // threads = 1: strictly sequential execution.
+        let narrow = WorkerPool::new(1);
+        let narrow_digest = fleet.run_on(&narrow, DAY_MS, 2 * DAY_MS, 1).digest();
+        assert_eq!(wide_digest, narrow_digest);
+        assert_eq!(wide_digest, fleet.run(DAY_MS, 2 * DAY_MS, 16).digest());
+    }
+
+    #[test]
+    fn panicking_shard_surfaces_and_pool_poisons_nothing() {
+        // A tenant with duplicate warehouse names panics during shard
+        // construction (Account::create_warehouse asserts uniqueness).
+        let mut bad = small_fleet(35, 1);
+        let mut dupes = TenantSpec::new("dupes");
+        for _ in 0..2 {
+            let seed = derive_stream_seed(35, "DUP");
+            dupes = dupes.add_warehouse(warehouse_spec("DUP", 0, seed, 1));
+        }
+        bad.add_tenant(dupes);
+
+        let pool = WorkerPool::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bad.run_on(&pool, DAY_MS, DAY_MS, 2)
+        }));
+        assert!(res.is_err(), "duplicate warehouse shard must panic the run");
+
+        // The pool survives and the next (healthy) fleet run on it matches
+        // a fresh-pool digest exactly.
+        let good = small_fleet(35, 1);
+        assert_eq!(
+            good.run_on(&pool, DAY_MS, DAY_MS, 2).digest(),
+            good.run(DAY_MS, DAY_MS, 2).digest(),
+            "pool poisoned by a panicking shard"
+        );
+    }
+
+    #[test]
+    fn run_stats_separate_build_from_drive() {
+        let fleet = small_fleet(37, 2);
+        let pool = WorkerPool::new(2);
+        let (report, stats) = fleet.run_on_timed(&pool, DAY_MS, 2 * DAY_MS, 2);
+        assert_eq!(report.warehouses, 4);
+        // Both phases ran; driving two simulated days dominates building.
+        assert!(stats.build_secs > 0.0, "build time not attributed");
+        assert!(stats.drive_secs > 0.0, "drive time not attributed");
+        assert!(
+            stats.drive_secs > stats.build_secs,
+            "drive ({}) should dominate build ({}) on a multi-day run",
+            stats.drive_secs,
+            stats.build_secs
+        );
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_hashed_field() {
+        // Table-driven guard for the digest contract: perturbing any field
+        // the digest claims to cover must move it. This is the regression
+        // net for the bug where OpsKpis health/staleness/fetch_partials
+        // fields silently fell out of the hash.
+        let fleet = small_fleet(41, 2);
+        let base = fleet.run(DAY_MS, 2 * DAY_MS, 2);
+        let base_digest = base.digest();
+
+        type Mutator = (&'static str, fn(&mut FleetReport));
+        let mutations: &[Mutator] = &[
+            ("tenant name", |r| r.tenants[0].tenant.push('x')),
+            ("warehouse name", |r| {
+                r.tenants[0].warehouses[0].warehouse.push('x')
+            }),
+            ("savings.window_start", |r| {
+                r.tenants[0].warehouses[0].savings.window_start += 1
+            }),
+            ("savings.window_end", |r| {
+                r.tenants[0].warehouses[0].savings.window_end += 1
+            }),
+            ("savings.estimated_without_keebo", |r| {
+                r.tenants[0].warehouses[0].savings.estimated_without_keebo += 0.5
+            }),
+            ("savings.actual_with_keebo", |r| {
+                r.tenants[0].warehouses[0].savings.actual_with_keebo += 0.5
+            }),
+            ("savings.estimated_savings", |r| {
+                r.tenants[0].warehouses[0].savings.estimated_savings += 0.5
+            }),
+            ("savings.savings_fraction", |r| {
+                r.tenants[0].warehouses[0].savings.savings_fraction += 0.01
+            }),
+            ("replay.estimated_credits", |r| {
+                r.tenants[0].warehouses[0].savings.replay.estimated_credits += 0.5
+            }),
+            ("replay.hourly", |r| {
+                r.tenants[0].warehouses[0]
+                    .savings
+                    .replay
+                    .hourly
+                    .add(0, 0.25)
+            }),
+            ("replay.active_ms", |r| {
+                r.tenants[0].warehouses[0].savings.replay.active_ms += 1
+            }),
+            ("replay.sessions", |r| {
+                r.tenants[0].warehouses[0].savings.replay.sessions += 1
+            }),
+            ("replay.replayed_queries", |r| {
+                r.tenants[0].warehouses[0].savings.replay.replayed_queries += 1
+            }),
+            ("invoice.billable_savings_credits", |r| {
+                r.tenants[0].warehouses[0].invoice.billable_savings_credits += 0.5
+            }),
+            ("invoice.charge_credits", |r| {
+                r.tenants[0].warehouses[0].invoice.charge_credits += 0.5
+            }),
+            ("invoice.customer_net_credits", |r| {
+                r.tenants[0].warehouses[0].invoice.customer_net_credits += 0.5
+            }),
+            ("ops.health", |r| {
+                r.tenants[0].warehouses[0].ops.health = HealthState::Frozen
+            }),
+            ("ops.healthy_ticks", |r| {
+                r.tenants[0].warehouses[0].ops.healthy_ticks += 1
+            }),
+            ("ops.degraded_ticks", |r| {
+                r.tenants[0].warehouses[0].ops.degraded_ticks += 1
+            }),
+            ("ops.frozen_ticks", |r| {
+                r.tenants[0].warehouses[0].ops.frozen_ticks += 1
+            }),
+            ("ops.actions_applied", |r| {
+                r.tenants[0].warehouses[0].ops.actions_applied += 1
+            }),
+            ("ops.actions_failed", |r| {
+                r.tenants[0].warehouses[0].ops.actions_failed += 1
+            }),
+            ("ops.rollbacks", |r| {
+                r.tenants[0].warehouses[0].ops.rollbacks += 1
+            }),
+            ("ops.reconciliations", |r| {
+                r.tenants[0].warehouses[0].ops.reconciliations += 1
+            }),
+            ("ops.transient_retries", |r| {
+                r.tenants[0].warehouses[0].ops.transient_retries += 1
+            }),
+            ("ops.fetch_outages", |r| {
+                r.tenants[0].warehouses[0].ops.fetch_outages += 1
+            }),
+            ("ops.fetch_partials", |r| {
+                r.tenants[0].warehouses[0].ops.fetch_partials += 1
+            }),
+            ("ops.telemetry_staleness_ms", |r| {
+                r.tenants[0].warehouses[0].ops.telemetry_staleness_ms += 1
+            }),
+            ("tenant rollup estimated_savings", |r| {
+                r.tenants[0].estimated_savings += 0.5
+            }),
+            ("tenant rollup invoice", |r| {
+                r.tenants[0].invoice.charge_credits += 0.5
+            }),
+            ("tenant rollup ops", |r| {
+                r.tenants[0].ops.fetch_partials += 1
+            }),
+            ("fleet warehouse count", |r| r.warehouses += 1),
+            ("fleet estimated_without_keebo", |r| {
+                r.estimated_without_keebo += 0.5
+            }),
+            ("fleet actual_with_keebo", |r| r.actual_with_keebo += 0.5),
+            ("fleet estimated_savings", |r| r.estimated_savings += 0.5),
+            ("fleet invoice", |r| r.invoice.customer_net_credits += 0.5),
+            ("fleet ops", |r| r.ops.telemetry_staleness_ms += 1),
+        ];
+        for (field, mutate) in mutations {
+            let mut perturbed = base.clone();
+            mutate(&mut perturbed);
+            assert_ne!(
+                perturbed.digest(),
+                base_digest,
+                "digest is blind to {field}"
+            );
+        }
     }
 
     #[test]

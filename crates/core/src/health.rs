@@ -40,6 +40,23 @@ pub enum HealthState {
     Frozen,
 }
 
+impl HealthState {
+    /// Stable small integer identifying this state for digests. Every
+    /// variant (including each degrade reason) maps to a distinct code, so
+    /// hashing it makes [`crate::fleet::FleetReport::digest`] sensitive to
+    /// any health divergence. Codes are part of the digest contract: never
+    /// renumber, only append.
+    pub fn digest_code(self) -> u64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded(DegradeReason::StaleTelemetry) => 1,
+            HealthState::Degraded(DegradeReason::ActuationFailures) => 2,
+            HealthState::Degraded(DegradeReason::ConfigDrift) => 3,
+            HealthState::Frozen => 4,
+        }
+    }
+}
+
 impl fmt::Display for HealthState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -67,6 +67,7 @@ pub mod health;
 pub mod monitoring;
 pub mod orchestrator;
 pub mod persist;
+pub mod pool;
 pub mod pricing;
 pub mod reconciler;
 pub mod store;
@@ -77,7 +78,9 @@ pub use actuator::{
 pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
 pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
 pub use drng::DetRng;
-pub use fleet::{FleetController, FleetReport, TenantReport, TenantSpec, WarehouseSpec};
+pub use fleet::{
+    FleetController, FleetReport, FleetRunStats, TenantReport, TenantSpec, WarehouseSpec,
+};
 pub use health::{
     DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState, HealthTransition,
 };
@@ -89,6 +92,7 @@ pub use persist::{
     CtlState, OptimizerSnapshot, PersistError, PersistRecord, RecoveryStats, RetrainRecord,
     SnapshotState, FORMAT_VERSION,
 };
+pub use pool::WorkerPool;
 pub use pricing::{Invoice, ValueBasedPricing};
 pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
 pub use store::{

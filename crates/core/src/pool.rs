@@ -1,0 +1,336 @@
+//! Persistent worker pool for fleet-scale shard execution.
+//!
+//! [`crate::fleet::FleetController`] used to spawn throwaway
+//! `std::thread::scope` workers on every `run` call. At 4×4 fleets that cost
+//! is noise; at 1k-tenant scale the bench re-runs the same fleet at several
+//! thread counts and the per-run spawn/join churn (plus the inability to
+//! keep any warm state on the workers) starts to matter. [`WorkerPool`]
+//! keeps a fixed set of named worker threads alive across runs and feeds
+//! them batches of *tickets* — indices into a shard list — through a shared
+//! queue.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism.** The pool never influences results: tickets carry only
+//!   an index, every shard is self-contained, and each result lands in a
+//!   slot keyed by that index. Which worker ran which ticket is
+//!   unobservable in the output — the crown-jewel digest invariant
+//!   (`FleetReport::digest` bit-identical at any worker count) survives by
+//!   construction.
+//! * **Panic safety.** A panicking ticket is caught on the worker, recorded
+//!   in the batch, and re-raised on the *submitting* thread once the batch
+//!   drains. The worker itself survives — nothing is poisoned, and the pool
+//!   is immediately reusable for the next run.
+//! * **Work stealing.** Tickets are claimed with an atomic cursor
+//!   (`fetch_add`), so a worker that finishes a cheap shard immediately
+//!   steals the next index instead of idling behind a static partition.
+//!
+//! Observability: the pool exports `keebo.fleet.pool.workers`,
+//! `keebo.fleet.pool.queue_depth`, and `keebo.fleet.pool.busy_workers`
+//! gauges through the global [`keebo_obs`] registry.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a pool mutex, recovering from poisoning. Pool state is plain data
+/// (queues and counters) that a panicking job cannot leave torn: jobs run
+/// outside the lock and their panics are caught at the ticket boundary.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued or shutdown begins.
+    work_ready: Condvar,
+}
+
+/// State for one batch of tickets submitted via [`WorkerPool::run_indexed`].
+struct Batch {
+    /// Next unclaimed ticket (the work-stealing cursor).
+    next: AtomicUsize,
+    tickets: usize,
+    /// Worker-jobs still running for this batch.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by a ticket, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// A fixed-size pool of persistent worker threads executing indexed ticket
+/// batches. Create once, reuse across any number of fleet runs; dropped
+/// pools shut their workers down and join them.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `size` persistent workers.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "worker pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("kwo-fleet-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    // lint: allow(D5) — thread spawn failure at pool construction is unrecoverable setup error
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        keebo_obs::global()
+            .gauge("keebo.fleet.pool.workers")
+            .set(size as f64);
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, job: Job) {
+        let mut state = lock(&self.shared.state);
+        state.queue.push_back(job);
+        keebo_obs::global()
+            .gauge("keebo.fleet.pool.queue_depth")
+            .set(state.queue.len() as f64);
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Runs `task(i)` for every ticket `i in 0..tickets`, using at most
+    /// `parallelism` workers (clamped to the pool size and the ticket
+    /// count), and blocks until the whole batch has drained. Ticket
+    /// assignment is work-stealing and racy by design; callers must keep
+    /// results independent per index.
+    ///
+    /// If any ticket panics, the first panic payload is re-raised here
+    /// after the batch drains. The worker that caught it keeps running —
+    /// the pool stays fully usable.
+    ///
+    /// # Panics
+    /// Re-raises the first ticket panic. Must not be called from inside
+    /// one of this pool's own workers (the batch would deadlock waiting
+    /// for the worker it occupies).
+    pub fn run_indexed(
+        &self,
+        tickets: usize,
+        parallelism: usize,
+        task: impl Fn(usize) + Send + Sync + 'static,
+    ) {
+        if tickets == 0 {
+            return;
+        }
+        let jobs = parallelism.clamp(1, self.size()).min(tickets);
+        let task: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(task);
+        let batch = Arc::new(Batch {
+            next: AtomicUsize::new(0),
+            tickets,
+            pending: Mutex::new(jobs),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        for _ in 0..jobs {
+            let batch = Arc::clone(&batch);
+            let task = Arc::clone(&task);
+            self.submit(Box::new(move || run_tickets(&batch, &*task)));
+        }
+        // Wait for every worker-job of this batch to finish.
+        let mut pending = lock(&batch.pending);
+        while *pending > 0 {
+            pending = batch
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(pending);
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Claims tickets off the batch cursor until exhausted. A panicking ticket
+/// ends this worker-job's participation (mirroring the death of a scoped
+/// thread) but leaves the remaining tickets to the batch's other jobs.
+fn run_tickets(batch: &Batch, task: &(dyn Fn(usize) + Send + Sync)) {
+    let busy = keebo_obs::global().gauge("keebo.fleet.pool.busy_workers");
+    busy.add(1.0);
+    loop {
+        let index = batch.next.fetch_add(1, Ordering::Relaxed);
+        if index >= batch.tickets {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+            let mut slot = lock(&batch.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            keebo_obs::global()
+                .counter("keebo.fleet.pool.ticket_panics")
+                .inc();
+            break;
+        }
+    }
+    busy.add(-1.0);
+    let mut pending = lock(&batch.pending);
+    *pending -= 1;
+    if *pending == 0 {
+        batch.done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = lock(&shared.state);
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    keebo_obs::global()
+                        .gauge("keebo.fleet.pool.queue_depth")
+                        .set(state.queue.len() as f64);
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Belt and braces: run_tickets already catches ticket panics, so a
+        // panic escaping the job itself is a pool bug — contain it anyway
+        // so one bad job can never take a worker down.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            keebo_obs::global()
+                .counter("keebo.fleet.pool.job_panics")
+                .inc();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker only exits its loop voluntarily, and ticket/job
+            // panics are caught inside it, so join can only fail if the
+            // thread was killed externally — nothing to clean up then.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_ticket_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect());
+        let sink = Arc::clone(&hits);
+        pool.run_indexed(100, 4, move |i| {
+            sink[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let total = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let sink = Arc::clone(&total);
+            pool.run_indexed(10, 2, move |_| {
+                sink.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn parallelism_is_clamped_not_fatal() {
+        let pool = WorkerPool::new(2);
+        let total = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&total);
+        // More requested parallelism than workers, more tickets than both.
+        pool.run_indexed(7, 64, move |_| {
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
+        let sink = Arc::clone(&total);
+        // Zero parallelism clamps up to one worker.
+        pool.run_indexed(3, 0, move |_| {
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn ticket_panic_surfaces_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(4, 2, |i| {
+                if i == 2 {
+                    panic!("ticket boom");
+                }
+            });
+        }));
+        let payload = res.expect_err("batch panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "ticket boom");
+
+        // The pool is not poisoned: the next batch runs normally.
+        let total = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&total);
+        pool.run_indexed(8, 2, move |_| {
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_tickets_is_a_noop() {
+        let pool = WorkerPool::new(1);
+        pool.run_indexed(0, 1, |_| panic!("never called"));
+    }
+}

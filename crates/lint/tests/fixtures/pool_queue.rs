@@ -1,0 +1,64 @@
+// lint-fixture: crates/core/src/fixture_pool.rs
+//! Worker-pool channel/queue code under the determinism D-rules: the
+//! patterns the persistent fleet pool must *not* regress into. Queue
+//! draining, condvar waits, and batch bookkeeping are all library code, so
+//! wall-clock reads, unordered containers, and bare panic paths all fire.
+
+use std::collections::{HashMap, VecDeque}; //~ D3
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+pub struct Queue {
+    jobs: Mutex<VecDeque<u64>>,
+    ready: Condvar,
+}
+
+// Bad: timing a queue wait off the wall clock — queue latency must come
+// from histogram observation points, not decision-path clock reads.
+pub fn bad_timed_pop(q: &Queue) -> (Option<u64>, f64) {
+    let t0 = Instant::now(); //~ D1
+    let job = q.jobs.lock().unwrap().pop_front(); //~ D5
+    (job, t0.elapsed().as_secs_f64())
+}
+
+// Bad: per-worker stats keyed by an unordered map — draining it would
+// iterate in hash order and poison any fold over the results.
+pub fn bad_worker_stats() -> HashMap<usize, u64> { //~ D3
+    HashMap::new() //~ D3
+}
+
+// Bad: unwrapping the condvar wait instead of recovering from poisoning.
+pub fn bad_wait(q: &Queue) -> u64 {
+    let guard = q.jobs.lock().unwrap(); //~ D5
+    let mut guard = q.ready.wait(guard).unwrap(); //~ D5
+    guard.pop_front().expect("queue empty after wakeup") //~ D5
+}
+
+// The sanctioned shapes, mirroring `keebo::pool`: poisoning recovered
+// explicitly, panics justified at the boundary where they are the only
+// sane outcome.
+pub fn ok_recovering_pop(q: &Queue) -> Option<u64> {
+    let mut guard = q
+        .jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard.pop_front()
+}
+
+pub fn ok_justified_spawn_failure() {
+    std::thread::Builder::new()
+        .name("kwo-fixture".into())
+        .spawn(|| {})
+        // lint: allow(D5) — thread spawn failure at pool construction is unrecoverable setup error
+        .expect("spawn worker");
+}
+
+// Trap: a doc comment narrating `Instant::now()` and `.unwrap()` in queue
+// code must not fire.
+/// Pops a job; never calls `Instant::now()` or `.unwrap()` on the lock.
+pub fn ok_doc_mention(q: &Queue) -> bool {
+    q.jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .is_empty()
+}

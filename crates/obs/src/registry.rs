@@ -74,6 +74,26 @@ impl Gauge {
         }
     }
 
+    /// Adds `delta` (may be negative) to the gauge via a CAS loop on the
+    /// f64 bit pattern — safe for concurrent up/down counting such as
+    /// busy-worker tracking (no-op while the owning registry is disabled).
+    pub fn add(&self, delta: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
@@ -333,6 +353,25 @@ mod tests {
     }
 
     #[test]
+    fn gauge_add_counts_up_and_down_concurrently() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("busy");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                    g.add(2.5);
+                });
+            }
+        });
+        assert_eq!(g.get(), 10.0, "4 threads each net +2.5");
+    }
+
+    #[test]
     fn disabling_registry_freezes_values() {
         let reg = MetricsRegistry::new();
         let c = reg.counter("c");
@@ -345,6 +384,7 @@ mod tests {
         c.inc();
         c.add(10);
         g.set(9.0);
+        g.add(4.0);
         h.observe(3.0);
         assert_eq!(c.get(), 1);
         assert_eq!(g.get(), 5.0);

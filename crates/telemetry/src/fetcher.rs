@@ -134,14 +134,11 @@ impl TelemetryFetcher {
         self.query_cursor += n_queries;
         self.event_cursor += n_events;
 
-        // Billing snapshots are authoritative per fetch.
-        let names: Vec<String> = account
-            .ledger()
-            .warehouse_names()
-            .map(str::to_string)
-            .collect();
-        for name in names {
-            store.set_billing(&name, account.ledger().warehouse(&name));
+        // Billing snapshots are authoritative per fetch. Walk the ledger
+        // by reference: no name list, no per-warehouse history clone unless
+        // the snapshot actually changed since the last fetch.
+        for (name, credits) in account.ledger().iter_warehouses() {
+            store.update_billing(name, credits);
         }
 
         let records = (n_queries + n_events) as u64;

@@ -29,29 +29,53 @@ impl TelemetryStore {
 
     /// Ingests query records (idempotence is the fetcher's responsibility;
     /// the store trusts its input ordering only loosely and re-sorts).
+    ///
+    /// The hot path is the fetcher's: records arrive completion-ordered per
+    /// warehouse, so appends stay sorted and nothing is re-sorted or
+    /// cloned. Only a warehouse whose append actually broke the order pays
+    /// a sort.
     pub fn ingest_queries(&mut self, records: impl IntoIterator<Item = QueryRecord>) {
-        let mut touched: Vec<String> = Vec::new();
+        let mut dirty: Vec<String> = Vec::new();
         for r in records {
             self.high_watermark = self.high_watermark.max(r.end);
-            if !touched.contains(&r.warehouse) {
-                touched.push(r.warehouse.clone());
+            if let Some(v) = self.queries.get_mut(&r.warehouse) {
+                let breaks_order = v
+                    .last()
+                    .is_some_and(|last| (last.end, last.query_id) > (r.end, r.query_id));
+                if breaks_order && !dirty.contains(&r.warehouse) {
+                    dirty.push(r.warehouse.clone());
+                }
+                v.push(r);
+            } else {
+                self.queries.insert(r.warehouse.clone(), vec![r]);
             }
-            self.queries.entry(r.warehouse.clone()).or_default().push(r);
         }
-        for wh in touched {
+        for wh in dirty {
             if let Some(v) = self.queries.get_mut(&wh) {
                 v.sort_by_key(|r| (r.end, r.query_id));
             }
         }
     }
 
-    /// Ingests warehouse events.
+    /// Ingests warehouse events. Same sorted-append fast path as
+    /// [`TelemetryStore::ingest_queries`]: only a warehouse whose vector
+    /// actually went out of time order is re-sorted.
     pub fn ingest_events(&mut self, records: impl IntoIterator<Item = WarehouseEventRecord>) {
+        let mut dirty: Vec<String> = Vec::new();
         for r in records {
-            self.events.entry(r.warehouse.clone()).or_default().push(r);
+            if let Some(v) = self.events.get_mut(&r.warehouse) {
+                if v.last().is_some_and(|last| last.at > r.at) && !dirty.contains(&r.warehouse) {
+                    dirty.push(r.warehouse.clone());
+                }
+                v.push(r);
+            } else {
+                self.events.insert(r.warehouse.clone(), vec![r]);
+            }
         }
-        for v in self.events.values_mut() {
-            v.sort_by_key(|r| r.at);
+        for wh in dirty {
+            if let Some(v) = self.events.get_mut(&wh) {
+                v.sort_by_key(|r| r.at);
+            }
         }
     }
 
@@ -59,6 +83,23 @@ impl TelemetryStore {
     /// so each fetch supplies the authoritative snapshot).
     pub fn set_billing(&mut self, warehouse: &str, credits: HourlyCredits) {
         self.billing.insert(warehouse.to_string(), credits);
+    }
+
+    /// Borrowing variant of [`TelemetryStore::set_billing`] for batch
+    /// refreshes straight off the ledger: skips the clone entirely when the
+    /// snapshot is unchanged since the last fetch (the common case for
+    /// suspended warehouses) and reuses the existing key otherwise.
+    pub fn update_billing(&mut self, warehouse: &str, credits: &HourlyCredits) {
+        match self.billing.get_mut(warehouse) {
+            Some(cur) => {
+                if cur != credits {
+                    cur.clone_from(credits);
+                }
+            }
+            None => {
+                self.billing.insert(warehouse.to_string(), credits.clone());
+            }
+        }
     }
 
     /// Completion time of the newest ingested record.
@@ -214,6 +255,48 @@ mod tests {
         h.add(0, 1.0);
         s.set_billing("A", h);
         assert_eq!(s.billing("A").unwrap().total(), 2.0);
+    }
+
+    #[test]
+    fn update_billing_matches_set_billing_semantics() {
+        let mut a = TelemetryStore::new();
+        let mut b = TelemetryStore::new();
+        let mut h = HourlyCredits::new();
+        h.add(0, 1.0);
+        a.set_billing("A", h.clone());
+        b.update_billing("A", &h);
+        assert_eq!(a.billing("A"), b.billing("A"));
+        // Unchanged snapshot: update is a no-op but stays authoritative.
+        b.update_billing("A", &h);
+        assert_eq!(b.billing("A").unwrap().total(), 1.0);
+        // Changed snapshot replaces, exactly like set_billing.
+        h.add(3 * cdw_sim::HOUR_MS, 2.0);
+        a.set_billing("A", h.clone());
+        b.update_billing("A", &h);
+        assert_eq!(a.billing("A"), b.billing("A"));
+        assert_eq!(b.billing("A").unwrap().total(), 3.0);
+    }
+
+    #[test]
+    fn out_of_order_event_ingest_is_resorted() {
+        use cdw_sim::{ActionSource, WarehouseEventKind};
+        let ev = |at: SimTime| WarehouseEventRecord {
+            warehouse: "A".into(),
+            at,
+            kind: WarehouseEventKind::Resumed,
+            source: ActionSource::External,
+            size: WarehouseSize::Small,
+            running_clusters: 1,
+            auto_suspend_ms: 0,
+            min_clusters: 1,
+            max_clusters: 1,
+            scaling_policy: Default::default(),
+        };
+        let mut s = TelemetryStore::new();
+        s.ingest_events(vec![ev(300), ev(100), ev(200)]);
+        s.ingest_events(vec![ev(150)]);
+        let ats: Vec<SimTime> = s.events_in("A", 0, 1_000).iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![100, 150, 200, 300]);
     }
 
     #[test]
