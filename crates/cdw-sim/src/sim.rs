@@ -81,7 +81,11 @@ impl Ord for Scheduled {
 /// on the checker.
 pub struct PostEventHook(HookFn);
 
-type HookFn = Box<dyn FnMut(&Account, SimTime)>;
+/// `Send` so a simulator can migrate between worker threads (the serving
+/// gateway parks shards between control ticks and any pool worker may pick
+/// one up); hooks observing shared state should capture `Arc`-based
+/// handles.
+type HookFn = Box<dyn FnMut(&Account, SimTime) + Send>;
 
 impl fmt::Debug for PostEventHook {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -135,7 +139,7 @@ impl Simulator {
     /// hook is replaced). The hook sees the account in its post-event state
     /// and the event's timestamp — the clock may still advance to the
     /// `run_until` horizon afterwards without a further call.
-    pub fn set_post_event_hook(&mut self, hook: impl FnMut(&Account, SimTime) + 'static) {
+    pub fn set_post_event_hook(&mut self, hook: impl FnMut(&Account, SimTime) + Send + 'static) {
         self.post_event_hook = Some(PostEventHook(Box::new(hook)));
     }
 
@@ -781,17 +785,20 @@ mod tests {
 
     #[test]
     fn post_event_hook_fires_once_per_event_with_monotone_clock() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex, PoisonError};
         let (mut sim, wh) =
             single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60));
-        let seen: Rc<RefCell<Vec<SimTime>>> = Rc::default();
-        let sink = Rc::clone(&seen);
-        sim.set_post_event_hook(move |_, now| sink.borrow_mut().push(now));
+        let seen: Arc<Mutex<Vec<SimTime>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        sim.set_post_event_hook(move |_, now| {
+            sink.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(now)
+        });
         sim.submit_query(wh, q(1, 1_000, 10_000.0));
         sim.submit_query(wh, q(2, 5_000, 2_000.0));
         sim.run_until(HOUR_MS);
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
         assert_eq!(seen.len() as u64, sim.processed_events());
         assert!(seen.windows(2).all(|w| w[0] <= w[1]), "clock monotone");
         assert!(!seen.is_empty());
@@ -799,21 +806,27 @@ mod tests {
 
     #[test]
     fn clearing_post_event_hook_stops_callbacks() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
         let (mut sim, wh) =
             single_wh_sim(WarehouseConfig::new(WarehouseSize::XSmall).with_auto_suspend_secs(60));
-        let count = Rc::new(Cell::new(0u64));
-        let sink = Rc::clone(&count);
-        sim.set_post_event_hook(move |_, _| sink.set(sink.get() + 1));
+        let count = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&count);
+        sim.set_post_event_hook(move |_, _| {
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
         sim.submit_query(wh, q(1, 0, 1_000.0));
         sim.run_until(10 * SECOND_MS);
-        let frozen = count.get();
+        let frozen = count.load(Ordering::Relaxed);
         assert!(frozen > 0);
         sim.clear_post_event_hook();
         sim.submit_query(wh, q(2, 11 * SECOND_MS, 1_000.0));
         sim.run_until(HOUR_MS);
-        assert_eq!(count.get(), frozen, "no callbacks after clear");
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            frozen,
+            "no callbacks after clear"
+        );
     }
 
     #[test]

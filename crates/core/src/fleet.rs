@@ -124,12 +124,13 @@ pub struct FleetReport {
 }
 
 /// Incremental order-sensitive FNV-1a accumulator for [`FleetReport`]
-/// digests. Kept private: the digest is a determinism fingerprint, not a
-/// stable serialization format.
-struct Fnv(u64);
+/// digests (and the gateway's decision/response fingerprints). Kept
+/// crate-private: the digest is a determinism fingerprint, not a stable
+/// serialization format.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
@@ -138,7 +139,7 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn eat(&mut self, bits: u64) {
+    pub(crate) fn eat(&mut self, bits: u64) {
         for b in bits.to_le_bytes() {
             self.byte(b);
         }
@@ -149,11 +150,15 @@ impl Fnv {
     }
 
     /// Length-prefixed so `("ab", "c")` and `("a", "bc")` hash apart.
-    fn eat_str(&mut self, s: &str) {
+    pub(crate) fn eat_str(&mut self, s: &str) {
         self.eat(s.len() as u64);
         for &b in s.as_bytes() {
             self.byte(b);
         }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 
     fn eat_invoice(&mut self, inv: &Invoice) {
@@ -279,11 +284,108 @@ pub struct FleetController {
     persistence: bool,
 }
 
-/// One shard: a tenant's isolated simulator plus its orchestrator.
-struct FleetShard {
-    sim: Simulator,
-    kwo: Orchestrator,
-    warehouses: Vec<String>,
+/// One shard: a tenant's isolated simulator plus its orchestrator. Shared
+/// with the serving gateway (`crate::gateway`), which keeps shards alive
+/// across control ticks instead of driving them start-to-finish.
+pub(crate) struct FleetShard {
+    pub(crate) sim: Simulator,
+    pub(crate) kwo: Orchestrator,
+    pub(crate) warehouses: Vec<String>,
+}
+
+/// Builds one tenant's shard: an account with the tenant's warehouses, a
+/// fault-injecting simulator, the submitted traces, and a shard-local
+/// orchestrator managing every warehouse. All seeds derive from names;
+/// traces go through the simulator's shared-trace arena, so no
+/// [`QuerySpec`] is ever cloned here. Used by both the batch fleet run and
+/// the serving gateway so the two paths cannot drift apart.
+pub(crate) fn build_shard(seed: u64, persistence: bool, tenant: &TenantSpec) -> FleetShard {
+    let tenant_seed = derive_stream_seed(seed, &tenant.name);
+    let (account, ids) = Account::with_warehouses(
+        tenant
+            .warehouses
+            .iter()
+            .map(|w| (w.name.as_str(), w.config.clone())),
+    );
+    let fault_seed = derive_stream_seed(tenant_seed, "faults");
+    let mut sim = Simulator::with_faults(account, tenant.fault_plan.clone(), fault_seed);
+    for (w, id) in tenant.warehouses.iter().zip(ids) {
+        sim.submit_trace_shared(id, Arc::clone(&w.queries));
+    }
+    let mut kwo = Orchestrator::new(tenant_seed);
+    if persistence {
+        kwo.attach_store(Box::new(MemStore::new()), sim.now());
+    }
+    for w in &tenant.warehouses {
+        kwo.manage(&sim, &w.name, w.setup.clone());
+    }
+    FleetShard {
+        sim,
+        kwo,
+        warehouses: tenant.warehouses.iter().map(|w| w.name.clone()).collect(),
+    }
+}
+
+/// Rolls one driven shard up into its [`TenantReport`]: per-warehouse
+/// savings over `[window_start, window_end)`, invoices (clamped per
+/// warehouse), and ops KPIs, folded in managed-warehouse order.
+pub(crate) fn tenant_report(
+    shard: &FleetShard,
+    tenant_name: &str,
+    pricing: &ValueBasedPricing,
+    window_start: SimTime,
+    window_end: SimTime,
+) -> TenantReport {
+    let now = shard.sim.now();
+    let mut warehouses = Vec::with_capacity(shard.warehouses.len());
+    for name in &shard.warehouses {
+        let savings = shard
+            .kwo
+            .savings_report(&shard.sim, name, window_start, window_end);
+        let invoice = pricing.invoice(&savings);
+        // lint: allow(D5) — shard.warehouses lists exactly the names onboard() managed
+        let ops = OpsKpis::collect(shard.kwo.optimizer(name).expect("managed warehouse"), now);
+        warehouses.push(WarehouseOutcome {
+            warehouse: name.clone(),
+            savings,
+            ops,
+            invoice,
+        });
+    }
+    let mut invoice = zero_invoice();
+    for w in &warehouses {
+        add_invoice(&mut invoice, &w.invoice);
+    }
+    TenantReport {
+        tenant: tenant_name.to_string(),
+        estimated_without_keebo: warehouses
+            .iter()
+            .map(|w| w.savings.estimated_without_keebo)
+            .sum(),
+        actual_with_keebo: warehouses.iter().map(|w| w.savings.actual_with_keebo).sum(),
+        estimated_savings: warehouses.iter().map(|w| w.savings.estimated_savings).sum(),
+        ops: OpsKpis::rollup(warehouses.iter().map(|w| &w.ops)),
+        invoice,
+        warehouses,
+    }
+}
+
+/// Folds spec-order tenant reports into the fleet-wide rollup. Shared by
+/// the batch fleet run and the gateway's end-of-run report.
+pub(crate) fn fleet_rollup(tenants: Vec<TenantReport>) -> FleetReport {
+    let mut invoice = zero_invoice();
+    for t in &tenants {
+        add_invoice(&mut invoice, &t.invoice);
+    }
+    FleetReport {
+        warehouses: tenants.iter().map(|t| t.warehouses.len()).sum(),
+        estimated_without_keebo: tenants.iter().map(|t| t.estimated_without_keebo).sum(),
+        actual_with_keebo: tenants.iter().map(|t| t.actual_with_keebo).sum(),
+        estimated_savings: tenants.iter().map(|t| t.estimated_savings).sum(),
+        ops: OpsKpis::rollup(tenants.iter().map(|t| &t.ops)),
+        invoice,
+        tenants,
+    }
 }
 
 impl FleetController {
@@ -402,19 +504,7 @@ impl FleetController {
             .map(|slot| slot.take().expect("every shard reports"))
             .collect();
 
-        let mut invoice = zero_invoice();
-        for t in &tenants {
-            add_invoice(&mut invoice, &t.invoice);
-        }
-        let report = FleetReport {
-            warehouses: tenants.iter().map(|t| t.warehouses.len()).sum(),
-            estimated_without_keebo: tenants.iter().map(|t| t.estimated_without_keebo).sum(),
-            actual_with_keebo: tenants.iter().map(|t| t.actual_with_keebo).sum(),
-            estimated_savings: tenants.iter().map(|t| t.estimated_savings).sum(),
-            ops: OpsKpis::rollup(tenants.iter().map(|t| &t.ops)),
-            invoice,
-            tenants,
-        };
+        let report = fleet_rollup(tenants);
         let stats = FleetRunStats {
             build_secs: ctx.build_micros.load(Ordering::Relaxed) as f64 / 1e6,
             drive_secs: ctx.drive_micros.load(Ordering::Relaxed) as f64 / 1e6,
@@ -440,38 +530,6 @@ struct ShardCtx {
 }
 
 impl ShardCtx {
-    /// Builds one tenant's shard: an account with the tenant's warehouses,
-    /// a fault-injecting simulator, the submitted traces, and a shard-local
-    /// orchestrator managing every warehouse. All seeds derive from names;
-    /// traces go through the simulator's shared-trace arena, so no
-    /// [`QuerySpec`] is ever cloned here.
-    fn build_shard(&self, tenant: &TenantSpec) -> FleetShard {
-        let tenant_seed = derive_stream_seed(self.seed, &tenant.name);
-        let (account, ids) = Account::with_warehouses(
-            tenant
-                .warehouses
-                .iter()
-                .map(|w| (w.name.as_str(), w.config.clone())),
-        );
-        let fault_seed = derive_stream_seed(tenant_seed, "faults");
-        let mut sim = Simulator::with_faults(account, tenant.fault_plan.clone(), fault_seed);
-        for (w, id) in tenant.warehouses.iter().zip(ids) {
-            sim.submit_trace_shared(id, Arc::clone(&w.queries));
-        }
-        let mut kwo = Orchestrator::new(tenant_seed);
-        if self.persistence {
-            kwo.attach_store(Box::new(MemStore::new()), sim.now());
-        }
-        for w in &tenant.warehouses {
-            kwo.manage(&sim, &w.name, w.setup.clone());
-        }
-        FleetShard {
-            sim,
-            kwo,
-            warehouses: tenant.warehouses.iter().map(|w| w.name.clone()).collect(),
-        }
-    }
-
     /// Drives one shard through the full lifecycle, rolls up its report
     /// into the spec-order slot, and attributes build vs drive wall time
     /// separately (the old bench lumped both into one window).
@@ -479,7 +537,7 @@ impl ShardCtx {
         let tenant = &self.tenants[index];
         // lint: allow(D1) — wall time only feeds the build/drive histograms, never a decision
         let t0 = std::time::Instant::now();
-        let mut shard = self.build_shard(tenant);
+        let mut shard = build_shard(self.seed, self.persistence, tenant);
         let build = t0.elapsed();
         // lint: allow(D1) — wall time only feeds the build/drive histograms, never a decision
         let t1 = std::time::Instant::now();
@@ -487,39 +545,13 @@ impl ShardCtx {
         shard.kwo.onboard(&mut shard.sim);
         shard.kwo.run_until(&mut shard.sim, self.until);
 
-        let now = shard.sim.now();
-        let mut warehouses = Vec::with_capacity(shard.warehouses.len());
-        for name in &shard.warehouses {
-            let savings =
-                shard
-                    .kwo
-                    .savings_report(&shard.sim, name, self.observe_until, self.until);
-            let invoice = self.pricing.invoice(&savings);
-            // lint: allow(D5) — shard.warehouses lists exactly the names onboard() managed
-            let ops = OpsKpis::collect(shard.kwo.optimizer(name).expect("managed warehouse"), now);
-            warehouses.push(WarehouseOutcome {
-                warehouse: name.clone(),
-                savings,
-                ops,
-                invoice,
-            });
-        }
-        let mut invoice = zero_invoice();
-        for w in &warehouses {
-            add_invoice(&mut invoice, &w.invoice);
-        }
-        let report = TenantReport {
-            tenant: tenant.name.clone(),
-            estimated_without_keebo: warehouses
-                .iter()
-                .map(|w| w.savings.estimated_without_keebo)
-                .sum(),
-            actual_with_keebo: warehouses.iter().map(|w| w.savings.actual_with_keebo).sum(),
-            estimated_savings: warehouses.iter().map(|w| w.savings.estimated_savings).sum(),
-            ops: OpsKpis::rollup(warehouses.iter().map(|w| &w.ops)),
-            invoice,
-            warehouses,
-        };
+        let report = tenant_report(
+            &shard,
+            &tenant.name,
+            &self.pricing,
+            self.observe_until,
+            self.until,
+        );
         let drive = t1.elapsed();
         self.build_micros
             .fetch_add(build.as_micros() as u64, Ordering::Relaxed);

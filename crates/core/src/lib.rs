@@ -63,6 +63,7 @@ pub mod consolidation;
 pub mod dashboard;
 pub mod drng;
 pub mod fleet;
+pub mod gateway;
 pub mod health;
 pub mod monitoring;
 pub mod orchestrator;
@@ -80,6 +81,10 @@ pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
 pub use drng::DetRng;
 pub use fleet::{
     FleetController, FleetReport, FleetRunStats, TenantReport, TenantSpec, WarehouseSpec,
+};
+pub use gateway::{
+    Admission, Gateway, GatewayConfig, GatewayStats, Priority, Request, RequestKind, ShedCounts,
+    ShedReason, TokenBucket,
 };
 pub use health::{
     DegradeReason, HealthMonitor, HealthSettings, HealthSignals, HealthState, HealthTransition,

@@ -35,8 +35,8 @@ use crate::reconciler::{Reconciler, ReconcilerSettings};
 use crate::store::StateStore;
 use agent::{
     baseline_p99, reconstruct_specs, train_on_workload, AgentAction, AgentState, ConstraintSet,
-    DegradedFallback, DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, Policy, SliderPosition,
-    Transition,
+    DegradedFallback, DqnAgent, DqnConfig, EpisodeConfig, PerfSignals, Policy, Rule,
+    SliderPosition, Transition,
 };
 use cdw_sim::{
     QueryRecord, SimTime, Simulator, WarehouseCommand, WarehouseConfig, WarehouseEventRecord,
@@ -1486,6 +1486,24 @@ impl Orchestrator {
         }
     }
 
+    /// Adds a constraint rule to a warehouse's rule set ("users can specify
+    /// conditions/constraints that must be always met", §4.3). The rule
+    /// applies from the next decision's action mask; like
+    /// [`Orchestrator::set_slider`] it journals when a store is attached.
+    pub fn add_constraint(&mut self, warehouse: &str, rule: Rule) {
+        let Some(o) = self.optimizer_mut(warehouse) else {
+            return;
+        };
+        o.setup.constraints.add(rule.clone());
+        if self.store.is_some() {
+            let record = PersistRecord::ConstraintAdded {
+                warehouse: warehouse.to_string(),
+                rule,
+            };
+            self.persist_append(&record);
+        }
+    }
+
     /// Clears an external-change pause ("the admin explicitly asks the
     /// optimizations to continue", §4.4).
     pub fn admin_resume(&mut self, sim: &Simulator, warehouse: &str) {
@@ -1701,6 +1719,14 @@ impl Orchestrator {
                     ))
                 })?;
                 o.set_slider(slider);
+            }
+            PersistRecord::ConstraintAdded { warehouse, rule } => {
+                let o = self.optimizer_mut(&warehouse).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "constraint record for unmanaged warehouse {warehouse}"
+                    ))
+                })?;
+                o.setup.constraints.add(rule);
             }
             PersistRecord::AdminResume {
                 warehouse,

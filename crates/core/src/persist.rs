@@ -26,7 +26,7 @@ use crate::health::HealthMonitor;
 use crate::monitoring::Monitor;
 use crate::orchestrator::KwoSetup;
 use crate::reconciler::Reconciler;
-use agent::{AgentAction, DqnAgentState, SliderPosition, Transition};
+use agent::{AgentAction, DqnAgentState, Rule, SliderPosition, Transition};
 use cdw_sim::{SimTime, WarehouseConfig};
 use costmodel::WarehouseCostModel;
 use serde::{Deserialize, Serialize};
@@ -146,6 +146,9 @@ pub enum PersistRecord {
         warehouse: String,
         slider: SliderPosition,
     },
+    /// The admin added a constraint rule (takes effect at the next
+    /// decision's action mask).
+    ConstraintAdded { warehouse: String, rule: Rule },
     /// The admin cleared an external-change pause. Carries the config
     /// observed at resume time — the historical simulator state is not
     /// recoverable at replay.

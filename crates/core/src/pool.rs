@@ -182,12 +182,46 @@ impl WorkerPool {
     }
 }
 
+/// Drop guard completing one worker-job's participation in a batch: counts
+/// the job out of `pending` and wakes the submitter when it was the last.
+/// Running this from `Drop` (rather than straight-line code at the end of
+/// [`run_tickets`]) means a panic escaping ticket handling itself — not the
+/// ticket, which has its own `catch_unwind` — can never strand
+/// [`WorkerPool::run_indexed`] waiting on a count that will never reach
+/// zero.
+struct BatchExit<'a> {
+    batch: &'a Batch,
+}
+
+impl Drop for BatchExit<'_> {
+    fn drop(&mut self) {
+        let mut pending = lock(&self.batch.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.batch.done.notify_all();
+        }
+    }
+}
+
 /// Claims tickets off the batch cursor until exhausted. A panicking ticket
 /// ends this worker-job's participation (mirroring the death of a scoped
 /// thread) but leaves the remaining tickets to the batch's other jobs.
+///
+/// Gauge accounting is unwind-safe by construction: `busy_workers` rides a
+/// [`keebo_obs::GaugeGuard`] and the `pending` handoff rides [`BatchExit`],
+/// so both are restored on every exit path. The previous paired
+/// `add(+1)`/`add(-1)` calls could leave `busy_workers` drifted (and the
+/// submitter deadlocked) if anything between them unwound past the ticket
+/// boundary.
 fn run_tickets(batch: &Batch, task: &(dyn Fn(usize) + Send + Sync)) {
-    let busy = keebo_obs::global().gauge("keebo.fleet.pool.busy_workers");
-    busy.add(1.0);
+    // Declaration order matters: locals drop in reverse, so `_busy` must
+    // come *after* `_exit` — the gauge then decrements before the exit
+    // guard wakes the submitter, and a caller observing a drained
+    // `run_indexed` never reads a stale busy count.
+    let _exit = BatchExit { batch };
+    let _busy = keebo_obs::global()
+        .gauge("keebo.fleet.pool.busy_workers")
+        .add_scoped(1.0);
     loop {
         let index = batch.next.fetch_add(1, Ordering::Relaxed);
         if index >= batch.tickets {
@@ -203,12 +237,6 @@ fn run_tickets(batch: &Batch, task: &(dyn Fn(usize) + Send + Sync)) {
                 .inc();
             break;
         }
-    }
-    busy.add(-1.0);
-    let mut pending = lock(&batch.pending);
-    *pending -= 1;
-    if *pending == 0 {
-        batch.done.notify_all();
     }
 }
 

@@ -149,6 +149,23 @@ impl StateStore for MemStore {
     }
 }
 
+/// Flushes directory metadata so a just-renamed entry in `dir` survives
+/// power loss. `rename` is atomic with respect to concurrent readers, but
+/// the *directory entry* pointing at the new snapshot is ordinary metadata:
+/// a crash after the rename and before the directory block reaches disk can
+/// bring the store back up with the old (or no) snapshot file. Fail-open,
+/// per the control plane's persistence convention: a sync failure is
+/// counted (`keebo.store.dir_sync_failures`) but never fails the write —
+/// the data path already fsynced, and the next snapshot retries the
+/// metadata flush.
+fn sync_dir(dir: &Path) {
+    if File::open(dir).and_then(|d| d.sync_all()).is_err() {
+        keebo_obs::global()
+            .counter("keebo.store.dir_sync_failures")
+            .inc();
+    }
+}
+
 const FRAME_HEADER_BYTES: usize = 8; // u32 length + u32 crc32
 const WAL_FILE: &str = "wal.log";
 const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -277,6 +294,10 @@ impl StateStore for FileStore {
             f.sync_all()?;
         }
         fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // Make the rename itself durable: without a directory sync, a crash
+        // after the rename can lose the new directory entry and resurrect
+        // the pre-snapshot state even though the payload was fsynced.
+        sync_dir(&self.dir);
         // Snapshot is durable; the log it subsumes can go.
         self.wal.set_len(0)?;
         self.wal.seek(SeekFrom::End(0))?;
@@ -478,6 +499,40 @@ mod tests {
         );
         assert_eq!(c.truncated_bytes, 0);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_write_syncs_directory_without_failing_open() {
+        // Success path: a snapshot write on a real directory performs the
+        // directory sync cleanly — no fail-open counter tick — and the
+        // renamed entry is immediately visible to a reopened store.
+        let dir = scratch_dir("dirsync");
+        let failures = keebo_obs::global().counter("keebo.store.dir_sync_failures");
+        let before = failures.get();
+        {
+            let mut s = FileStore::open(&dir).unwrap();
+            s.write_snapshot(b"synced snapshot").unwrap();
+        }
+        assert_eq!(
+            failures.get(),
+            before,
+            "healthy directory sync must not count as a failure"
+        );
+        let mut s = FileStore::open(&dir).unwrap();
+        let c = s.load().unwrap();
+        assert_eq!(c.snapshot.as_deref(), Some(&b"synced snapshot"[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_sync_failure_is_counted_not_fatal() {
+        // Fail-open path: syncing a directory that cannot be opened ticks
+        // the counter instead of erroring — mirroring the PR 6 convention
+        // that persistence problems degrade observability-first.
+        let failures = keebo_obs::global().counter("keebo.store.dir_sync_failures");
+        let before = failures.get();
+        sync_dir(Path::new("/nonexistent/kwo-store-dir-sync-test"));
+        assert_eq!(failures.get(), before + 1);
     }
 
     #[test]

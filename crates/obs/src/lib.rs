@@ -31,7 +31,7 @@ mod trace;
 
 pub use export::prometheus_text;
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use trace::{DecisionEvent, DecisionTrace, MaskEntry, TraceFeatures};
 

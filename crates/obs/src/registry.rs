@@ -97,6 +97,34 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
+
+    /// Adds `delta` now and subtracts it again when the returned guard
+    /// drops — including during a panic unwind. Up/down gauges tracking
+    /// in-flight work (busy workers, queue occupancy) must use this instead
+    /// of paired `add(+d)`/`add(-d)` calls, which leak the increment if the
+    /// code between them unwinds and leave the gauge drifted forever.
+    #[must_use = "dropping the guard immediately undoes the increment"]
+    pub fn add_scoped(&self, delta: f64) -> GaugeGuard {
+        self.add(delta);
+        GaugeGuard {
+            gauge: self.clone(),
+            delta,
+        }
+    }
+}
+
+/// RAII guard from [`Gauge::add_scoped`]: undoes the increment on drop, on
+/// the normal path and the unwind path alike.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Gauge,
+    delta: f64,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-self.delta);
+    }
 }
 
 #[derive(Debug)]
@@ -369,6 +397,24 @@ mod tests {
             }
         });
         assert_eq!(g.get(), 10.0, "4 threads each net +2.5");
+    }
+
+    #[test]
+    fn gauge_guard_undoes_increment_on_drop_and_unwind() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("inflight");
+        {
+            let _guard = g.add_scoped(1.0);
+            assert_eq!(g.get(), 1.0);
+        }
+        assert_eq!(g.get(), 0.0, "normal drop restores the gauge");
+
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = g.add_scoped(1.0);
+            panic!("boom");
+        }));
+        assert!(res.is_err());
+        assert_eq!(g.get(), 0.0, "unwind drop restores the gauge");
     }
 
     #[test]

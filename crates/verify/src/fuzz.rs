@@ -35,9 +35,8 @@ use cdw_sim::{
     WarehouseCommand, WarehouseConfig, WarehouseSize, HOUR_MS,
 };
 use serde::Serialize;
-use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Auto-suspend settings the decoder picks from (ms); includes 0 (never).
 const AUTO_SUSPEND_CHOICES_MS: [u64; 6] = [0, 30_000, 60_000, 120_000, 300_000, 600_000];
@@ -258,19 +257,26 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
         .collect();
     let mut sim = Simulator::new(acc);
 
-    let violations: Rc<RefCell<Vec<Violation>>> = Rc::default();
-    let sink = Rc::clone(&violations);
+    // Arc<Mutex> rather than Rc<RefCell>: the hook slot is `Send` so shards
+    // can migrate across fleet pool workers, even though this case runs on
+    // one thread.
+    let violations: Arc<Mutex<Vec<Violation>>> = Arc::default();
+    let sink = Arc::clone(&violations);
     sim.set_post_event_hook(move |account, now| {
-        if sink.borrow().is_empty() {
-            sink.borrow_mut()
-                .extend(Validator::check_account(account, now));
+        let mut sink = sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if sink.is_empty() {
+            sink.extend(Validator::check_account(account, now));
         }
     });
 
     let mut stats = CaseStats::default();
     let mut next_query_id = 0u64;
     for op in &case.ops {
-        if !violations.borrow().is_empty() {
+        if !violations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+        {
             break;
         }
         match *op {
@@ -311,7 +317,11 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
 
     // Settle: drain in-flight work, then suspend everything so every open
     // billing session closes and the oracle sees the complete log.
-    if violations.borrow().is_empty() {
+    if violations
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_empty()
+    {
         sim.run_until(sim.now() + 2 * HOUR_MS);
         for &id in &ids {
             let _ = sim.alter_warehouse(id, WarehouseCommand::Suspend, ActionSource::External);
@@ -319,12 +329,14 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
         let _: SimTime = sim.run_to_completion();
     }
 
-    let first_violation = violations.borrow().first().cloned();
-    if let Some(v) = first_violation {
-        return Err(CaseFailure {
-            kind: FailureKind::Invariant,
-            message: format!("{v} (+{} more)", violations.borrow().len() - 1),
-        });
+    {
+        let seen = violations.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(v) = seen.first() {
+            return Err(CaseFailure {
+                kind: FailureKind::Invariant,
+                message: format!("{v} (+{} more)", seen.len() - 1),
+            });
+        }
     }
     let final_violations = Validator::check_account(sim.account(), sim.now());
     if let Some(v) = final_violations.first() {

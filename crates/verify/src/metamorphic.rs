@@ -25,8 +25,8 @@ use cdw_sim::{
     Account, ActionSource, HourlyCredits, QuerySpec, SimTime, Simulator, WarehouseCommand,
     WarehouseConfig,
 };
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Everything a metamorphic relation compares between two runs.
 #[derive(Debug, Clone)]
@@ -56,14 +56,14 @@ pub fn run_scenario(
     let mut acc = Account::new();
     let wh = acc.create_warehouse("M", config);
     let mut sim = Simulator::new(acc);
-    let peak: Rc<Cell<u32>> = Rc::default();
-    let sink = Rc::clone(&peak);
+    // Atomic rather than Cell: the hook slot is `Send` (shards migrate
+    // across fleet pool workers); this scenario itself is single-threaded.
+    let peak: Arc<AtomicU32> = Arc::default();
+    let sink = Arc::clone(&peak);
     sim.set_post_event_hook(move |account, _| {
         for id in account.warehouse_ids() {
             let running = account.warehouse(id).running_clusters();
-            if running > sink.get() {
-                sink.set(running);
-            }
+            sink.fetch_max(running, Ordering::Relaxed);
         }
     });
     if resume_at_start {
@@ -89,7 +89,7 @@ pub fn run_scenario(
     ScenarioResult {
         total_credits: hourly.total(),
         hourly,
-        peak_clusters: peak.get(),
+        peak_clusters: peak.load(Ordering::Relaxed),
         queue_waits,
         completed: account.query_records().len(),
     }

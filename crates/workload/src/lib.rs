@@ -19,6 +19,7 @@
 pub mod arrival;
 pub mod fleet;
 pub mod generators;
+pub mod loadgen;
 pub mod mix;
 pub mod template;
 pub mod trace;
@@ -28,6 +29,7 @@ pub use fleet::{fleet_mix, FleetMember};
 pub use generators::{
     generate_trace, AdhocWorkload, BiWorkload, EtlWorkload, ReportingWorkload, WorkloadGenerator,
 };
+pub use loadgen::{open_loop_plan, ClosedLoopDriver, LoadEvent, LoadOp, LoadPriority};
 pub use mix::MixedWorkload;
 pub use template::{IdAllocator, QueryTemplate};
 pub use trace::{TraceStats, WorkloadTrace};

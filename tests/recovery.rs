@@ -27,7 +27,8 @@ use cdw_sim::{
 use keebo::persist::{decode_record, decode_snapshot, encode_record, encode_snapshot};
 use keebo::{
     generate_trace, scan_frames, ActionLogEntry, CrashPlan, DetRng, FileStore, KwoSetup, MemStore,
-    Orchestrator, PersistRecord, RecoveryStats, RetrainRecord, SliderPosition, StateStore,
+    Orchestrator, PersistRecord, RecoveryStats, RetrainRecord, Rule, RuleEffect, SliderPosition,
+    StateStore, TimeWindow,
 };
 use proptest::prelude::*;
 use workload::{BiWorkload, EtlWorkload};
@@ -374,13 +375,21 @@ fn every_persisted_record_re_encodes_byte_identically() {
     kwo.onboard(&mut sim);
     kwo.run_until(&mut sim, OBSERVE_MS + 6 * TICK_MS);
     kwo.set_slider(WAREHOUSE, SliderPosition::LowestCost);
+    kwo.add_constraint(
+        WAREHOUSE,
+        Rule::new(
+            "nights",
+            TimeWindow::daily(20.0, 23.0),
+            RuleEffect::NoSuspend,
+        ),
+    );
     kwo.admin_resume(&sim, WAREHOUSE);
     kwo.run_until(&mut sim, OBSERVE_MS + 8 * TICK_MS);
     drop(kwo);
 
     let mut boxed: Box<dyn StateStore> = Box::new(store);
     let contents = boxed.load().expect("load");
-    let mut seen = [false; 4];
+    let mut seen = [false; 5];
     for bytes in &contents.records {
         let record = decode_record(bytes).expect("every persisted record decodes");
         seen[match record {
@@ -388,11 +397,12 @@ fn every_persisted_record_re_encodes_byte_identically() {
             PersistRecord::Tick { .. } => 1,
             PersistRecord::SliderChanged { .. } => 2,
             PersistRecord::AdminResume { .. } => 3,
+            PersistRecord::ConstraintAdded { .. } => 4,
         }] = true;
         let re = encode_record(&record).expect("re-encode");
         assert_eq!(&re, bytes, "record round trip must be byte-identical");
     }
-    assert_eq!(seen, [true; 4], "all four record variants were exercised");
+    assert_eq!(seen, [true; 5], "all five record variants were exercised");
 
     let snap_bytes = contents.snapshot.expect("attach_store wrote a snapshot");
     let snap = decode_snapshot(&snap_bytes).expect("snapshot decodes");
