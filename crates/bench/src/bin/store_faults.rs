@@ -1,0 +1,222 @@
+//! Store backend family benchmark: crash drills under injected faults.
+//!
+//! Drives the shared `keebo::drill` harness across the whole store family —
+//! [`keebo::MemStore`], [`keebo::FileStore`], [`keebo::RemoteKvStore`] under
+//! seeded fault plans — cycling backends, scenarios, and compaction
+//! policies cell by cell. Every cell kills the control plane at a seeded
+//! tick, restores from the surviving store, and compares the finished run
+//! bit-for-bit against an uninterrupted baseline. Any divergence exits
+//! non-zero; a diverging file-backed cell keeps its WAL directory on disk
+//! (`STORE_wal/cell<N>/`) for CI artifact upload.
+//!
+//! Writes `BENCH_store.json` with recovery-latency and replay-length
+//! statistics per backend.
+//!
+//! Usage: `store_faults [--smoke] [--seed N] [--cells N]` — `--smoke` is
+//! the bounded CI configuration (9 cells); the default campaign is 30.
+
+use bench::report::{header, write_json};
+use keebo::drill::{run_cell, run_uninterrupted, DrillBackend, DrillCell, SCENARIOS};
+use keebo::{SnapshotPolicy, StoreFaultPlan};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct StoreFaultsOutput {
+    smoke: bool,
+    start_seed: u64,
+    cells: usize,
+    mem_cells: usize,
+    file_cells: usize,
+    remote_cells: usize,
+    digest_matches: usize,
+    wall_secs: f64,
+    recovery_ms_mean: f64,
+    recovery_ms_max: f64,
+    replayed_records_mean: f64,
+    replayed_records_max: u64,
+    snapshot_bytes_mean: f64,
+    snapshot_bytes_max: u64,
+    remote_recovery_ms_mean: f64,
+}
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Mild fault plans for the remote cells: rates stay far inside the
+/// orchestrator's retry budgets so a drilled store never detaches (a detach
+/// would legitimately break bit-identity).
+fn remote_plan(k: u64) -> StoreFaultPlan {
+    match k % 3 {
+        0 => StoreFaultPlan {
+            seed: 0xBEEF ^ k,
+            latency_us: 400,
+            ..StoreFaultPlan::none()
+        },
+        1 => StoreFaultPlan {
+            seed: 0xBEEF ^ k,
+            append_error_ppm: 30_000,
+            latency_us: 900,
+            ..StoreFaultPlan::none()
+        },
+        _ => StoreFaultPlan {
+            seed: 0xBEEF ^ k,
+            append_error_ppm: 20_000,
+            snapshot_error_ppm: 200_000,
+            read_timeout_ppm: 60_000,
+            latency_us: 1500,
+        },
+    }
+}
+
+/// The tight compaction policy half the cells run (odd indices); even
+/// cells run the default 48-tick cadence.
+fn tight_policy() -> SnapshotPolicy {
+    SnapshotPolicy {
+        interval_ticks: 7,
+        max_wal_bytes: 0,
+        max_wal_records: 12,
+        retain_snapshots: 2,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let start_seed = arg_value("--seed").unwrap_or(0);
+    let cells = arg_value("--cells").unwrap_or(if smoke { 9 } else { 30 }) as usize;
+    header(&format!(
+        "store-faults campaign: {cells} crash-drill cells from seed {start_seed}{}",
+        if smoke { " [smoke]" } else { "" }
+    ));
+
+    let wal_root = PathBuf::from("STORE_wal");
+    let start = Instant::now();
+
+    let mut digest_matches = 0usize;
+    let mut backend_counts = [0usize; 3];
+    let mut recovery_ms = Vec::with_capacity(cells);
+    let mut remote_recovery_ms = Vec::new();
+    let mut replayed = Vec::with_capacity(cells);
+    let mut snapshot_bytes = Vec::with_capacity(cells);
+    let mut failed = false;
+
+    for i in 0..cells {
+        let seed = start_seed + i as u64 * 7 + 11;
+        let scenario = i % SCENARIOS;
+        let dir = wal_root.join(format!("cell{i}"));
+        let backend = match i % 3 {
+            0 => DrillBackend::Mem,
+            1 => {
+                std::fs::remove_dir_all(&dir).ok();
+                DrillBackend::File(dir.clone())
+            }
+            _ => DrillBackend::Remote(remote_plan(seed)),
+        };
+        backend_counts[i % 3] += 1;
+        let cell = DrillCell {
+            scenario,
+            seed,
+            crash_seed: seed.wrapping_mul(1_000) + i as u64,
+            backend,
+            policy: (i % 2 == 1).then(tight_policy),
+            torn: false,
+        };
+
+        let baseline = run_uninterrupted(scenario, seed);
+        let out = match run_cell(&cell) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("cell {i} (seed {seed}): drill failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        recovery_ms.push(out.stats.recovery_wall_ms);
+        if matches!(cell.backend, DrillBackend::Remote(_)) {
+            remote_recovery_ms.push(out.stats.recovery_wall_ms);
+        }
+        replayed.push(out.stats.replayed_records);
+        snapshot_bytes.push(out.stats.snapshot_bytes);
+
+        if out.fingerprint == baseline {
+            digest_matches += 1;
+            if matches!(cell.backend, DrillBackend::File(_)) {
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        } else {
+            eprintln!(
+                "cell {i} (seed {seed}, scenario {scenario}, crash tick {}): digest mismatch \
+                 (baseline log {} / credits {:#x}, recovered log {} / credits {:#x}){}",
+                out.crash_tick,
+                baseline.0.len(),
+                baseline.1,
+                out.fingerprint.0.len(),
+                out.fingerprint.1,
+                if matches!(cell.backend, DrillBackend::File(_)) {
+                    format!("; WAL kept at {}", dir.display())
+                } else {
+                    String::new()
+                }
+            );
+            failed = true;
+        }
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let out = StoreFaultsOutput {
+        smoke,
+        start_seed,
+        cells,
+        mem_cells: backend_counts[0],
+        file_cells: backend_counts[1],
+        remote_cells: backend_counts[2],
+        digest_matches,
+        wall_secs: wall,
+        recovery_ms_mean: mean(&recovery_ms),
+        recovery_ms_max: recovery_ms.iter().copied().fold(0.0, f64::max),
+        replayed_records_mean: mean(&replayed.iter().map(|&r| r as f64).collect::<Vec<_>>()),
+        replayed_records_max: replayed.iter().copied().max().unwrap_or(0),
+        snapshot_bytes_mean: mean(&snapshot_bytes.iter().map(|&b| b as f64).collect::<Vec<_>>()),
+        snapshot_bytes_max: snapshot_bytes.iter().copied().max().unwrap_or(0),
+        remote_recovery_ms_mean: mean(&remote_recovery_ms),
+    };
+    println!(
+        "{}/{} digests matched ({} mem / {} file / {} remote) in {:.2}s; \
+         recovery mean {:.2}ms max {:.2}ms (remote mean {:.2}ms); \
+         replayed mean {:.1} max {}; snapshot mean {:.0}B max {}B",
+        out.digest_matches,
+        out.cells,
+        out.mem_cells,
+        out.file_cells,
+        out.remote_cells,
+        wall,
+        out.recovery_ms_mean,
+        out.recovery_ms_max,
+        out.remote_recovery_ms_mean,
+        out.replayed_records_mean,
+        out.replayed_records_max,
+        out.snapshot_bytes_mean,
+        out.snapshot_bytes_max,
+    );
+    write_json("BENCH_store.json", &out);
+
+    if failed {
+        eprintln!("store-faults campaign FAILED; any offending WAL dirs kept under STORE_wal/");
+        std::process::exit(1);
+    }
+    std::fs::remove_dir_all(&wal_root).ok();
+    println!("all drills bit-identical across the backend family");
+}

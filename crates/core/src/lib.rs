@@ -61,6 +61,7 @@
 pub mod actuator;
 pub mod consolidation;
 pub mod dashboard;
+pub mod drill;
 pub mod drng;
 pub mod fleet;
 pub mod gateway;
@@ -78,6 +79,7 @@ pub use actuator::{
 };
 pub use consolidation::{evaluate_consolidation, ConsolidationInput, ConsolidationReport};
 pub use dashboard::{DailyKpis, Dashboard, OpsKpis};
+pub use drill::{DrillBackend, DrillCell, DrillOutcome, Fingerprint};
 pub use drng::DetRng;
 pub use fleet::{
     FleetController, FleetReport, FleetRunStats, TenantReport, TenantSpec, WarehouseSpec,
@@ -91,7 +93,7 @@ pub use health::{
 };
 pub use monitoring::{is_external_config_change, Monitor, RealTimeState};
 pub use orchestrator::{
-    derive_stream_seed, KwoSetup, ManageError, Orchestrator, WarehouseOptimizer,
+    derive_stream_seed, KwoSetup, ManageError, Orchestrator, SnapshotPolicy, WarehouseOptimizer,
 };
 pub use persist::{
     CtlState, OptimizerSnapshot, PersistError, PersistRecord, RecoveryStats, RetrainRecord,
@@ -101,7 +103,8 @@ pub use pool::WorkerPool;
 pub use pricing::{Invoice, ValueBasedPricing};
 pub use reconciler::{ReconcileOutcome, Reconciler, ReconcilerSettings};
 pub use store::{
-    scan_frames, CrashPlan, FileStore, FrameScan, MemStore, StateStore, StoreContents,
+    scan_frames, CrashPlan, FileStore, FrameScan, MemStore, RemoteKvStore, StateStore,
+    StoreContents, StoreFaultPlan,
 };
 
 // Re-export the user-facing configuration surface so downstream users need

@@ -94,6 +94,12 @@ pub struct KwoSetup {
     /// 0 disables tracing. Tracing is read-only bookkeeping and never
     /// perturbs decisions.
     pub trace_capacity: usize,
+    /// WAL/snapshot compaction policy when a durable store is attached.
+    /// `#[serde(default)]` keeps pre-policy persisted setups decodable — a
+    /// v1 reader restoring a v0 snapshot fills in the historical default
+    /// (48-tick cadence), which is exactly what the v0 writer ran.
+    #[serde(default)]
+    pub snapshot_policy: SnapshotPolicy,
 }
 
 impl Default for KwoSetup {
@@ -110,6 +116,61 @@ impl Default for KwoSetup {
             health: HealthSettings::default(),
             reconciler: ReconcilerSettings::default(),
             trace_capacity: 2048,
+            snapshot_policy: SnapshotPolicy::default(),
+        }
+    }
+}
+
+/// When to compact the WAL into a snapshot, and how many superseded
+/// snapshots to keep. Age- and size-based triggers compose: the first one
+/// to fire wins. A `0` disables that trigger; all triggers disabled means
+/// the WAL grows until [`Orchestrator::restore`] compacts it.
+///
+/// Compaction timing never feeds back into decisions, so any policy leaves
+/// the optimization trajectory bit-identical — the crash-drill matrix pins
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotPolicy {
+    /// Age trigger: snapshot after this many control ticks.
+    pub interval_ticks: u64,
+    /// Size trigger: snapshot once the WAL reaches this many bytes.
+    pub max_wal_bytes: u64,
+    /// Size trigger: snapshot once the WAL holds this many records.
+    pub max_wal_records: u64,
+    /// Superseded snapshot generations to retain after each compaction
+    /// (0 = current snapshot only).
+    pub retain_snapshots: u32,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        Self {
+            interval_ticks: DEFAULT_SNAPSHOT_INTERVAL_TICKS,
+            max_wal_bytes: 0,
+            max_wal_records: 0,
+            retain_snapshots: 0,
+        }
+    }
+}
+
+impl SnapshotPolicy {
+    /// Tighter of two trigger thresholds, treating 0 as "disabled".
+    fn tight(a: u64, b: u64) -> u64 {
+        match (a, b) {
+            (0, x) | (x, 0) => x,
+            (a, b) => a.min(b),
+        }
+    }
+
+    /// Combines two policies conservatively: the tighter trigger wins on
+    /// every axis, and retention keeps the larger request. Used to fold
+    /// per-warehouse setups into one store-level policy.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            interval_ticks: Self::tight(self.interval_ticks, other.interval_ticks),
+            max_wal_bytes: Self::tight(self.max_wal_bytes, other.max_wal_bytes),
+            max_wal_records: Self::tight(self.max_wal_records, other.max_wal_records),
+            retain_snapshots: self.retain_snapshots.max(other.retain_snapshots),
         }
     }
 }
@@ -1287,14 +1348,27 @@ fn is_capacity_increasing(a: AgentAction) -> bool {
 /// (a day at the 30-minute cadence) compacts the WAL and bounds replay.
 pub const DEFAULT_SNAPSHOT_INTERVAL_TICKS: u64 = 48;
 
+/// Extra in-line attempts before giving up on a store operation. Transient
+/// remote faults (the injected kind and the real kind) usually clear on the
+/// next request; a handful of retries keeps the store attached through them.
+const STORE_APPEND_ATTEMPTS: u32 = 4;
+const STORE_SNAPSHOT_ATTEMPTS: u32 = 3;
+const STORE_LOAD_ATTEMPTS: u32 = 6;
+
 /// Coordinates one optimizer per managed warehouse.
 pub struct Orchestrator {
     optimizers: Vec<WarehouseOptimizer>,
     seed: u64,
     /// Durable state store; `None` runs in-memory only (the default).
     store: Option<Box<dyn StateStore>>,
-    snapshot_interval_ticks: u64,
+    /// Explicit compaction policy; `None` folds the managed setups'
+    /// per-warehouse policies (tightest trigger wins).
+    policy_override: Option<SnapshotPolicy>,
+    /// Trigger clock: ticks since the last snapshot *attempt window* was
+    /// satisfied. Not reset by failed writes, so the next tick re-triggers.
     ticks_since_snapshot: u64,
+    /// Age gauge clock: ticks since a snapshot actually landed.
+    ticks_since_good_snapshot: u64,
 }
 
 impl Orchestrator {
@@ -1304,24 +1378,37 @@ impl Orchestrator {
             optimizers: Vec::new(),
             seed,
             store: None,
-            snapshot_interval_ticks: DEFAULT_SNAPSHOT_INTERVAL_TICKS,
+            policy_override: None,
             ticks_since_snapshot: 0,
+            ticks_since_good_snapshot: 0,
         }
     }
 
-    /// Attaches a durable state store and immediately writes a full
-    /// snapshot, so attaching mid-run is safe: recovery never needs records
-    /// from before the store existed. From here on every control event is
-    /// appended to the WAL and a snapshot is written every
-    /// [`Self::set_snapshot_interval_ticks`] ticks.
+    /// Attaches a durable state store, journals a genesis record, and
+    /// immediately writes a full snapshot, so attaching mid-run is safe:
+    /// recovery never needs records from before the store existed. The
+    /// genesis record makes the store recoverable even if every snapshot
+    /// write fails (injected or real): [`Self::restore`] can rebuild from
+    /// `Orchestrator::new(seed)` plus the full WAL. From here on every
+    /// control event is appended to the WAL and compaction follows the
+    /// effective [`SnapshotPolicy`].
     ///
-    /// Persistence is fail-open: if the store ever errors, it is detached
-    /// (optimization continues undurably) and
-    /// `keebo.store.append_errors` / `keebo.store.snapshot_errors` count
-    /// the loss.
+    /// Persistence is fail-open and failures are graded by what they cost:
+    /// transient append/snapshot errors are retried in line and counted
+    /// (`keebo.store.append_errors` / `keebo.store.snapshot_errors`); a
+    /// snapshot that keeps failing leaves the store attached (the WAL still
+    /// holds every record, so nothing is lost — compaction retries at the
+    /// next trigger); an append that exhausts its retries detaches the
+    /// store (`keebo.store.detached`) because a hole in the WAL would
+    /// poison replay.
     pub fn attach_store(&mut self, store: Box<dyn StateStore>, at: SimTime) {
         self.store = Some(store);
         self.ticks_since_snapshot = 0;
+        self.ticks_since_good_snapshot = 0;
+        self.persist_append(&PersistRecord::Genesis {
+            seed: self.seed,
+            at,
+        });
         self.snapshot_now(at);
     }
 
@@ -1332,33 +1419,71 @@ impl Orchestrator {
     }
 
     /// Snapshot cadence in control ticks; 0 disables periodic snapshots
-    /// (the WAL then grows until [`Self::restore`] compacts it).
+    /// (the WAL then grows until [`Self::restore`] compacts it). Shorthand
+    /// for a [`Self::set_snapshot_policy`] override with only the age
+    /// trigger set.
     pub fn set_snapshot_interval_ticks(&mut self, ticks: u64) {
-        self.snapshot_interval_ticks = ticks;
+        self.set_snapshot_policy(SnapshotPolicy {
+            interval_ticks: ticks,
+            ..SnapshotPolicy::default()
+        });
     }
 
-    /// Appends one record to the WAL, fail-open.
+    /// Overrides the store-level compaction policy. Without an override the
+    /// policy folds every managed setup's `snapshot_policy` (tightest
+    /// trigger wins, largest retention wins).
+    pub fn set_snapshot_policy(&mut self, policy: SnapshotPolicy) {
+        self.policy_override = Some(policy);
+    }
+
+    /// The compaction policy currently in force.
+    pub fn effective_policy(&self) -> SnapshotPolicy {
+        if let Some(p) = self.policy_override {
+            return p;
+        }
+        let mut iter = self.optimizers.iter().map(|o| o.setup.snapshot_policy);
+        let Some(first) = iter.next() else {
+            return SnapshotPolicy::default();
+        };
+        iter.fold(first, SnapshotPolicy::merge)
+    }
+
+    /// Appends one record to the WAL, fail-open. Transient store errors are
+    /// retried in line; exhausting the retries detaches the store, because
+    /// a WAL missing one record can never replay correctly.
     fn persist_append(&mut self, record: &PersistRecord) {
         let Some(store) = self.store.as_mut() else {
             return;
         };
-        let ok = match persist::encode_record(record) {
-            Ok(bytes) => store.append(&bytes).is_ok(),
-            Err(_) => false,
+        let obs = keebo_obs::global();
+        let bytes = match persist::encode_record(record) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                obs.counter("keebo.store.append_errors").inc();
+                obs.counter("keebo.store.detached").inc();
+                self.store = None;
+                return;
+            }
         };
-        if !ok {
-            keebo_obs::global()
-                .counter("keebo.store.append_errors")
-                .inc();
-            self.store = None;
+        for _ in 0..STORE_APPEND_ATTEMPTS {
+            if store.append(&bytes).is_ok() {
+                return;
+            }
+            obs.counter("keebo.store.append_errors").inc();
         }
+        obs.counter("keebo.store.detached").inc();
+        self.store = None;
     }
 
-    /// Writes a full snapshot and truncates the WAL, fail-open.
-    fn snapshot_now(&mut self, at: SimTime) {
+    /// Writes a full snapshot and truncates the WAL, fail-open. A snapshot
+    /// write that keeps failing is *not* fatal: the WAL already holds every
+    /// record, so the store stays attached and compaction retries at the
+    /// next trigger. Returns whether a snapshot landed.
+    fn snapshot_now(&mut self, at: SimTime) -> bool {
         if self.store.is_none() {
-            return;
+            return false;
         }
+        let retain = self.effective_policy().retain_snapshots;
         let snap = SnapshotState {
             version: persist::FORMAT_VERSION,
             seed: self.seed,
@@ -1369,38 +1494,52 @@ impl Orchestrator {
                 .map(|o| o.export_snapshot())
                 .collect(),
         };
-        let ok = match persist::encode_snapshot(&snap) {
-            Ok(bytes) => self
-                .store
-                .as_mut()
-                .is_some_and(|s| s.write_snapshot(&bytes).is_ok()),
-            Err(_) => false,
+        let obs = keebo_obs::global();
+        let bytes = match persist::encode_snapshot(&snap) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // An unencodable snapshot is a code bug, not a transient
+                // store fault: no retry can help, so detach.
+                obs.counter("keebo.store.snapshot_errors").inc();
+                obs.counter("keebo.store.detached").inc();
+                self.store = None;
+                return false;
+            }
         };
-        if ok {
-            self.ticks_since_snapshot = 0;
-            keebo_obs::global()
-                .gauge("keebo.store.snapshot_age_ticks")
-                .set(0.0);
-        } else {
-            keebo_obs::global()
-                .counter("keebo.store.snapshot_errors")
-                .inc();
-            self.store = None;
+        let Some(store) = self.store.as_mut() else {
+            return false;
+        };
+        store.set_snapshot_retention(retain);
+        for _ in 0..STORE_SNAPSHOT_ATTEMPTS {
+            if store.write_snapshot(&bytes).is_ok() {
+                self.ticks_since_snapshot = 0;
+                self.ticks_since_good_snapshot = 0;
+                obs.gauge("keebo.store.snapshot_age_ticks").set(0.0);
+                return true;
+            }
+            obs.counter("keebo.store.snapshot_errors").inc();
         }
+        false
     }
 
-    /// Per-global-tick snapshot bookkeeping.
+    /// Per-global-tick snapshot bookkeeping: advances the age clocks and
+    /// fires compaction when any [`SnapshotPolicy`] trigger is met.
     fn note_persisted_tick(&mut self, at: SimTime) {
-        if self.store.is_none() {
+        let Some(store) = self.store.as_ref() else {
             return;
-        }
+        };
         self.ticks_since_snapshot += 1;
+        self.ticks_since_good_snapshot += 1;
         keebo_obs::global()
             .gauge("keebo.store.snapshot_age_ticks")
-            .set(self.ticks_since_snapshot as f64);
-        if self.snapshot_interval_ticks > 0
-            && self.ticks_since_snapshot >= self.snapshot_interval_ticks
-        {
+            .set(self.ticks_since_good_snapshot as f64);
+        let policy = self.effective_policy();
+        let age_due =
+            policy.interval_ticks > 0 && self.ticks_since_snapshot >= policy.interval_ticks;
+        let bytes_due = policy.max_wal_bytes > 0 && store.wal_bytes() >= policy.max_wal_bytes;
+        let records_due =
+            policy.max_wal_records > 0 && store.wal_records() >= policy.max_wal_records;
+        if age_due || bytes_due || records_due {
             self.snapshot_now(at);
         }
     }
@@ -1622,22 +1761,61 @@ impl Orchestrator {
     ) -> Result<(Self, RecoveryStats), PersistError> {
         // lint: allow(D1) — recovery wall time is reported, never decided on
         let t0 = Instant::now();
-        let contents = store.load()?;
-        let Some(snapshot_bytes) = contents.snapshot else {
-            return Err(PersistError::Corrupt(
-                "state store has no snapshot (attach_store writes one immediately; \
-                 nothing to restore)"
-                    .to_string(),
-            ));
+        let obs = keebo_obs::global();
+        // A remote store can time out transiently; retry the load a bounded
+        // number of times (counted) before giving up.
+        let contents = {
+            let mut attempt = 0;
+            loop {
+                match store.load() {
+                    Ok(c) => break c,
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                        obs.counter("keebo.store.read_timeouts").inc();
+                        attempt += 1;
+                        if attempt >= STORE_LOAD_ATTEMPTS {
+                            return Err(e.into());
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         };
-        let snap = persist::decode_snapshot(&snapshot_bytes)?;
-        let mut orch = Orchestrator::new(snap.seed);
-        for osnap in snap.optimizers {
-            let o = WarehouseOptimizer::from_snapshot(osnap, sim)?;
-            orch.optimizers.push(o);
-        }
-        let mut replayed_records = 0u64;
-        for bytes in &contents.records {
+        let snapshot_len = contents.snapshot.as_ref().map_or(0, |s| s.len() as u64);
+        let (mut orch, replay_from) = match &contents.snapshot {
+            Some(snapshot_bytes) => {
+                let snap = persist::decode_snapshot(snapshot_bytes)?;
+                let mut orch = Orchestrator::new(snap.seed);
+                for osnap in snap.optimizers {
+                    let o = WarehouseOptimizer::from_snapshot(osnap, sim)?;
+                    orch.optimizers.push(o);
+                }
+                (orch, 0)
+            }
+            None => {
+                // No snapshot ever landed (every write failed, fail-open).
+                // The WAL must then start at a genesis record, which is the
+                // empty-orchestrator starting point replay needs.
+                let first = contents.records.first().ok_or_else(|| {
+                    PersistError::Corrupt(
+                        "state store is empty (attach_store journals a genesis record; \
+                         nothing to restore)"
+                            .to_string(),
+                    )
+                })?;
+                match persist::decode_record(first)? {
+                    PersistRecord::Genesis { seed, .. } => (Orchestrator::new(seed), 1),
+                    _ => {
+                        return Err(PersistError::Corrupt(
+                            "state store has no snapshot and its WAL does not start with a \
+                             genesis record"
+                                .to_string(),
+                        ))
+                    }
+                }
+            }
+        };
+        let mut replayed_records = replay_from as u64;
+        for bytes in &contents.records[replay_from..] {
             let record = persist::decode_record(bytes)?;
             orch.apply_record(record, sim)?;
             replayed_records += 1;
@@ -1646,14 +1824,13 @@ impl Orchestrator {
         // Compact: recovered state becomes the new snapshot baseline, so a
         // second crash never replays this WAL again.
         orch.snapshot_now(sim.now());
-        let obs = keebo_obs::global();
         obs.counter("keebo.store.recoveries_total").inc();
         obs.counter("keebo.store.wal_truncated_bytes")
             .add(contents.truncated_bytes);
         let stats = RecoveryStats {
             replayed_records,
             wal_truncated_bytes: contents.truncated_bytes,
-            snapshot_bytes: snapshot_bytes.len() as u64,
+            snapshot_bytes: snapshot_len,
             recovery_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         };
         Ok((orch, stats))
@@ -1662,6 +1839,16 @@ impl Orchestrator {
     /// Applies one replayed WAL record.
     fn apply_record(&mut self, record: PersistRecord, sim: &Simulator) -> Result<(), PersistError> {
         match record {
+            PersistRecord::Genesis { .. } => {
+                // Genesis is only valid as the very first record of a
+                // snapshot-less store, and restore() consumes it before the
+                // replay loop — reaching here means the WAL is malformed.
+                return Err(PersistError::Corrupt(
+                    "genesis record mid-stream (only valid as the first record of a \
+                     snapshot-less store)"
+                        .to_string(),
+                ));
+            }
             PersistRecord::Manage {
                 warehouse,
                 original_config,

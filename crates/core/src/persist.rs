@@ -37,6 +37,22 @@ use crate::actuator::ActionLogEntry;
 /// Bumped on any incompatible change to the persisted schema.
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Magic prefix of a versioned snapshot envelope. A snapshot that does not
+/// start with it is a legacy v0 snapshot (bare JSON, PR 6 format) and is
+/// decoded through the legacy path — a v1 reader restores a v0 snapshot
+/// bit-identically, which is what makes rolling upgrades safe.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"KWSN";
+
+/// Version of the envelope *framing* (magic + header field encoding), bumped
+/// only if the header layout itself changes incompatibly. Orthogonal to
+/// [`FORMAT_VERSION`], which versions the body payload.
+pub const SNAPSHOT_ENVELOPE_VERSION: u16 = 1;
+
+/// Header field: body format version (u32 LE), mirrors `SnapshotState::version`.
+const TAG_BODY_VERSION: u16 = 1;
+/// Header field: simulator time at snapshot (u64 LE), mirrors `SnapshotState::at`.
+const TAG_AT: u16 = 2;
+
 /// Why persisted state could not be decoded or applied.
 #[derive(Debug)]
 pub enum PersistError {
@@ -114,6 +130,12 @@ pub struct RetrainRecord {
 // be encoded (or decoded and applied), never accumulate in memory.
 #[allow(clippy::large_enum_variant)]
 pub enum PersistRecord {
+    /// First record of a fresh store: written once at attach time, before
+    /// any snapshot exists, so a crash in the window between attach and the
+    /// first successful snapshot is still recoverable — replay starts from
+    /// `Orchestrator::new(seed)` instead of a snapshot. Compacted away by
+    /// the first snapshot; a mid-stream `Genesis` is corruption.
+    Genesis { seed: u64, at: SimTime },
     /// A warehouse came under management (its learning seed re-derives from
     /// the orchestrator seed and the name; the original config is recorded
     /// because the live config may have changed since).
@@ -190,14 +212,112 @@ pub fn decode_record(bytes: &[u8]) -> Result<PersistRecord, PersistError> {
     serde_json::from_slice(bytes).map_err(|e| PersistError::Codec(e.to_string()))
 }
 
+/// Encodes a snapshot in the current (v1, enveloped) format: `KWSN` magic,
+/// envelope version, a tag-length-value header, then the JSON body. The
+/// header exists for readers *newer* than this writer: every field is
+/// self-delimiting, so a future writer can add fields and this decoder
+/// skips the ones it does not know.
 pub fn encode_snapshot(snapshot: &SnapshotState) -> Result<Vec<u8>, PersistError> {
+    encode_snapshot_with_extra_fields(snapshot, &[])
+}
+
+/// As [`encode_snapshot`], with extra header fields appended — simulates a
+/// future writer for the forward-compatibility tests. Extra tags must not
+/// collide with the known tags (1, 2).
+pub fn encode_snapshot_with_extra_fields(
+    snapshot: &SnapshotState,
+    extra: &[(u16, Vec<u8>)],
+) -> Result<Vec<u8>, PersistError> {
+    let body = serde_json::to_vec(snapshot).map_err(|e| PersistError::Codec(e.to_string()))?;
+    let fields: Vec<(u16, Vec<u8>)> = [
+        (TAG_BODY_VERSION, snapshot.version.to_le_bytes().to_vec()),
+        (TAG_AT, snapshot.at.to_le_bytes().to_vec()),
+    ]
+    .into_iter()
+    .chain(extra.iter().cloned())
+    .collect();
+    let field_count = u16::try_from(fields.len())
+        .map_err(|_| PersistError::Codec("too many envelope header fields".into()))?;
+    let mut out = Vec::with_capacity(body.len() + 64);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_ENVELOPE_VERSION.to_le_bytes());
+    out.extend_from_slice(&field_count.to_le_bytes());
+    for (tag, value) in &fields {
+        let len = u32::try_from(value.len())
+            .map_err(|_| PersistError::Codec(format!("envelope field {tag} too large")))?;
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(value);
+    }
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Encodes a snapshot in the legacy v0 (bare JSON, pre-envelope) format —
+/// kept so the upgrade tests can produce exactly what a PR 6 writer wrote.
+pub fn encode_snapshot_v0(snapshot: &SnapshotState) -> Result<Vec<u8>, PersistError> {
     serde_json::to_vec(snapshot).map_err(|e| PersistError::Codec(e.to_string()))
 }
 
+/// Parses the envelope header, returning the body slice and the body-version
+/// header field (if present). Total: truncated or malformed headers yield
+/// `Err`, never a panic.
+fn decode_envelope(bytes: &[u8]) -> Result<(&[u8], Option<u32>), PersistError> {
+    let truncated = || PersistError::Codec("truncated snapshot envelope header".into());
+    let rest = bytes.get(SNAPSHOT_MAGIC.len()..).ok_or_else(truncated)?;
+    let version = u16::from_le_bytes([
+        *rest.first().ok_or_else(truncated)?,
+        *rest.get(1).ok_or_else(truncated)?,
+    ]);
+    if version > SNAPSHOT_ENVELOPE_VERSION {
+        // Unlike unknown *fields*, an unknown envelope version may change
+        // the framing itself — refuse rather than misread.
+        return Err(PersistError::Codec(format!(
+            "snapshot envelope v{version} (this build reads up to v{SNAPSHOT_ENVELOPE_VERSION})"
+        )));
+    }
+    let field_count = u16::from_le_bytes([
+        *rest.get(2).ok_or_else(truncated)?,
+        *rest.get(3).ok_or_else(truncated)?,
+    ]);
+    let mut pos = 4usize;
+    let mut body_version = None;
+    for _ in 0..field_count {
+        let header = rest.get(pos..pos + 6).ok_or_else(truncated)?;
+        let tag = u16::from_le_bytes([header[0], header[1]]);
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        let value = rest
+            .get(pos + 6..(pos + 6).checked_add(len).ok_or_else(truncated)?)
+            .ok_or_else(truncated)?;
+        if tag == TAG_BODY_VERSION && value.len() == 4 {
+            body_version = Some(u32::from_le_bytes([value[0], value[1], value[2], value[3]]));
+        }
+        // Every other tag (including TAG_AT and anything a future writer
+        // adds) is advisory: self-delimiting, safe to skip.
+        pos += 6 + len;
+    }
+    Ok((&rest[pos..], body_version))
+}
+
 /// Total decoder: arbitrary bytes yield `Err`, never a panic (fuzzed).
+/// Reads both the current enveloped format (sniffed by magic) and legacy
+/// v0 bare-JSON snapshots.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, PersistError> {
+    let body = if bytes.starts_with(&SNAPSHOT_MAGIC) {
+        let (body, header_version) = decode_envelope(bytes)?;
+        if let Some(hv) = header_version {
+            if hv != FORMAT_VERSION {
+                return Err(PersistError::Corrupt(format!(
+                    "snapshot body format v{hv} (this build reads v{FORMAT_VERSION})"
+                )));
+            }
+        }
+        body
+    } else {
+        bytes
+    };
     let snap: SnapshotState =
-        serde_json::from_slice(bytes).map_err(|e| PersistError::Codec(e.to_string()))?;
+        serde_json::from_slice(body).map_err(|e| PersistError::Codec(e.to_string()))?;
     if snap.version != FORMAT_VERSION {
         return Err(PersistError::Corrupt(format!(
             "snapshot format v{} (this build reads v{FORMAT_VERSION})",
@@ -205,6 +325,90 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, PersistError> {
         )));
     }
     Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_snapshot() -> SnapshotState {
+        SnapshotState {
+            version: FORMAT_VERSION,
+            seed: 0xD1CE,
+            at: 86_400_000,
+            optimizers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn enveloped_snapshot_round_trips() {
+        let snap = empty_snapshot();
+        let bytes = encode_snapshot(&snap).unwrap();
+        assert!(bytes.starts_with(&SNAPSHOT_MAGIC));
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.at, snap.at);
+        // Re-encoding is byte-identical: the header derives purely from the
+        // body, so digest pins survive a decode/encode cycle.
+        assert_eq!(encode_snapshot(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn v1_reader_decodes_legacy_v0_snapshot() {
+        let snap = empty_snapshot();
+        let v0 = encode_snapshot_v0(&snap).unwrap();
+        assert!(!v0.starts_with(&SNAPSHOT_MAGIC));
+        let back = decode_snapshot(&v0).unwrap();
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.at, snap.at);
+    }
+
+    #[test]
+    fn unknown_header_fields_are_skipped() {
+        let snap = empty_snapshot();
+        // A "future writer" adding fields this build has never heard of.
+        let bytes = encode_snapshot_with_extra_fields(
+            &snap,
+            &[(0x7777, b"from the future".to_vec()), (0x7778, Vec::new())],
+        )
+        .unwrap();
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.seed, snap.seed);
+    }
+
+    #[test]
+    fn truncated_envelope_is_rejected_at_every_length() {
+        let bytes = encode_snapshot(&empty_snapshot()).unwrap();
+        // Any cut inside the header or body must error, never panic. (Body
+        // cuts fail JSON parsing; header cuts fail envelope parsing.)
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn future_envelope_version_is_refused() {
+        let mut bytes = encode_snapshot(&empty_snapshot()).unwrap();
+        bytes[4..6].copy_from_slice(&(SNAPSHOT_ENVELOPE_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(PersistError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_body_version_header_is_corrupt() {
+        let mut snap = empty_snapshot();
+        snap.version = FORMAT_VERSION + 1;
+        let bytes = encode_snapshot(&snap).unwrap();
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
 }
 
 /// What recovery did, for operators and the `recovery` bench.

@@ -1,0 +1,157 @@
+//! In-memory store backend — the test and fleet default.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use super::{StateStore, StoreContents, FRAME_HEADER_BYTES};
+
+#[derive(Debug, Default)]
+struct MemInner {
+    snapshot: Option<Vec<u8>>,
+    records: Vec<Vec<u8>>,
+    old_snapshots: VecDeque<Vec<u8>>,
+    retention: u32,
+}
+
+/// In-memory [`StateStore`]. `Clone` shares the backing storage: the test
+/// harness clones a handle, hands one copy to the orchestrator, drops the
+/// orchestrator to simulate a crash, and restores from the survivor.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drops the most recent WAL record, returning its size — simulates a
+    /// torn write for stores that have no file to truncate.
+    pub fn drop_last_record(&self) -> u64 {
+        let mut inner = self.lock();
+        inner
+            .records
+            .pop()
+            .map_or(0, |r| r.len() as u64 + FRAME_HEADER_BYTES as u64)
+    }
+}
+
+impl StateStore for MemStore {
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.lock().records.push(payload.to_vec());
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        let mut inner = self.lock();
+        let retention = inner.retention as usize;
+        if let Some(old) = inner.snapshot.take() {
+            if retention > 0 {
+                inner.old_snapshots.push_back(old);
+                while inner.old_snapshots.len() > retention {
+                    inner.old_snapshots.pop_front();
+                }
+            }
+        }
+        inner.snapshot = Some(snapshot.to_vec());
+        inner.records.clear();
+        Ok(())
+    }
+
+    fn load(&mut self) -> io::Result<StoreContents> {
+        let inner = self.lock();
+        Ok(StoreContents {
+            snapshot: inner.snapshot.clone(),
+            records: inner.records.clone(),
+            truncated_bytes: 0,
+        })
+    }
+
+    fn wal_records(&self) -> u64 {
+        self.lock().records.len() as u64
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.lock()
+            .records
+            .iter()
+            .map(|r| r.len() as u64 + FRAME_HEADER_BYTES as u64)
+            .sum()
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        self.lock().snapshot.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    fn set_snapshot_retention(&mut self, generations: u32) {
+        let mut inner = self.lock();
+        inner.retention = generations;
+        while inner.old_snapshots.len() > generations as usize {
+            inner.old_snapshots.pop_front();
+        }
+    }
+
+    fn snapshot_generations(&self) -> u64 {
+        let inner = self.lock();
+        inner.old_snapshots.len() as u64 + u64::from(inner.snapshot.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_round_trips_and_compacts() {
+        let mut s = MemStore::new();
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        assert_eq!(s.wal_records(), 2);
+        let c = s.load().unwrap();
+        assert_eq!(c.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(c.snapshot.is_none());
+
+        s.write_snapshot(b"snap").unwrap();
+        s.append(b"three").unwrap();
+        let c = s.load().unwrap();
+        assert_eq!(c.snapshot.as_deref(), Some(&b"snap"[..]));
+        assert_eq!(c.records, vec![b"three".to_vec()]);
+        assert_eq!(c.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn mem_store_clone_shares_backing() {
+        let mut a = MemStore::new();
+        let mut b = a.clone();
+        a.append(b"x").unwrap();
+        assert_eq!(b.load().unwrap().records, vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn mem_store_retains_last_n_snapshot_generations() {
+        let mut s = MemStore::new();
+        assert_eq!(s.snapshot_generations(), 0);
+        s.write_snapshot(b"g0").unwrap();
+        // Retention off: each write replaces the only generation.
+        s.write_snapshot(b"g1").unwrap();
+        assert_eq!(s.snapshot_generations(), 1);
+
+        s.set_snapshot_retention(2);
+        s.write_snapshot(b"g2").unwrap();
+        s.write_snapshot(b"g3").unwrap();
+        s.write_snapshot(b"g4").unwrap();
+        // Current (g4) plus the retained g3 and g2; g1 aged out.
+        assert_eq!(s.snapshot_generations(), 3);
+        assert_eq!(s.load().unwrap().snapshot.as_deref(), Some(&b"g4"[..]));
+
+        // Tightening retention prunes immediately.
+        s.set_snapshot_retention(1);
+        assert_eq!(s.snapshot_generations(), 2);
+    }
+}

@@ -1,0 +1,506 @@
+//! Simulated remote KV store backend with seeded fault injection.
+//!
+//! Real deployments of the control plane would keep durable state in a
+//! remote service (the memory/redis/dynamodb spread of typical state
+//! crates), which brings two failure modes local files do not have:
+//! per-operation service latency and transient request failures. This
+//! backend simulates both deterministically: a [`StoreFaultPlan`] derives
+//! every fault and latency sample from `(plan seed, operation kind,
+//! operation sequence number)` via splitmix64, so a crash drill that hits
+//! an injected append failure hits exactly the same failure on every run.
+//!
+//! Simulated time only: operation latency is *recorded* (histogram
+//! `keebo.store.remote_op_us`) but never slept — wall-clock sleeps would
+//! violate the repo's determinism rules and slow the drill matrix.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use super::{splitmix64, StateStore, StoreContents, FRAME_HEADER_BYTES};
+
+/// Operation-kind salts for fault derivation — distinct streams per verb so
+/// e.g. a 100% append-fault plan leaves snapshot writes untouched.
+const KIND_APPEND: u64 = 0x41;
+const KIND_SNAPSHOT: u64 = 0x53;
+const KIND_LOAD: u64 = 0x4C;
+
+const PPM_SCALE: u64 = 1_000_000;
+
+/// Latency histogram bounds, microseconds.
+const REMOTE_OP_US_BOUNDS: [f64; 7] = [50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0];
+
+/// Seeded fault-injection plan for a [`RemoteKvStore`]: per-operation
+/// failure rates in parts-per-million plus a nominal service latency.
+/// Everything derives from `seed`, so a plan is a complete, reproducible
+/// description of the store's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    /// Stream seed for fault and latency sampling.
+    pub seed: u64,
+    /// Probability an `append` fails (ppm). The record is NOT stored.
+    pub append_error_ppm: u32,
+    /// Probability a `write_snapshot` fails (ppm). Nothing is replaced.
+    pub snapshot_error_ppm: u32,
+    /// Probability a `load` times out (ppm) — `io::ErrorKind::TimedOut`.
+    pub read_timeout_ppm: u32,
+    /// Nominal per-op service latency, microseconds (jittered ±50%).
+    pub latency_us: u64,
+}
+
+impl StoreFaultPlan {
+    /// A healthy remote: no faults, no recorded latency.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            append_error_ppm: 0,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 0,
+            latency_us: 0,
+        }
+    }
+
+    /// Decodes a plan from arbitrary genome bytes. Total and deterministic:
+    /// any byte string (including empty) yields a valid plan — the verify
+    /// fuzzer drives this directly. Rates are capped so fuzzed stores stay
+    /// mostly operational: appends ≤12%, snapshots ≤50%, reads ≤20%.
+    pub fn from_genome(bytes: &[u8]) -> Self {
+        let mut padded = [0u8; 24];
+        for (dst, src) in padded.iter_mut().zip(bytes) {
+            *dst = *src;
+        }
+        let le_u32 = |at: usize| {
+            u32::from_le_bytes([padded[at], padded[at + 1], padded[at + 2], padded[at + 3]])
+        };
+        Self {
+            seed: u64::from_le_bytes([
+                padded[0], padded[1], padded[2], padded[3], padded[4], padded[5], padded[6],
+                padded[7],
+            ]),
+            append_error_ppm: le_u32(8) % 120_001,
+            snapshot_error_ppm: le_u32(12) % 500_001,
+            read_timeout_ppm: le_u32(16) % 200_001,
+            latency_us: u64::from(le_u32(20)) % 5_001,
+        }
+    }
+
+    /// One deterministic sample for operation `op_seq` of `kind`.
+    fn roll(&self, kind: u64, op_seq: u64) -> u64 {
+        let mut s = self
+            .seed
+            .wrapping_add(kind.wrapping_mul(0x9E6D_29AA_C2A3_3F25))
+            .wrapping_add(op_seq.wrapping_mul(0xA24B_AED4_963E_E407));
+        splitmix64(&mut s)
+    }
+
+    fn hits(&self, ppm: u32, kind: u64, op_seq: u64) -> bool {
+        ppm > 0 && self.roll(kind, op_seq) % PPM_SCALE < u64::from(ppm)
+    }
+
+    /// Simulated service latency for this op: nominal ±50% jitter.
+    fn latency_sample_us(&self, kind: u64, op_seq: u64) -> u64 {
+        if self.latency_us == 0 {
+            return 0;
+        }
+        let jitter_span = self.latency_us.max(1);
+        self.latency_us / 2 + self.roll(kind ^ 0x77, op_seq) % (jitter_span + 1)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RemoteInner {
+    /// The simulated KV namespace. `wal/{seq:020}` per record,
+    /// `snapshot/current`, `snapshot/old/{gen:020}` for retained
+    /// generations (lower = older; 20-digit zero padding keeps the
+    /// BTreeMap's lexicographic order equal to numeric order for any u64).
+    kv: BTreeMap<String, Vec<u8>>,
+    wal_seq: u64,
+    snap_gen: u64,
+    op_seq: u64,
+    retention: u32,
+    wal_records: u64,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+}
+
+/// Simulated remote KV [`StateStore`]. `Clone` shares the backing service
+/// (the remote outlives the process), so crash drills keep a handle across
+/// an orchestrator drop exactly as with [`super::MemStore`].
+#[derive(Debug, Clone)]
+pub struct RemoteKvStore {
+    inner: Arc<Mutex<RemoteInner>>,
+    plan: StoreFaultPlan,
+}
+
+impl RemoteKvStore {
+    pub fn new(plan: StoreFaultPlan) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RemoteInner::default())),
+            plan,
+        }
+    }
+
+    /// The fault plan this store was built with.
+    pub fn plan(&self) -> StoreFaultPlan {
+        self.plan
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RemoteInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one op's simulated service latency and returns whether the
+    /// plan injects a fault for it.
+    fn begin_op(&self, inner: &mut RemoteInner, kind: u64, ppm: u32) -> bool {
+        let op = inner.op_seq;
+        inner.op_seq += 1;
+        let us = self.plan.latency_sample_us(kind, op);
+        if us > 0 {
+            keebo_obs::global()
+                .histogram("keebo.store.remote_op_us", &REMOTE_OP_US_BOUNDS)
+                .observe(us as f64);
+        }
+        self.plan.hits(ppm, kind, op)
+    }
+
+    /// Drops the most recent WAL record, returning its size — the torn-write
+    /// injector for a store with no file to truncate (parity with
+    /// [`super::MemStore::drop_last_record`]).
+    pub fn drop_last_record(&self) -> u64 {
+        let mut inner = self.lock();
+        let Some(key) = inner
+            .kv
+            .range("wal/".to_string().."wal0".to_string())
+            .next_back()
+            .map(|(k, _)| k.clone())
+        else {
+            return 0;
+        };
+        inner.kv.remove(&key).map_or(0, |r| {
+            let bytes = r.len() as u64 + FRAME_HEADER_BYTES as u64;
+            inner.wal_records = inner.wal_records.saturating_sub(1);
+            inner.wal_bytes = inner.wal_bytes.saturating_sub(bytes);
+            bytes
+        })
+    }
+}
+
+fn wal_key(seq: u64) -> String {
+    // 20 digits covers u64::MAX, so lexicographic key order is always
+    // numeric sequence order.
+    format!("wal/{seq:020}")
+}
+
+fn old_snapshot_key(generation: u64) -> String {
+    format!("snapshot/old/{generation:020}")
+}
+
+const SNAPSHOT_KEY: &str = "snapshot/current";
+
+impl StateStore for RemoteKvStore {
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut inner = self.lock();
+        if self.begin_op(&mut inner, KIND_APPEND, self.plan.append_error_ppm) {
+            return Err(io::Error::other("injected remote append failure"));
+        }
+        let seq = inner.wal_seq;
+        inner.wal_seq += 1;
+        inner.kv.insert(wal_key(seq), payload.to_vec());
+        inner.wal_records += 1;
+        inner.wal_bytes += payload.len() as u64 + FRAME_HEADER_BYTES as u64;
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        let mut inner = self.lock();
+        if self.begin_op(&mut inner, KIND_SNAPSHOT, self.plan.snapshot_error_ppm) {
+            return Err(io::Error::other("injected remote snapshot write failure"));
+        }
+        if let Some(old) = inner.kv.remove(SNAPSHOT_KEY) {
+            if inner.retention > 0 {
+                let gen = inner.snap_gen;
+                inner.kv.insert(old_snapshot_key(gen), old);
+                inner.snap_gen += 1;
+                // Prune the oldest retained generations beyond the limit.
+                loop {
+                    let old_count = inner
+                        .kv
+                        .range(old_snapshot_key(0)..=old_snapshot_key(u64::MAX))
+                        .count();
+                    if old_count <= inner.retention as usize {
+                        break;
+                    }
+                    let Some(oldest) = inner
+                        .kv
+                        .range(old_snapshot_key(0)..=old_snapshot_key(u64::MAX))
+                        .next()
+                        .map(|(k, _)| k.clone())
+                    else {
+                        break;
+                    };
+                    inner.kv.remove(&oldest);
+                }
+            }
+        }
+        inner.kv.insert(SNAPSHOT_KEY.to_string(), snapshot.to_vec());
+        // Snapshot is durable on the remote; compact the log it subsumes.
+        let wal_keys: Vec<String> = inner
+            .kv
+            .range("wal/".to_string().."wal0".to_string())
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in wal_keys {
+            inner.kv.remove(&k);
+        }
+        inner.wal_records = 0;
+        inner.wal_bytes = 0;
+        inner.snapshot_bytes = snapshot.len() as u64;
+        Ok(())
+    }
+
+    fn load(&mut self) -> io::Result<StoreContents> {
+        let mut inner = self.lock();
+        if self.begin_op(&mut inner, KIND_LOAD, self.plan.read_timeout_ppm) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "injected remote read timeout",
+            ));
+        }
+        let snapshot = inner.kv.get(SNAPSHOT_KEY).cloned();
+        let records: Vec<Vec<u8>> = inner
+            .kv
+            .range("wal/".to_string().."wal0".to_string())
+            .map(|(_, v)| v.clone())
+            .collect();
+        inner.snapshot_bytes = snapshot.as_ref().map_or(0, |s| s.len() as u64);
+        inner.wal_records = records.len() as u64;
+        inner.wal_bytes = records
+            .iter()
+            .map(|r| r.len() as u64 + FRAME_HEADER_BYTES as u64)
+            .sum();
+        Ok(StoreContents {
+            snapshot,
+            records,
+            truncated_bytes: 0,
+        })
+    }
+
+    fn wal_records(&self) -> u64 {
+        self.lock().wal_records
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.lock().wal_bytes
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        self.lock().snapshot_bytes
+    }
+
+    fn set_snapshot_retention(&mut self, generations: u32) {
+        self.lock().retention = generations;
+    }
+
+    fn snapshot_generations(&self) -> u64 {
+        let inner = self.lock();
+        let old = inner
+            .kv
+            .range(old_snapshot_key(0)..=old_snapshot_key(u64::MAX))
+            .count() as u64;
+        old + u64::from(inner.kv.contains_key(SNAPSHOT_KEY))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_store_round_trips_and_compacts() {
+        let mut s = RemoteKvStore::new(StoreFaultPlan::none());
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        assert_eq!(s.wal_records(), 2);
+        let c = s.load().unwrap();
+        assert_eq!(c.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(c.snapshot.is_none());
+
+        s.write_snapshot(b"snap").unwrap();
+        s.append(b"three").unwrap();
+        let c = s.load().unwrap();
+        assert_eq!(c.snapshot.as_deref(), Some(&b"snap"[..]));
+        assert_eq!(c.records, vec![b"three".to_vec()]);
+        assert_eq!(c.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn remote_store_clone_shares_backing() {
+        let mut a = RemoteKvStore::new(StoreFaultPlan::none());
+        let mut b = a.clone();
+        a.append(b"x").unwrap();
+        assert_eq!(b.load().unwrap().records, vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn wal_keys_keep_records_ordered_past_eight_digits() {
+        let mut s = RemoteKvStore::new(StoreFaultPlan::none());
+        // Forged high sequence: ordering relies on zero-padded keys.
+        s.lock().wal_seq = 99_999_999;
+        s.append(b"old").unwrap();
+        s.append(b"new").unwrap();
+        assert_eq!(
+            s.load().unwrap().records,
+            vec![b"old".to_vec(), b"new".to_vec()]
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_per_op() {
+        let plan = StoreFaultPlan {
+            seed: 42,
+            append_error_ppm: 300_000,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 0,
+            latency_us: 0,
+        };
+        let drive = || {
+            let mut s = RemoteKvStore::new(plan);
+            (0..64)
+                .map(|i| s.append(format!("r{i}").as_bytes()).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = drive();
+        assert_eq!(a, drive(), "fault schedule must be reproducible");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!(
+            (5..60).contains(&failures),
+            "~30% fault rate expected, got {failures}/64"
+        );
+    }
+
+    #[test]
+    fn each_fault_kind_targets_only_its_verb() {
+        let mut s = RemoteKvStore::new(StoreFaultPlan {
+            seed: 7,
+            append_error_ppm: 1_000_000,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 0,
+            latency_us: 0,
+        });
+        assert!(s.append(b"doomed").is_err());
+        assert!(s.write_snapshot(b"fine").is_ok());
+        assert!(s.load().is_ok());
+
+        let mut s = RemoteKvStore::new(StoreFaultPlan {
+            seed: 7,
+            append_error_ppm: 0,
+            snapshot_error_ppm: 1_000_000,
+            read_timeout_ppm: 0,
+            latency_us: 0,
+        });
+        assert!(s.append(b"fine").is_ok());
+        assert!(s.write_snapshot(b"doomed").is_err());
+        // A failed snapshot write replaces nothing and compacts nothing.
+        let c = s.load().unwrap();
+        assert!(c.snapshot.is_none());
+        assert_eq!(c.records.len(), 1);
+
+        let mut s = RemoteKvStore::new(StoreFaultPlan {
+            seed: 7,
+            append_error_ppm: 0,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 1_000_000,
+            latency_us: 0,
+        });
+        let err = s.load().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn failed_append_stores_nothing() {
+        let plan = StoreFaultPlan {
+            seed: 3,
+            append_error_ppm: 500_000,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 0,
+            latency_us: 0,
+        };
+        let mut s = RemoteKvStore::new(plan);
+        let mut stored = Vec::new();
+        for i in 0..32 {
+            let rec = format!("rec-{i}");
+            if s.append(rec.as_bytes()).is_ok() {
+                stored.push(rec.into_bytes());
+            }
+        }
+        assert_eq!(s.load().unwrap().records, stored);
+    }
+
+    #[test]
+    fn remote_store_retains_last_n_snapshot_generations() {
+        let mut s = RemoteKvStore::new(StoreFaultPlan::none());
+        s.set_snapshot_retention(2);
+        for g in 0..5u8 {
+            s.write_snapshot(format!("gen-{g}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.snapshot_generations(), 3);
+        assert_eq!(s.load().unwrap().snapshot.as_deref(), Some(&b"gen-4"[..]));
+    }
+
+    #[test]
+    fn drop_last_record_mirrors_mem_store() {
+        let mut s = RemoteKvStore::new(StoreFaultPlan::none());
+        assert_eq!(s.drop_last_record(), 0);
+        s.append(b"keep").unwrap();
+        s.append(b"lose-me").unwrap();
+        let dropped = s.drop_last_record();
+        assert_eq!(dropped, b"lose-me".len() as u64 + FRAME_HEADER_BYTES as u64);
+        assert_eq!(s.load().unwrap().records, vec![b"keep".to_vec()]);
+        assert_eq!(s.wal_records(), 1);
+    }
+
+    #[test]
+    fn fault_plan_genome_decode_is_total_and_deterministic() {
+        assert_eq!(
+            StoreFaultPlan::from_genome(&[]),
+            StoreFaultPlan {
+                seed: 0,
+                append_error_ppm: 0,
+                snapshot_error_ppm: 0,
+                read_timeout_ppm: 0,
+                latency_us: 0
+            }
+        );
+        let genome: Vec<u8> = (0..64u8).collect();
+        let a = StoreFaultPlan::from_genome(&genome);
+        assert_eq!(a, StoreFaultPlan::from_genome(&genome));
+        // Rate caps hold whatever the bytes say.
+        for len in 0..40 {
+            let p = StoreFaultPlan::from_genome(&vec![0xFF; len]);
+            assert!(p.append_error_ppm <= 120_000);
+            assert!(p.snapshot_error_ppm <= 500_000);
+            assert!(p.read_timeout_ppm <= 200_000);
+            assert!(p.latency_us <= 5_000);
+        }
+    }
+
+    #[test]
+    fn latency_is_recorded_not_slept() {
+        let plan = StoreFaultPlan {
+            seed: 9,
+            append_error_ppm: 0,
+            snapshot_error_ppm: 0,
+            read_timeout_ppm: 0,
+            latency_us: 400,
+        };
+        let mut s = RemoteKvStore::new(plan);
+        for i in 0..16 {
+            s.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        // Sampled latency stays within the nominal ±50% jitter band.
+        for op in 0..16u64 {
+            let us = plan.latency_sample_us(KIND_APPEND, op);
+            assert!((200..=800).contains(&us), "latency {us}µs out of band");
+        }
+    }
+}

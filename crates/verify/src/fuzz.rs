@@ -396,6 +396,85 @@ pub fn probe_persist_decoders(bytes: &[u8]) -> Result<(), CaseFailure> {
     })
 }
 
+/// Drives [`keebo::StoreFaultPlan::from_genome`] and a [`keebo::RemoteKvStore`]
+/// under the decoded plan with the raw genome bytes. Three contracts, all
+/// checked under `catch_unwind` so any panic becomes a shrinkable failure:
+///
+/// 1. genome decode is total and deterministic, and the advertised rate
+///    caps hold for any input;
+/// 2. the store is atomic under injected faults: a failed append stores
+///    nothing, a failed snapshot replaces nothing — a simple in-probe model
+///    (surviving appends, last landed snapshot) must match `load` exactly;
+/// 3. a faulted `load` is always `ErrorKind::TimedOut` (the only injected
+///    read failure), never corruption.
+pub fn probe_store_fault_plan(bytes: &[u8]) -> Result<(), CaseFailure> {
+    catch_unwind(AssertUnwindSafe(|| {
+        use keebo::{RemoteKvStore, StateStore, StoreFaultPlan};
+        let plan = StoreFaultPlan::from_genome(bytes);
+        assert!(plan.append_error_ppm <= 120_000, "append cap violated");
+        assert!(plan.snapshot_error_ppm <= 500_000, "snapshot cap violated");
+        assert!(plan.read_timeout_ppm <= 200_000, "read cap violated");
+        assert!(plan.latency_us <= 5_000, "latency cap violated");
+        assert_eq!(
+            plan,
+            StoreFaultPlan::from_genome(bytes),
+            "genome decode must be deterministic"
+        );
+
+        let mut store = RemoteKvStore::new(plan);
+        let mut model_wal: Vec<Vec<u8>> = Vec::new();
+        let mut model_snapshot: Option<Vec<u8>> = None;
+        for (i, chunk) in bytes.chunks(5).enumerate().take(64) {
+            match chunk[0] % 4 {
+                0 | 1 => {
+                    let payload = vec![chunk[0], i as u8, 0xAB];
+                    if store.append(&payload).is_ok() {
+                        model_wal.push(payload);
+                    }
+                }
+                2 => {
+                    let snap = vec![i as u8; 1 + (chunk[0] as usize % 9)];
+                    if store.write_snapshot(&snap).is_ok() {
+                        model_snapshot = Some(snap);
+                        model_wal.clear();
+                    }
+                }
+                _ => match store.load() {
+                    Ok(contents) => {
+                        assert_eq!(contents.records, model_wal, "WAL diverged from model");
+                        assert_eq!(
+                            contents.snapshot, model_snapshot,
+                            "snapshot diverged from model"
+                        );
+                        assert_eq!(contents.truncated_bytes, 0, "remote WAL never tears");
+                    }
+                    Err(e) => assert_eq!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut,
+                        "only injected timeouts may fail a load"
+                    ),
+                },
+            }
+            assert_eq!(
+                store.wal_records(),
+                model_wal.len() as u64,
+                "record count diverged from model"
+            );
+        }
+    }))
+    .map_err(|payload| {
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        CaseFailure {
+            kind: FailureKind::Panic,
+            message: format!("store fault-plan probe failed on genome bytes: {message}"),
+        }
+    })
+}
+
 /// [`run_case`] with panics converted into [`FailureKind::Panic`] failures.
 pub fn run_case_catching(case: &FuzzCase) -> Result<CaseStats, CaseFailure> {
     match catch_unwind(AssertUnwindSafe(|| run_case(case))) {
@@ -499,6 +578,23 @@ pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> Result<CaseStats, FailureReport>
             shrunk_case: "<persist decoder probe>".to_string(),
         });
     }
+    if let Err(failure) = probe_store_fault_plan(&bytes) {
+        // Likewise self-contained: shrink against the store probe alone.
+        let shrunk = shrink_with(
+            &bytes,
+            |candidate| probe_store_fault_plan(candidate).is_err(),
+            cfg.max_shrink_runs,
+        );
+        return Err(FailureReport {
+            seed,
+            kind: format!("{:?}", failure.kind),
+            message: failure.message,
+            original_len: bytes.len(),
+            shrunk_len: shrunk.len(),
+            shrunk_bytes_hex: to_hex(&shrunk),
+            shrunk_case: "<store fault-plan probe>".to_string(),
+        });
+    }
     let case = decode(seed, &bytes, cfg);
     match run_case_catching(&case) {
         Ok(stats) => Ok(stats),
@@ -597,6 +693,16 @@ mod tests {
         }
         probe_persist_decoders(&[]).expect("decoders are total on empty input");
         probe_persist_decoders(&[0xff; 512]).expect("decoders are total on saturated input");
+    }
+
+    #[test]
+    fn store_fault_plan_probe_is_clean_on_genomes() {
+        for seed in 0..200u64 {
+            let bytes = generate_bytes(seed, 256);
+            probe_store_fault_plan(&bytes).expect("faulty store must stay atomic and total");
+        }
+        probe_store_fault_plan(&[]).expect("probe is total on empty input");
+        probe_store_fault_plan(&[0xff; 512]).expect("probe is total on saturated input");
     }
 
     #[test]

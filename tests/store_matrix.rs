@@ -1,0 +1,584 @@
+//! Crash-drill matrix across the store backend family.
+//!
+//! The contract pinned here extends `tests/recovery.rs` from one backend to
+//! the whole family (see `keebo::store`): for **every** backend —
+//! [`MemStore`], [`FileStore`], [`RemoteKvStore`] under seeded fault plans —
+//! a control plane killed at any seeded tick boundary recovers
+//! *bit-identically*: the recovered run's decision log and billing match an
+//! uninterrupted run of the same scenario exactly. The matrix covers ≥100
+//! seeded (backend, scenario, seed, crash tick, policy) cells; half the
+//! cells run a tight size-triggered [`SnapshotPolicy`] instead of the
+//! default 48-tick cadence, so compaction itself is proven invisible.
+//!
+//! Also pinned here:
+//! * negative paths: each injected `RemoteKvStore` fault increments its
+//!   matching fail-open `keebo.store.*` counter while the optimization
+//!   digest stays identical to a store-less run;
+//! * compaction bounds replay: a 10k-tick run under a size+age policy keeps
+//!   the WAL (and therefore recovery replay) bounded and retains exactly
+//!   the configured number of snapshot generations;
+//! * snapshot-format versioning end to end: a v1 reader restores a v0
+//!   (bare-JSON, pre-envelope) snapshot bit-identically.
+
+// Offline builds patch proptest with a no-op stub (.devstubs/), under which
+// the imports below count as unused; real proptest (CI) uses all of them.
+#![allow(unused_imports, dead_code)]
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use cdw_sim::{
+    Account, Simulator, WarehouseConfig, WarehouseId, WarehouseSize, DAY_MS, HOUR_MS, MINUTE_MS,
+};
+use keebo::drill::{
+    build_sim, fast_setup, fingerprint, run_cell, run_uninterrupted, DrillBackend, DrillCell,
+    Fingerprint, END_MS, OBSERVE_MS, SCENARIOS, TICK_MS, WAREHOUSE,
+};
+use keebo::persist::{decode_snapshot, encode_snapshot_v0, encode_snapshot_with_extra_fields};
+use keebo::{
+    generate_trace, KwoSetup, MemStore, Orchestrator, RemoteKvStore, SnapshotPolicy, StateStore,
+    StoreFaultPlan,
+};
+use proptest::prelude::*;
+use workload::EtlWorkload;
+
+/// A tight compaction policy exercised by half the matrix cells: snapshots
+/// every 7 ticks or 12 WAL records (whichever first), keep 2 generations.
+fn tight_policy() -> SnapshotPolicy {
+    SnapshotPolicy {
+        interval_ticks: 7,
+        max_wal_bytes: 0,
+        max_wal_records: 12,
+        retain_snapshots: 2,
+    }
+}
+
+/// Fault plans the remote cells run under. Append rates stay well under the
+/// orchestrator's 4-attempt retry budget so no plan ever detaches the store
+/// (a detach would — correctly — fail the bit-identity assertion).
+fn remote_plans() -> [StoreFaultPlan; 4] {
+    [
+        // Healthy remote, latency only.
+        StoreFaultPlan {
+            seed: 0xA0,
+            latency_us: 400,
+            ..StoreFaultPlan::none()
+        },
+        // Flaky appends (4%).
+        StoreFaultPlan {
+            seed: 0xA1,
+            append_error_ppm: 40_000,
+            latency_us: 250,
+            ..StoreFaultPlan::none()
+        },
+        // Failing snapshot writes (30%) — compaction limps, WAL covers.
+        StoreFaultPlan {
+            seed: 0xB2,
+            snapshot_error_ppm: 300_000,
+            latency_us: 900,
+            ..StoreFaultPlan::none()
+        },
+        // Everything at once: flaky appends, snapshots, and load timeouts.
+        StoreFaultPlan {
+            seed: 0xC3,
+            append_error_ppm: 30_000,
+            snapshot_error_ppm: 200_000,
+            read_timeout_ppm: 80_000,
+            latency_us: 1500,
+        },
+    ]
+}
+
+/// Applies the matrix's policy split: odd crash seeds run the tight
+/// size-triggered policy, even ones the default cadence.
+fn with_policy_split(mut cell: DrillCell) -> DrillCell {
+    if cell.crash_seed % 2 == 1 {
+        cell.policy = Some(tight_policy());
+    }
+    cell
+}
+
+fn mem_cells() -> Vec<DrillCell> {
+    let mut cells = Vec::new();
+    for scenario in 0..SCENARIOS {
+        for seed in [11u64, 12] {
+            for k in 0..4u64 {
+                let crash_seed = scenario as u64 * 1_000 + seed * 10 + k;
+                cells.push(with_policy_split(DrillCell::clean(
+                    scenario,
+                    seed,
+                    crash_seed,
+                    DrillBackend::Mem,
+                )));
+            }
+        }
+    }
+    cells
+}
+
+fn file_cells() -> Vec<DrillCell> {
+    let mut cells = Vec::new();
+    for scenario in [1usize, 4] {
+        for seed in [21u64, 22] {
+            for k in 0..4u64 {
+                let crash_seed = scenario as u64 * 1_000 + seed * 10 + k;
+                let dir = scratch_dir(&format!("cell-{scenario}-{seed}-{k}"));
+                cells.push(with_policy_split(DrillCell::clean(
+                    scenario,
+                    seed,
+                    crash_seed,
+                    DrillBackend::File(dir),
+                )));
+            }
+        }
+    }
+    cells
+}
+
+fn remote_cells() -> Vec<DrillCell> {
+    let mut cells = Vec::new();
+    for (p, plan) in remote_plans().into_iter().enumerate() {
+        for scenario in [0usize, 2, 3] {
+            for k in 0..4u64 {
+                let crash_seed = p as u64 * 10_000 + scenario as u64 * 100 + k;
+                cells.push(with_policy_split(DrillCell::clean(
+                    scenario,
+                    31,
+                    crash_seed,
+                    DrillBackend::Remote(plan),
+                )));
+            }
+        }
+    }
+    cells
+}
+
+/// Runs every cell against a cached per-(scenario, seed) baseline and
+/// asserts bit-identity. Returns the number of cells drilled.
+fn drill_cells(cells: &[DrillCell], label: &str) -> usize {
+    let mut baselines: HashMap<(usize, u64), Fingerprint> = HashMap::new();
+    for cell in cells {
+        let base = baselines
+            .entry((cell.scenario, cell.seed))
+            .or_insert_with(|| run_uninterrupted(cell.scenario, cell.seed))
+            .clone();
+        assert!(
+            !base.0.is_empty(),
+            "{label}: scenario {} baseline took no actions",
+            cell.scenario
+        );
+        let out = run_cell(cell)
+            .unwrap_or_else(|e| panic!("{label}: cell {cell:?} failed to recover: {e}"));
+        assert_eq!(
+            out.fingerprint.0, base.0,
+            "{label}: decision log diverged, cell {cell:?} (crash tick {})",
+            out.crash_tick
+        );
+        assert_eq!(
+            out.fingerprint.1, base.1,
+            "{label}: billing diverged, cell {cell:?} (crash tick {})",
+            out.crash_tick
+        );
+        assert_eq!(
+            out.stats.wal_truncated_bytes, 0,
+            "{label}: clean kill must leave a clean WAL, cell {cell:?}"
+        );
+        if let DrillBackend::File(dir) = &cell.backend {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+    cells.len()
+}
+
+#[test]
+fn matrix_covers_at_least_100_cells() {
+    let total = mem_cells().len() + file_cells().len() + remote_cells().len();
+    assert!(total >= 100, "matrix shrank below the floor: {total} cells");
+}
+
+#[test]
+fn mem_store_matrix_recovers_bit_identically() {
+    let n = drill_cells(&mem_cells(), "mem");
+    assert_eq!(n, 40);
+}
+
+#[test]
+fn file_store_matrix_recovers_bit_identically() {
+    let n = drill_cells(&file_cells(), "file");
+    assert_eq!(n, 16);
+}
+
+#[test]
+fn remote_store_matrix_recovers_bit_identically() {
+    let n = drill_cells(&remote_cells(), "remote");
+    assert_eq!(n, 48);
+}
+
+// ---- negative paths: every injected fault counts, digests never change ----
+
+/// Runs scenario 0 / seed 77 with the given store attached the whole way
+/// (no crash) and returns its fingerprint.
+fn run_attached(store: RemoteKvStore) -> Fingerprint {
+    let (mut sim, wh) = build_sim(0, 77);
+    let mut kwo = Orchestrator::new(77);
+    kwo.attach_store(Box::new(store), sim.now());
+    kwo.manage(&sim, WAREHOUSE, fast_setup());
+    kwo.observe_until(&mut sim, OBSERVE_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, END_MS);
+    fingerprint(&kwo, &sim, wh)
+}
+
+#[test]
+fn append_faults_count_then_detach_fail_open() {
+    let obs = keebo::obs::global();
+    let errors_before = obs.counter("keebo.store.append_errors").get();
+    let detached_before = obs.counter("keebo.store.detached").get();
+    let baseline = run_uninterrupted(0, 77);
+
+    // Every append fails: the genesis append burns all 4 attempts, the
+    // store detaches, and the run proceeds exactly as if no store existed.
+    let plan = StoreFaultPlan {
+        seed: 9,
+        append_error_ppm: 1_000_000,
+        ..StoreFaultPlan::none()
+    };
+    let digest = run_attached(RemoteKvStore::new(plan));
+
+    assert_eq!(
+        digest, baseline,
+        "fail-open: digest must match no-store run"
+    );
+    // Counters are process-global and tests run in parallel, so assert
+    // deltas (≥), never exact values.
+    assert!(
+        obs.counter("keebo.store.append_errors").get() - errors_before >= 4,
+        "each failed append attempt counts"
+    );
+    assert!(
+        obs.counter("keebo.store.detached").get() - detached_before >= 1,
+        "exhausted append retries detach the store"
+    );
+}
+
+#[test]
+fn snapshot_faults_count_but_keep_the_store_attached() {
+    let obs = keebo::obs::global();
+    let errors_before = obs.counter("keebo.store.snapshot_errors").get();
+    let baseline = run_uninterrupted(0, 77);
+
+    // Every snapshot write fails: compaction never lands, but appends do —
+    // the WAL alone (genesis record first) must still fully recover.
+    let plan = StoreFaultPlan {
+        seed: 13,
+        snapshot_error_ppm: 1_000_000,
+        ..StoreFaultPlan::none()
+    };
+    let store = RemoteKvStore::new(plan);
+    let probe = store.clone();
+    let (mut sim, wh) = build_sim(0, 77);
+    let mut kwo = Orchestrator::new(77);
+    kwo.attach_store(Box::new(store), sim.now());
+    kwo.manage(&sim, WAREHOUSE, fast_setup());
+    kwo.observe_until(&mut sim, OBSERVE_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, END_MS);
+    let digest = fingerprint(&kwo, &sim, wh);
+    drop(kwo);
+
+    assert_eq!(
+        digest, baseline,
+        "fail-open: digest must match no-store run"
+    );
+    assert!(
+        obs.counter("keebo.store.snapshot_errors").get() - errors_before >= 3,
+        "each failed snapshot attempt counts"
+    );
+    assert_eq!(probe.snapshot_bytes(), 0, "no snapshot ever landed");
+    assert!(probe.wal_records() > 1, "the WAL kept every record");
+
+    // Genesis-first recovery: restore from the snapshot-less survivor (a
+    // crash at the very end of the run) and verify replay rebuilt the
+    // identical end state, bit for bit, from the genesis record onward.
+    let (kwo, stats) = Orchestrator::restore(Box::new(probe), &sim)
+        .expect("a snapshot-less store with a genesis record must restore");
+    assert_eq!(stats.snapshot_bytes, 0, "replay started from the WAL alone");
+    assert!(stats.replayed_records > 1);
+    assert_eq!(fingerprint(&kwo, &sim, wh), baseline);
+}
+
+#[test]
+fn read_timeouts_count_and_surface_after_bounded_retries() {
+    let obs = keebo::obs::global();
+    let timeouts_before = obs.counter("keebo.store.read_timeouts").get();
+
+    // Healthy writes, permanently timing-out reads: the restore retries a
+    // bounded number of times (each counted), then surfaces the error.
+    let plan = StoreFaultPlan {
+        seed: 21,
+        read_timeout_ppm: 1_000_000,
+        ..StoreFaultPlan::none()
+    };
+    let store = RemoteKvStore::new(plan);
+    let probe = store.clone();
+    let _ = run_attached(store);
+
+    let (sim, _wh) = build_sim(0, 77);
+    let err = Orchestrator::restore(Box::new(probe), &sim);
+    assert!(err.is_err(), "a permanently timing-out load cannot restore");
+    assert!(
+        obs.counter("keebo.store.read_timeouts").get() - timeouts_before >= 6,
+        "every timed-out load attempt counts"
+    );
+}
+
+// ---- compaction bounds replay over long runs ----
+
+#[test]
+fn compaction_bounds_replay_over_a_10k_tick_run() {
+    const TICK: u64 = 5 * MINUTE_MS;
+    const TICKS: u64 = 10_000;
+    const OBSERVE: u64 = 6 * HOUR_MS;
+    let policy = SnapshotPolicy {
+        interval_ticks: 500,
+        max_wal_bytes: 0,
+        max_wal_records: 64,
+        retain_snapshots: 3,
+    };
+    // Per-tick journaling appends at least one record, so between two
+    // trigger checks the WAL can overshoot the threshold by a handful of
+    // records — never by more than one tick's worth.
+    const SLACK: u64 = 16;
+
+    let mut account = Account::new();
+    let wh = account.create_warehouse(
+        WAREHOUSE,
+        WarehouseConfig::new(WarehouseSize::Medium).with_auto_suspend_secs(600),
+    );
+    let mut sim = Simulator::new(account);
+    let end = OBSERVE + TICKS * TICK;
+    // Sparse workload: the point is journaling volume, not query pressure.
+    for q in generate_trace(
+        &EtlWorkload {
+            pipelines: 1,
+            queries_per_run: 1,
+            period_ms: 6 * HOUR_MS,
+            ..EtlWorkload::default()
+        },
+        0,
+        end,
+        99,
+    ) {
+        sim.submit_query(wh, q);
+    }
+
+    let store = MemStore::new();
+    let probe = store.clone();
+    let mut kwo = Orchestrator::new(99);
+    kwo.attach_store(Box::new(store), sim.now());
+    kwo.set_snapshot_policy(policy);
+    kwo.manage(
+        &sim,
+        WAREHOUSE,
+        KwoSetup {
+            realtime_interval_ms: TICK,
+            onboarding_episodes: 1,
+            refresh_episodes: 0,
+            train_interval_ms: 365 * DAY_MS,
+            ..KwoSetup::default()
+        },
+    );
+    kwo.observe_until(&mut sim, OBSERVE);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, end);
+    drop(kwo);
+
+    assert!(
+        probe.wal_records() <= policy.max_wal_records + SLACK,
+        "WAL grew unbounded over 10k ticks: {} records",
+        probe.wal_records()
+    );
+    assert_eq!(
+        probe.snapshot_generations(),
+        u64::from(policy.retain_snapshots) + 1,
+        "retention keeps current + retain_snapshots generations"
+    );
+
+    let (kwo, stats) = Orchestrator::restore(Box::new(probe), &sim)
+        .expect("bounded recovery after a 10k-tick run");
+    assert!(
+        stats.replayed_records <= policy.max_wal_records + SLACK,
+        "replay not bounded: {} records",
+        stats.replayed_records
+    );
+    assert!(stats.snapshot_bytes > 0, "recovery started from a snapshot");
+    assert!(kwo.optimizer(WAREHOUSE).is_some());
+}
+
+// ---- snapshot-format versioning: v1 reader, v0 snapshot ----
+
+/// Runs scenario 2 / seed 55 to a mid-run crash with a mid-cycle snapshot
+/// cadence, so the surviving store holds a *meaty* snapshot (trained
+/// optimizer state) plus live WAL records.
+fn run_to_crash_with_snapshot() -> (Simulator, WarehouseId, MemStore) {
+    let crash_t = OBSERVE_MS + 29 * TICK_MS;
+    let (mut sim, wh) = build_sim(2, 55);
+    let store = MemStore::new();
+    let mut kwo = Orchestrator::new(55);
+    kwo.attach_store(Box::new(store.clone()), sim.now());
+    kwo.set_snapshot_interval_ticks(10);
+    kwo.manage(&sim, WAREHOUSE, fast_setup());
+    kwo.observe_until(&mut sim, OBSERVE_MS);
+    kwo.onboard(&mut sim);
+    kwo.run_until(&mut sim, crash_t);
+    drop(kwo);
+    (sim, wh, store)
+}
+
+#[test]
+fn v1_reader_restores_a_v0_snapshot_bit_identically() {
+    // Reference: restore from the v1 (enveloped) snapshot and finish.
+    let (mut sim_v1, wh_v1, store_v1) = run_to_crash_with_snapshot();
+    let (mut kwo, stats_v1) =
+        Orchestrator::restore(Box::new(store_v1), &sim_v1).expect("v1 restore");
+    kwo.run_until(&mut sim_v1, END_MS);
+    let digest_v1 = fingerprint(&kwo, &sim_v1, wh_v1);
+
+    // Same history, but the snapshot is re-encoded in the legacy v0 format
+    // (bare JSON, no envelope) — what a store written before the format
+    // versioning change holds.
+    let (mut sim_v0, wh_v0, store_now) = run_to_crash_with_snapshot();
+    let mut boxed: Box<dyn StateStore> = Box::new(store_now);
+    let contents = boxed.load().expect("load surviving store");
+    let snap_bytes = contents.snapshot.expect("cadence 10 landed a snapshot");
+    let snap = decode_snapshot(&snap_bytes).expect("decode v1 snapshot");
+    let v0_bytes = encode_snapshot_v0(&snap).expect("re-encode as legacy v0");
+    assert_ne!(v0_bytes, snap_bytes, "v0 and v1 encodings must differ");
+
+    let mut legacy = MemStore::new();
+    legacy
+        .write_snapshot(&v0_bytes)
+        .expect("seed legacy snapshot");
+    for record in &contents.records {
+        legacy.append(record).expect("replay WAL into legacy store");
+    }
+    let (mut kwo, stats_v0) =
+        Orchestrator::restore(Box::new(legacy), &sim_v0).expect("v1 reader restores v0 snapshot");
+    kwo.run_until(&mut sim_v0, END_MS);
+    let digest_v0 = fingerprint(&kwo, &sim_v0, wh_v0);
+
+    assert_eq!(
+        digest_v0, digest_v1,
+        "a v0 snapshot must restore bit-identically to its v1 encoding"
+    );
+    assert_eq!(stats_v0.replayed_records, stats_v1.replayed_records);
+}
+
+// ---- versioned-envelope and fault-plan decode properties ----
+
+/// Deterministic byte soup for the no-proptest (offline stub) build.
+fn splatter(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed ^ 0x5DEE_CE66_D001u64.wrapping_mul(3);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn tiny_snapshot(seed: u64, at: u64) -> keebo::SnapshotState {
+    keebo::SnapshotState {
+        version: keebo::FORMAT_VERSION,
+        seed,
+        at,
+        optimizers: Vec::new(),
+    }
+}
+
+#[test]
+fn envelope_with_unknown_fields_round_trips_deterministic() {
+    for seed in 0..32u64 {
+        let snap = tiny_snapshot(seed, seed * 3);
+        let extra = vec![
+            (0x4000u16, splatter(seed, (seed as usize * 5) % 40)),
+            (0x7fffu16, splatter(seed ^ 1, 3)),
+        ];
+        let bytes = encode_snapshot_with_extra_fields(&snap, &extra).expect("encode with extras");
+        let back = decode_snapshot(&bytes).expect("unknown fields are skipped");
+        // SnapshotState carries no PartialEq; canonical re-encoding is the
+        // equality the store cares about anyway.
+        assert_eq!(
+            keebo::persist::encode_snapshot(&back).expect("re-encode"),
+            keebo::persist::encode_snapshot(&snap).expect("encode"),
+        );
+        // Every truncation is an error, never a panic.
+        for len in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..len]).is_err());
+        }
+    }
+}
+
+#[test]
+fn store_fault_plan_genome_decode_is_total_deterministic() {
+    for seed in 0..64u64 {
+        let genome = splatter(seed, (seed as usize * 3) % 40);
+        let plan = StoreFaultPlan::from_genome(&genome);
+        assert!(plan.append_error_ppm <= 120_000);
+        assert!(plan.snapshot_error_ppm <= 500_000);
+        assert!(plan.read_timeout_ppm <= 200_000);
+        assert!(plan.latency_us <= 5_000);
+        // Deterministic: the same genome always yields the same plan.
+        assert_eq!(plan, StoreFaultPlan::from_genome(&genome));
+    }
+}
+
+proptest! {
+    /// The envelope decoder tolerates any unknown header fields and is
+    /// total under truncation: v1 readers stay forward-compatible.
+    #[test]
+    fn envelope_round_trips_with_arbitrary_unknown_fields(
+        seed in any::<u64>(),
+        at in any::<u64>(),
+        extras in proptest::collection::vec(
+            (3u16..u16::MAX, proptest::collection::vec(any::<u8>(), 0..48)),
+            0..4,
+        ),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let snap = tiny_snapshot(seed, at);
+        let extra: Vec<(u16, Vec<u8>)> = extras;
+        let bytes = encode_snapshot_with_extra_fields(&snap, &extra).unwrap();
+        let back = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(
+            keebo::persist::encode_snapshot(&back).unwrap(),
+            keebo::persist::encode_snapshot(&snap).unwrap(),
+        );
+        let len = cut.index(bytes.len());
+        prop_assert!(decode_snapshot(&bytes[..len]).is_err());
+    }
+
+    /// `StoreFaultPlan::from_genome` is total on arbitrary bytes and its
+    /// rate caps always hold.
+    #[test]
+    fn store_fault_plan_genome_decode_is_total(
+        genome in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let plan = StoreFaultPlan::from_genome(&genome);
+        prop_assert!(plan.append_error_ppm <= 120_000);
+        prop_assert!(plan.snapshot_error_ppm <= 500_000);
+        prop_assert!(plan.read_timeout_ppm <= 200_000);
+        prop_assert!(plan.latency_us <= 5_000);
+    }
+}
+
+/// Unique scratch dir per cell (integration tests run in parallel).
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("kwo-matrix-{}-{tag}-{n}", std::process::id()))
+}
