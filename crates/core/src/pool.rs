@@ -223,6 +223,7 @@ fn run_tickets(batch: &Batch, task: &(dyn Fn(usize) + Send + Sync)) {
         .gauge("keebo.fleet.pool.busy_workers")
         .add_scoped(1.0);
     loop {
+        // lint: allow(D11) — ticket claim: RMW atomicity alone guarantees unique indices; results are published by the batch latch
         let index = batch.next.fetch_add(1, Ordering::Relaxed);
         if index >= batch.tickets {
             break;

@@ -5,9 +5,9 @@
 //!
 //! * a `(rule, file)` count **above** its baseline entry fails the run
 //!   (new violation introduced);
-//! * a count **below** the entry is reported as slack — the entry should be
-//!   tightened (regenerate with `--write-baseline`) so the improvement
-//!   cannot silently regress;
+//! * a count **below** the entry also fails — the ratchet direction is
+//!   enforced, so the entry must be shrunk (or deleted at zero) in the same
+//!   change and the improvement cannot silently regress;
 //! * any `(rule, file)` pair with no entry fails outright.
 //!
 //! The file is a deliberately tiny TOML subset — `[[allow]]` tables with

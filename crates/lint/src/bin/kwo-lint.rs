@@ -1,30 +1,46 @@
 //! CLI driver for the kwo-lint engine.
 //!
 //! ```text
-//! kwo-lint [--root DIR] [--baseline FILE] [--json FILE] [--write-baseline]
-//!          [--smoke] [--quiet]
+//! kwo-lint [--root DIR] [--baseline FILE] [--format text|json|github]
+//!          [--json FILE] [--write-baseline] [--smoke] [--quiet]
 //! ```
 //!
 //! Modes:
 //! * default — lint the workspace; with `--baseline`, gate against the
-//!   ratcheted baseline (exit 1 on new violations), otherwise exit 1 on any
-//!   diagnostic;
+//!   ratcheted baseline (exit 1 on new violations or on entries the tree
+//!   has ratcheted past), otherwise exit 1 on any diagnostic;
 //! * `--write-baseline` — freeze today's diagnostics into the baseline file
 //!   (placeholder reasons; edit before committing);
 //! * `--smoke` — run the engine over its own fixture corpus and verify every
 //!   `//~ Dn` expectation marker (engine self-check for CI).
 //!
-//! `--json FILE` additionally writes the machine-readable report in every
-//! mode.
+//! Output formats (`--format`, default `text`):
+//! * `text` — `file:line:col: Dn (name) \`snippet\` — message`, one per
+//!   line; the shape `.github/kwo-lint-problem-matcher.json` matches so CI
+//!   findings annotate PR diffs;
+//! * `json` — the machine-readable report on stdout;
+//! * `github` — GitHub Actions `::error` workflow commands (direct
+//!   annotations without a matcher).
+//!
+//! `--json FILE` additionally writes the machine-readable report to a file
+//! in every mode.
 
-use lint::{check_baseline, freeze, run_fixtures, to_json, Baseline};
+use lint::{check_baseline, freeze, run_fixtures, to_json, Baseline, Diagnostic};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
     json: Option<PathBuf>,
+    format: Format,
     write_baseline: bool,
     smoke: bool,
     quiet: bool,
@@ -35,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         baseline: None,
         json: None,
+        format: Format::Text,
         write_baseline: false,
         smoke: false,
         quiet: false,
@@ -45,14 +62,26 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = next_value(&mut it, "--root")?.into(),
             "--baseline" => args.baseline = Some(next_value(&mut it, "--baseline")?.into()),
             "--json" => args.json = Some(next_value(&mut it, "--json")?.into()),
+            "--format" => {
+                args.format = match next_value(&mut it, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected text, json, or github)"
+                        ))
+                    }
+                }
+            }
             "--write-baseline" => args.write_baseline = true,
             "--smoke" => args.smoke = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "kwo-lint: determinism & numeric-safety lints (D1-D7)\n\
-                     usage: kwo-lint [--root DIR] [--baseline FILE] [--json FILE]\n\
-                     \x20      [--write-baseline] [--smoke] [--quiet]"
+                    "kwo-lint: determinism, numeric-safety & concurrency lints (D1-D12)\n\
+                     usage: kwo-lint [--root DIR] [--baseline FILE] [--format text|json|github]\n\
+                     \x20      [--json FILE] [--write-baseline] [--smoke] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +115,34 @@ fn main() -> ExitCode {
             eprintln!("kwo-lint: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Prints diagnostics in the selected format (suppressed by `--quiet`,
+/// except `json` which exists to be piped).
+fn emit(diags: &[Diagnostic], args: &Args) {
+    match args.format {
+        Format::Json => println!("{}", to_json(diags)),
+        Format::Text if !args.quiet => {
+            for d in diags {
+                println!("{}", d.render());
+            }
+        }
+        Format::Github if !args.quiet => {
+            for d in diags {
+                // GitHub workflow commands treat %, CR, and LF as
+                // terminators; diagnostics are single-line, escape anyway.
+                let msg = format!("{} ({}) `{}` — {}", d.rule, d.name, d.snippet, d.message)
+                    .replace('%', "%25")
+                    .replace('\r', "%0D")
+                    .replace('\n', "%0A");
+                println!(
+                    "::error file={},line={},col={}::{}",
+                    d.file, d.line, d.col, msg
+                );
+            }
+        }
+        _ => {}
     }
 }
 
@@ -124,28 +181,23 @@ fn run(args: &Args) -> Result<bool, String> {
     };
     let gate = check_baseline(&diags, &baseline);
 
-    if !args.quiet {
-        for d in &diags {
-            println!("{}", d.render());
-        }
-        for s in &gate.slack {
-            println!("kwo-lint: ratchet slack — {s}");
-        }
-    }
+    emit(&diags, args);
     if gate.passed() {
-        println!(
-            "kwo-lint: OK — {} diagnostic(s), all within the {}-entry baseline",
-            diags.len(),
-            baseline.len()
-        );
+        if args.format != Format::Json {
+            println!(
+                "kwo-lint: OK — {} diagnostic(s), all within the {}-entry baseline",
+                diags.len(),
+                baseline.len()
+            );
+        }
         Ok(true)
     } else {
         for f in &gate.failures {
             eprintln!("kwo-lint: FAIL — {f}");
         }
         eprintln!(
-            "kwo-lint: {} gate failure(s); fix the violation(s) or justify with \
-             `// lint: allow(Dn) — reason`",
+            "kwo-lint: {} gate failure(s); fix the violation(s), justify with \
+             `// lint: allow(Dn) — reason`, or shrink the ratcheted baseline",
             gate.failures.len()
         );
         Ok(false)
@@ -160,10 +212,14 @@ fn run_smoke(args: &Args) -> Result<bool, String> {
             .map_err(|e| format!("writing {path:?}: {e}"))?;
     }
     if report.passed() {
-        println!(
-            "kwo-lint --smoke: OK — {} diagnostic(s) over the fixture corpus, every marker matched",
-            report.diags.len()
-        );
+        if args.format == Format::Json {
+            println!("{}", to_json(&report.diags));
+        } else {
+            println!(
+                "kwo-lint --smoke: OK — {} diagnostic(s) over the fixture corpus, every marker matched",
+                report.diags.len()
+            );
+        }
         Ok(true)
     } else {
         for miss in &report.missed {

@@ -1,15 +1,25 @@
-//! The lint driver: workspace walk, rule application, allow-directive
-//! filtering, baseline ratcheting, and the fixture self-check.
+//! The lint driver: workspace walk, rule application (per-file token rules,
+//! then the crate-level structural rules and the workspace metrics audit),
+//! allow-directive filtering, baseline ratcheting, and the fixture
+//! self-check.
 
 use crate::baseline::Baseline;
 use crate::diag::Diagnostic;
+use crate::index::{
+    check_metrics, lock_cycles, parse_design_inventory, scan_concurrency, FileFacts, InventoryRow,
+    LockEdge, MetricUse, StructFinding,
+};
 use crate::lexer::{lex, AllowDirective, Marker};
+use crate::parse::build_structure;
 use crate::rules::{all_rules, FileInfo, FileKind};
 use crate::scope::annotate_test_scope;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The document whose metrics inventory table D12 audits against.
+pub const DESIGN_DOC: &str = "DESIGN.md";
 
 /// Directories never linted.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".devstubs", "fixtures"];
@@ -55,44 +65,162 @@ pub struct FileResult {
     pub markers: Vec<Marker>,
 }
 
-/// Lints one file's source. `rel_path` is the repo-relative path used both
-/// for diagnostics and rule scoping; fixture files override the latter via
-/// a `// lint-fixture: <pretend-path>` header (the diagnostics still carry
-/// the real path).
+/// Lints one file's source as a single-file workspace: the per-file token
+/// rules plus the structural rules over the file's own symbol index, with
+/// `// lint-inventory:` directives standing in for DESIGN.md. `rel_path` is
+/// the repo-relative path used both for diagnostics and rule scoping;
+/// fixture files override the latter via a `// lint-fixture: <pretend-path>`
+/// header (the diagnostics still carry the real path).
 pub fn lint_source(rel_path: &str, src: &str) -> FileResult {
-    let pretend = src.lines().next().and_then(|l| {
-        l.trim()
-            .strip_prefix("// lint-fixture:")
-            .map(|p| p.trim().to_string())
-    });
-    let info = FileInfo::classify(pretend.as_deref().unwrap_or(rel_path));
+    lint_sources(&[(rel_path.to_string(), src.to_string())], None)
+}
+
+/// One analyzed (non-test-like) file, mid-pipeline.
+struct Analyzed {
+    facts: FileFacts,
+    allows: Vec<AllowDirective>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Lints a set of sources as one workspace: per-file token rules first,
+/// then the crate-level concurrency rules (D8–D10) over per-crate symbol
+/// sets, then the workspace metrics audit (D12) against `design` (path +
+/// content of DESIGN.md) or, when absent, against any `// lint-inventory:`
+/// directives in the sources. Allow directives are applied last so they
+/// suppress structural findings too. `files` must be in deterministic
+/// (path-sorted) order.
+pub fn lint_sources(files: &[(String, String)], design: Option<(&str, &str)>) -> FileResult {
     let mut result = FileResult::default();
+    let mut analyzed: Vec<Analyzed> = Vec::new();
+    let mut directive_rows: Vec<InventoryRow> = Vec::new();
 
-    let mut lexed = lex(src);
-    result.markers = std::mem::take(&mut lexed.markers);
-    if info.kind == FileKind::TestLike {
-        return result;
-    }
-    annotate_test_scope(&mut lexed.tokens);
-
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    for rule in all_rules() {
-        if !(rule.applies)(&info) {
+    for (rel_path, src) in files {
+        let pretend = src.lines().next().and_then(|l| {
+            l.trim()
+                .strip_prefix("// lint-fixture:")
+                .map(|p| p.trim().to_string())
+        });
+        let info = FileInfo::classify(pretend.as_deref().unwrap_or(rel_path));
+        let mut lexed = lex(src);
+        result.markers.append(&mut lexed.markers);
+        if info.kind == FileKind::TestLike {
             continue;
         }
-        for hit in (rule.scan)(&lexed.tokens) {
-            raw.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: hit.line,
-                col: hit.col,
-                rule: rule.id.to_string(),
-                name: rule.name.to_string(),
-                snippet: hit.snippet,
-                message: rule.message.to_string(),
+        annotate_test_scope(&mut lexed.tokens);
+        let structure = build_structure(&lexed.tokens);
+        let facts = FileFacts::collect(rel_path, info, lexed.tokens, structure);
+        for d in lexed.inventory {
+            directive_rows.push(InventoryRow {
+                name: d.name,
+                kind: d.kind,
+                file: rel_path.clone(),
+                line: d.line,
             });
         }
+        analyzed.push(Analyzed {
+            facts,
+            allows: lexed.allows,
+            diags: Vec::new(),
+        });
     }
-    result.diags = apply_allows(raw, &lexed.allows, rel_path);
+
+    // Phase 1: per-file token rules (D1–D7, D11).
+    for a in &mut analyzed {
+        for rule in all_rules() {
+            if !(rule.applies)(&a.facts.info) {
+                continue;
+            }
+            for hit in (rule.scan)(&a.facts.tokens) {
+                a.diags.push(Diagnostic {
+                    file: a.facts.real_path.clone(),
+                    line: hit.line,
+                    col: hit.col,
+                    rule: rule.id.to_string(),
+                    name: rule.name.to_string(),
+                    snippet: hit.snippet,
+                    message: rule.message.to_string(),
+                });
+            }
+        }
+    }
+
+    // Phase 2: crate-level symbol sets, then the structural rules.
+    let mut wrappers: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    let mut condvars: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for a in &analyzed {
+        let k = a.facts.info.krate.as_str();
+        wrappers
+            .entry(k)
+            .or_default()
+            .extend(a.facts.lock_wrappers.iter().cloned());
+        condvars
+            .entry(k)
+            .or_default()
+            .extend(a.facts.condvars.iter().cloned());
+    }
+    let by_path: BTreeMap<String, usize> = analyzed
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.facts.real_path.clone(), i))
+        .collect();
+    let mut edges: BTreeMap<&str, Vec<LockEdge>> = BTreeMap::new();
+    let mut structural: Vec<StructFinding> = Vec::new();
+    for a in &analyzed {
+        let k = a.facts.info.krate.as_str();
+        let mut rep = scan_concurrency(&a.facts, &wrappers[k], &condvars[k]);
+        edges.entry(k).or_default().append(&mut rep.edges);
+        structural.append(&mut rep.findings);
+    }
+    for crate_edges in edges.values_mut() {
+        crate_edges.sort();
+        structural.extend(lock_cycles(crate_edges));
+    }
+
+    // Phase 3: the cross-artifact metrics audit (D12). The inventory comes
+    // from DESIGN.md in workspace mode, from directives in fixture mode;
+    // with neither present the rule stays silent.
+    let rows = match design {
+        Some((path, text)) => parse_design_inventory(path, text),
+        None => directive_rows,
+    };
+    if design.is_some() || !rows.is_empty() {
+        let uses: Vec<(String, MetricUse)> = analyzed
+            .iter()
+            .flat_map(|a| {
+                a.facts
+                    .metrics
+                    .iter()
+                    .map(|m| (a.facts.real_path.clone(), m.clone()))
+            })
+            .collect();
+        structural.extend(check_metrics(&uses, &rows));
+    }
+
+    // Allow directives apply to structural findings too; findings anchored
+    // outside the analyzed sources (DESIGN.md stale rows) pass through.
+    let mut pass_through: Vec<Diagnostic> = Vec::new();
+    for f in structural {
+        let d = Diagnostic {
+            file: f.file,
+            line: f.line,
+            col: f.col,
+            rule: f.rule.to_string(),
+            name: f.name.to_string(),
+            snippet: f.snippet,
+            message: f.message.to_string(),
+        };
+        match by_path.get(&d.file) {
+            Some(&i) => analyzed[i].diags.push(d),
+            None => pass_through.push(d),
+        }
+    }
+    for a in analyzed {
+        result
+            .diags
+            .extend(apply_allows(a.diags, &a.allows, &a.facts.real_path));
+    }
+    result.diags.extend(pass_through);
+    result.diags.sort();
     result
 }
 
@@ -150,17 +278,20 @@ fn apply_allows(
     out
 }
 
-/// Lints the whole workspace rooted at `root`. Diagnostics are sorted by
-/// (file, line, col, rule) and per-rule totals are published to keebo-obs
-/// (`kwo_lint.diag.<rule>`).
+/// Lints the whole workspace rooted at `root`, including the D12 audit
+/// against `DESIGN.md`'s metrics inventory (skipped if the document is
+/// missing). Diagnostics are sorted by (file, line, col, rule) and per-rule
+/// totals are published to keebo-obs (`kwo_lint.diag.<rule>`).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for path in workspace_files(root)? {
         let rel = rel_path(root, &path);
         let src = fs::read_to_string(&path)?;
-        diags.extend(lint_source(&rel, &src).diags);
+        files.push((rel, src));
     }
-    diags.sort();
+    let design_text = fs::read_to_string(root.join(DESIGN_DOC)).ok();
+    let design = design_text.as_deref().map(|t| (DESIGN_DOC, t));
+    let diags = lint_sources(&files, design).diags;
     let mut per_rule: BTreeMap<String, u64> = BTreeMap::new();
     for d in &diags {
         *per_rule.entry(d.rule.to_lowercase()).or_insert(0) += 1;
@@ -183,10 +314,10 @@ fn rel_path(root: &Path, path: &Path) -> String {
 /// Outcome of gating diagnostics against the baseline.
 #[derive(Debug, Default)]
 pub struct GateResult {
-    /// Hard failures: new violations (or counts above baseline).
+    /// Gate failures: new violations, counts above baseline, or baseline
+    /// entries the tree has already ratcheted past (counts only go down,
+    /// and the entry must follow).
     pub failures: Vec<String>,
-    /// Ratchet slack: baseline entries whose count can be lowered.
-    pub slack: Vec<String>,
 }
 
 impl GateResult {
@@ -195,8 +326,11 @@ impl GateResult {
     }
 }
 
-/// Checks `diags` against `baseline`: every (rule, file) count must be at
-/// or under its frozen entry; pairs without an entry fail.
+/// Checks `diags` against `baseline`: every (rule, file) count must match
+/// its frozen entry exactly or be absent from both sides. Pairs without an
+/// entry fail (new violations); counts above the entry fail (regression);
+/// counts *below* the entry also fail — the ratchet direction is enforced,
+/// so a burned-down entry must be shrunk or deleted in the same change.
 pub fn check_baseline(diags: &[Diagnostic], baseline: &Baseline) -> GateResult {
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
     for d in diags {
@@ -212,8 +346,9 @@ pub fn check_baseline(diags: &[Diagnostic], baseline: &Baseline) -> GateResult {
                 "{file}: {rule} count {n} exceeds baseline {} — fix the new violation(s)",
                 e.count
             )),
-            Some(e) if *n < e.count => result.slack.push(format!(
-                "{file}: {rule} baseline {} but only {n} remain — tighten the entry",
+            Some(e) if *n < e.count => result.failures.push(format!(
+                "{file}: {rule} baseline {} but only {n} remain — shrink this entry \
+                 (counts only go down)",
                 e.count
             )),
             Some(_) => {}
@@ -221,8 +356,8 @@ pub fn check_baseline(diags: &[Diagnostic], baseline: &Baseline) -> GateResult {
     }
     for e in baseline.entries() {
         if !counts.contains_key(&(e.rule.clone(), e.file.clone())) {
-            result.slack.push(format!(
-                "{}: {} baseline {} but 0 remain — delete the entry",
+            result.failures.push(format!(
+                "{}: {} baseline {} but 0 remain — delete the entry (counts only go down)",
                 e.file, e.rule, e.count
             ));
         }
@@ -396,7 +531,7 @@ mod tests {
     }
 
     #[test]
-    fn baseline_gate_reports_slack_both_ways() {
+    fn baseline_gate_enforces_the_ratchet_direction() {
         let mut b = Baseline::default();
         b.insert(BaselineEntry {
             rule: "D5".into(),
@@ -410,11 +545,87 @@ mod tests {
             count: 2,
             reason: "r".into(),
         });
+        // Counts below baseline now FAIL: the entry must shrink with the fix.
         let g = check_baseline(&[d("D5", "a.rs", 1)], &b);
-        assert!(g.passed());
-        assert_eq!(g.slack.len(), 2);
-        assert!(g.slack.iter().any(|s| s.contains("tighten")));
-        assert!(g.slack.iter().any(|s| s.contains("delete")));
+        assert!(!g.passed());
+        assert_eq!(g.failures.len(), 2, "{:?}", g.failures);
+        assert!(g.failures.iter().any(|s| s.contains("shrink this entry")));
+        assert!(g.failures.iter().any(|s| s.contains("delete the entry")));
+    }
+
+    #[test]
+    fn structural_rules_run_through_lint_source() {
+        // D9 via a single-file workspace: the Condvar symbol set and the
+        // wait site live in the same source.
+        let src = "// lint-fixture: crates/core/src/sync.rs\n\
+                   struct S { cv: Condvar }\n\
+                   fn f(s: &S, g: G) -> G { s.cv.wait(g) }\n";
+        let r = lint_source("x.rs", src);
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert_eq!(r.diags[0].rule, "D9");
+        assert_eq!(r.diags[0].file, "x.rs");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_structural_findings() {
+        let src = "// lint-fixture: crates/core/src/sync.rs\n\
+                   struct S { cv: Condvar }\n\
+                   // lint: allow(D9) — woken exactly once by drop\n\
+                   fn f(s: &S, g: G) -> G { s.cv.wait(g) }\n";
+        let r = lint_source("x.rs", src);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn d12_audits_across_files_against_the_design_doc() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "fn f(r: &R) { r.counter(\"keebo.a.total\").inc(); }".to_string(),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "fn g(r: &R) { r.gauge(\"keebo.b.depth\").set(1.0); }".to_string(),
+            ),
+        ];
+        let design = "| `keebo.a.total` | counter | things |\n\
+                      | `keebo.gone` | gauge | removed |\n";
+        let r = lint_sources(&files, Some(("DESIGN.md", design)));
+        let d12: Vec<_> = r.diags.iter().filter(|d| d.rule == "D12").collect();
+        assert_eq!(d12.len(), 2, "{:?}", d12);
+        // keebo.b.depth is undocumented; keebo.gone is a stale row.
+        assert!(d12
+            .iter()
+            .any(|d| d.name == "metric-undocumented" && d.file == "crates/b/src/lib.rs"));
+        assert!(d12
+            .iter()
+            .any(|d| d.name == "metric-stale-row" && d.file == "DESIGN.md" && d.line == 2));
+    }
+
+    #[test]
+    fn d8_sees_lock_orders_across_files_of_one_crate() {
+        let wrapper =
+            "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap_or_else(p) }\n";
+        let files = vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                format!("{wrapper}fn a(s: &S) {{ let g = lock(&s.m1); lock(&s.m2).touch(); }}"),
+            ),
+            (
+                "crates/core/src/b.rs".to_string(),
+                "fn b(s: &S) { let g = lock(&s.m2); lock(&s.m1).touch(); }".to_string(),
+            ),
+        ];
+        let r = lint_sources(&files, None);
+        let d8: Vec<_> = r.diags.iter().filter(|d| d.rule == "D8").collect();
+        assert_eq!(d8.len(), 1, "{:?}", r.diags);
+        // Different crates do not share an acquisition graph.
+        let files2 = vec![
+            (files[0].0.clone(), files[0].1.clone()),
+            ("crates/other/src/b.rs".to_string(), files[1].1.clone()),
+        ];
+        let r2 = lint_sources(&files2, None);
+        assert!(r2.diags.iter().all(|d| d.rule != "D8"), "{:?}", r2.diags);
     }
 
     #[test]

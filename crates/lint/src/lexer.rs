@@ -11,7 +11,14 @@
 //! * allow directives — `// lint: allow(D5) — reason` — which suppress a
 //!   rule on the same line or the next code line;
 //! * fixture markers — `//~ D5` — used by the fixture corpus and `--smoke`
-//!   self-check to declare where a diagnostic is expected.
+//!   self-check to declare where a diagnostic is expected;
+//! * inventory directives — `// lint-inventory: keebo.x:counter, keebo.y` —
+//!   which stand in for DESIGN.md's metrics inventory in single-file
+//!   fixtures so D12 is testable without the real document.
+//!
+//! A directive comment may carry a trailing fixture marker
+//! (`// lint-inventory: keebo.gone:gauge //~ D12`) so fixtures can expect
+//! a diagnostic anchored at the directive's own line.
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +29,10 @@ pub enum TokKind {
     Punct,
     /// Numeric literal, integer or float, including any suffix.
     Num,
-    /// String/char/byte literal of any flavor (content discarded).
+    /// String/char/byte literal of any flavor. The verbatim source text
+    /// (including quotes and any `r#`/`b` prefix) is kept in `text` so
+    /// cross-artifact rules (D12 metric-name audit) can read the content;
+    /// token matchers stay safe because they key on `TokKind::Ident`.
     Lit,
     /// Lifetime or loop label (`'a`, `'outer`).
     Lifetime,
@@ -46,6 +56,21 @@ impl Tok {
 
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// For a plain (non-raw, non-byte) string literal, the content between
+    /// the quotes; `None` for every other token. Escapes are left verbatim —
+    /// the callers match exact metric-name strings, which never contain any.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Lit {
+            return None;
+        }
+        let t = self.text.as_str();
+        if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            Some(&t[1..t.len() - 1])
+        } else {
+            None
+        }
     }
 
     /// True for numeric literals that are floats (`1.0`, `1e-9`, `2f64`).
@@ -93,16 +118,28 @@ pub struct Marker {
     pub line: u32,
 }
 
+/// A fixture-side metrics inventory row:
+/// `// lint-inventory: keebo.name:kind` (kind optional).
+#[derive(Debug, Clone)]
+pub struct InventoryDirective {
+    pub name: String,
+    /// `counter` / `gauge` / `histogram`, or empty when unspecified.
+    pub kind: String,
+    pub line: u32,
+}
+
 /// Output of lexing one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Tok>,
     pub allows: Vec<AllowDirective>,
     pub markers: Vec<Marker>,
+    pub inventory: Vec<InventoryDirective>,
 }
 
-/// Lexes `src`, discarding comments and literal contents but collecting
-/// allow directives and fixture markers from comment text.
+/// Lexes `src`, discarding comments (while collecting allow directives and
+/// fixture markers from their text). Literal tokens keep their verbatim
+/// source text so content-aware rules can read them.
 pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let b = src.as_bytes();
@@ -163,7 +200,7 @@ pub fn lex(src: &str) -> Lexed {
             let j = skip_raw_string(b, i);
             out.tokens.push(Tok {
                 kind: TokKind::Lit,
-                text: String::new(),
+                text: src[i..j].to_string(),
                 line: start_line,
                 col: start_col,
                 in_test: false,
@@ -187,7 +224,28 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Tok {
                 kind: TokKind::Lit,
-                text: String::new(),
+                text: src[i..j].to_string(),
+                line: start_line,
+                col: start_col,
+                in_test: false,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // Byte-char literals: b'x', b'\n'. Without this, the `b` lexes as
+        // an ident and the quote desynchronizes the char/lifetime logic.
+        if c == 'b' && b.get(i + 1) == Some(&b'\'') {
+            let mut j = i + 2;
+            if b.get(j) == Some(&b'\\') {
+                j += 2;
+            }
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            j = (j + 1).min(b.len());
+            out.tokens.push(Tok {
+                kind: TokKind::Lit,
+                text: src[i..j].to_string(),
                 line: start_line,
                 col: start_col,
                 in_test: false,
@@ -223,7 +281,7 @@ pub fn lex(src: &str) -> Lexed {
                 j = (j + 1).min(b.len());
                 out.tokens.push(Tok {
                     kind: TokKind::Lit,
-                    text: String::new(),
+                    text: src[i..j].to_string(),
                     line: start_line,
                     col: start_col,
                     in_test: false,
@@ -402,9 +460,45 @@ fn parse_comment(text: &str, line: u32, out: &mut Lexed) {
         }
         return;
     }
+    // A directive comment may end in an embedded marker, so a fixture can
+    // expect a diagnostic anchored at the directive's own line.
+    let text = if let Some(p) = text.find("//~").filter(|&p| p > 0) {
+        for word in text[p + 3..].split_whitespace() {
+            if is_rule_id(word) {
+                out.markers.push(Marker {
+                    rule: word.to_string(),
+                    line,
+                });
+            }
+        }
+        &text[..p]
+    } else {
+        text
+    };
     // Allow directive: `// lint: allow(D5) — reason` (also `///`-style and
     // `//!`-style so module-level docs can carry one for their first item).
     let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+    // Inventory directive: `// lint-inventory: keebo.x:counter, keebo.y`.
+    if let Some(rest) = body.strip_prefix("lint-inventory:") {
+        for entry in rest.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, kind) = match entry.split_once(':') {
+                Some((n, k)) => (n.trim(), k.trim()),
+                None => (entry, ""),
+            };
+            if name.starts_with("keebo.") {
+                out.inventory.push(InventoryDirective {
+                    name: name.to_string(),
+                    kind: kind.to_lowercase(),
+                    line,
+                });
+            }
+        }
+        return;
+    }
     let Some(rest) = body.strip_prefix("lint:") else {
         return;
     };
@@ -521,6 +615,48 @@ mod tests {
             lexed.markers,
             vec![Marker {
                 rule: "D2".into(),
+                line: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn literals_keep_their_text() {
+        let toks = lex("let a = \"keebo.x\"; let b = r#\"raw\"#; let c = b\"bytes\";").tokens;
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["\"keebo.x\"", "r#\"raw\"#", "b\"bytes\""]);
+        let contents: Vec<Option<&str>> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.str_content())
+            .collect();
+        // Only the plain string exposes content; raw/byte forms return None.
+        assert_eq!(contents, vec![Some("keebo.x"), None, None]);
+    }
+
+    #[test]
+    fn inventory_directive_parses() {
+        let lexed = lex("// lint-inventory: keebo.a.total:counter, keebo.b, other.c:gauge\n");
+        assert_eq!(lexed.inventory.len(), 2);
+        assert_eq!(lexed.inventory[0].name, "keebo.a.total");
+        assert_eq!(lexed.inventory[0].kind, "counter");
+        assert_eq!(lexed.inventory[1].name, "keebo.b");
+        assert_eq!(lexed.inventory[1].kind, "");
+    }
+
+    #[test]
+    fn directive_comments_can_embed_a_marker() {
+        let lexed = lex("// lint-inventory: keebo.gone:gauge //~ D12\n");
+        assert_eq!(lexed.inventory.len(), 1);
+        assert_eq!(lexed.inventory[0].name, "keebo.gone");
+        assert_eq!(
+            lexed.markers,
+            vec![Marker {
+                rule: "D12".into(),
                 line: 1
             }]
         );

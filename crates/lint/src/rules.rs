@@ -1,11 +1,13 @@
-//! The domain rules D1–D7.
+//! The per-file token rules D1–D7 and D11.
 //!
 //! Each rule is a matcher over the lexed token stream of one file plus a
 //! scope predicate saying where the rule applies. The rules encode the
 //! invariants the dynamic test suite checks after the fact — fleet-digest
 //! bit-identity, billing-oracle agreement — as source-level bans, so a
 //! regression is rejected at lint time instead of being hunted down from a
-//! flaky digest mismatch later.
+//! flaky digest mismatch later. The structural rules D8–D10 and the
+//! cross-artifact audit D12 need whole-crate context and live in
+//! `index.rs`.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -31,27 +33,37 @@ pub struct FileInfo {
 }
 
 impl FileInfo {
-    /// Classifies a repo-relative path.
+    /// Classifies a repo-relative path. `\` separators are normalized to
+    /// `/`, and the test-like / bin checks look only at *directory*
+    /// segments below the crate root — so a crate literally named
+    /// `fixtures` or `tests` (`crates/fixtures/src/lib.rs`) is still Lib,
+    /// and a file named `tests.rs` never trips the directory check.
     pub fn classify(path: &str) -> FileInfo {
-        let krate = path
-            .strip_prefix("crates/")
-            .and_then(|rest| rest.split('/').next())
-            .unwrap_or("")
-            .to_string();
-        let kind = if path.starts_with("tests/")
-            || path.starts_with("examples/")
-            || path.contains("/tests/")
-            || path.contains("/examples/")
-            || path.contains("/fixtures/")
+        let normalized = path.replace('\\', "/");
+        let segments: Vec<&str> = normalized.split('/').collect();
+        // Directory segments only: everything but the file name.
+        let dirs = &segments[..segments.len().saturating_sub(1)];
+
+        let (krate, crate_dirs) = if dirs.first() == Some(&"crates") && dirs.len() >= 2 {
+            (dirs[1].to_string(), &dirs[2..])
+        } else {
+            (String::new(), dirs)
+        };
+
+        let kind = if crate_dirs
+            .iter()
+            .any(|d| matches!(*d, "tests" | "examples" | "fixtures"))
         {
             FileKind::TestLike
-        } else if path.contains("/src/bin/") || path.contains("/benches/") {
+        } else if crate_dirs.first() == Some(&"benches")
+            || (crate_dirs.first() == Some(&"src") && crate_dirs.get(1) == Some(&"bin"))
+        {
             FileKind::Bin
         } else {
             FileKind::Lib
         };
         FileInfo {
-            path: path.to_string(),
+            path: normalized,
             krate,
             kind,
         }
@@ -83,7 +95,7 @@ pub fn all_rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 7] = [
+static RULES: [Rule; 8] = [
     Rule {
         id: "D1",
         name: "no-wall-clock",
@@ -142,6 +154,13 @@ static RULES: [Rule; 7] = [
                 && f.path != "crates/bench/src/report.rs"
         },
         scan: scan_durable_io,
+    },
+    Rule {
+        id: "D11",
+        name: "atomics-ordering",
+        message: "Ordering::Relaxed outside the obs statistics registry: cross-thread flags/cursors need Acquire/Release/SeqCst — or justify the counter with an inline `// lint: allow(D11) — reason`",
+        applies: |f| f.kind == FileKind::Lib && f.krate != "obs",
+        scan: scan_relaxed_ordering,
     },
 ];
 
@@ -346,7 +365,7 @@ fn callee_of_close_paren(toks: &[Tok], close: usize) -> Option<usize> {
 }
 
 /// Walks forward from a `(` at `open` to its matching `)`.
-fn matching_close_paren(toks: &[Tok], open: usize) -> Option<usize> {
+pub(crate) fn matching_close_paren(toks: &[Tok], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct('(') {
@@ -433,6 +452,19 @@ fn scan_durable_io(toks: &[Tok]) -> Vec<RuleMatch> {
                     out.push(m(t, format!("unchecked {}(..)", t.text)));
                 }
             }
+        }
+    }
+    out
+}
+
+/// D11: the exact token path `Ordering::Relaxed`. The full-path check means
+/// `std::cmp::Ordering::Equal` and other `Ordering` enums never match —
+/// only the atomics variant spells `Relaxed`.
+fn scan_relaxed_ordering(toks: &[Tok]) -> Vec<RuleMatch> {
+    let mut out = Vec::new();
+    for (i, t) in live(toks) {
+        if t.is_ident("Ordering") && path_seg(toks, i + 1, "Relaxed") {
+            out.push(m(toks.get(i + 3).unwrap_or(t), "Ordering::Relaxed"));
         }
     }
     out
@@ -566,6 +598,65 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); thread_rng(); } }";
         assert!(run(scan_panic_paths, src).is_empty());
         assert!(run(scan_ambient_rng, src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_matches_only_atomics() {
+        assert_eq!(
+            run(scan_relaxed_ordering, "x.fetch_add(1, Ordering::Relaxed);").len(),
+            1
+        );
+        assert_eq!(
+            run(
+                scan_relaxed_ordering,
+                "y.load(std::sync::atomic::Ordering::Relaxed)"
+            )
+            .len(),
+            1
+        );
+        // The cmp enum never spells `Relaxed`.
+        assert!(run(scan_relaxed_ordering, "if ord == Ordering::Equal {}").is_empty());
+        assert!(run(scan_relaxed_ordering, "x.load(Ordering::Acquire)").is_empty());
+        assert!(run(scan_relaxed_ordering, "let Relaxed = mode;").is_empty());
+    }
+
+    #[test]
+    fn classify_is_table_driven() {
+        // (path, expected kind, expected crate)
+        let table: &[(&str, FileKind, &str)] = &[
+            // Backslash separators normalize.
+            ("crates\\core\\src\\fleet.rs", FileKind::Lib, "core"),
+            (
+                "crates\\core\\tests\\gateway.rs",
+                FileKind::TestLike,
+                "core",
+            ),
+            // A crate literally named `fixtures` or `tests` is still Lib.
+            ("crates/fixtures/src/lib.rs", FileKind::Lib, "fixtures"),
+            ("crates/tests/src/lib.rs", FileKind::Lib, "tests"),
+            // A *file* named tests.rs/fixtures.rs is not a tests directory.
+            ("crates/core/src/tests.rs", FileKind::Lib, "core"),
+            ("crates/core/src/fixtures.rs", FileKind::Lib, "core"),
+            // Directory segments still classify as before.
+            (
+                "crates/lint/tests/fixtures/d8.rs",
+                FileKind::TestLike,
+                "lint",
+            ),
+            ("crates/core/examples/demo.rs", FileKind::TestLike, "core"),
+            (
+                "crates/bench/src/bin/store_faults.rs",
+                FileKind::Bin,
+                "bench",
+            ),
+            // `src/bin` must be those exact segments, in order.
+            ("crates/core/src/binary.rs", FileKind::Lib, "core"),
+        ];
+        for (path, kind, krate) in table {
+            let info = FileInfo::classify(path);
+            assert_eq!(info.kind, *kind, "kind of {path}");
+            assert_eq!(info.krate, *krate, "crate of {path}");
+        }
     }
 
     #[test]

@@ -27,7 +27,9 @@ fn fixture_corpus_agrees_with_markers() {
 #[test]
 fn fixture_corpus_covers_every_rule() {
     let report = run_fixtures(fixtures_dir()).expect("fixture corpus readable");
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D7"] {
+    for rule in [
+        "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "D11", "D12",
+    ] {
         assert!(
             report.diags.iter().any(|d| d.rule == rule),
             "no fixture exercises {rule}"

@@ -1,0 +1,47 @@
+// lint-fixture: crates/core/src/fixture_guard.rs
+//! Guard-across-boundary fixture (D10). A live `MutexGuard` must not span
+//! a user callback, a `catch_unwind`, or a channel send: callbacks can
+//! re-enter the lock (deadlock), `catch_unwind` can observe poisoned
+//! state, and a blocking send turns the critical section unbounded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Mutex, PoisonError};
+
+// Bad: the slot guard is still live when the job runs under catch_unwind.
+pub fn bad_unwind_boundary(slot: &Mutex<u64>, job: fn() -> u64) -> u64 {
+    let mut held = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let out = catch_unwind(AssertUnwindSafe(job)).unwrap_or(0); //~ D10
+    *held = out;
+    out
+}
+
+// Bad: invoking a caller-supplied closure while holding the lock — the
+// callback can call back into this module and self-deadlock.
+pub fn bad_callback_under_lock(slot: &Mutex<u64>, on_change: impl Fn(u64)) {
+    let held = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    on_change(*held); //~ D10
+}
+
+// Bad: a channel send can block on a full queue; the lock is held for as
+// long as the receiver dawdles.
+pub fn bad_send_under_lock(slot: &Mutex<u64>, tx: &Sender<u64>) {
+    let held = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = tx.send(*held); //~ D10
+}
+
+// Ok: copy the value out in a tight scope, then cross the boundaries with
+// no guard live.
+pub fn ok_copy_then_notify(slot: &Mutex<u64>, on_change: impl Fn(u64), tx: &Sender<u64>) {
+    let value = { *slot.lock().unwrap_or_else(PoisonError::into_inner) };
+    on_change(value);
+    let _ = tx.send(value);
+}
+
+// Ok: explicit drop before the unwind boundary.
+pub fn ok_drop_before_unwind(slot: &Mutex<u64>, job: fn() -> u64) -> u64 {
+    let held = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let snapshot = *held;
+    drop(held);
+    catch_unwind(AssertUnwindSafe(job)).unwrap_or(snapshot)
+}

@@ -1,0 +1,34 @@
+// lint-fixture: crates/core/src/fixture_atomics.rs
+//! Atomics-ordering fixture (D11). `Ordering::Relaxed` gives no
+//! happens-before edge: fine for a write-only statistics counter, wrong
+//! for any flag or cursor another thread's reads are ordered against.
+//! Outside the obs registry, Relaxed needs an inline justification.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+// Bad: a work-stealing cursor read with Relaxed — consumers can observe
+// the bump before the slot write it is supposed to publish.
+pub fn bad_relaxed_cursor(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed) //~ D11
+}
+
+// Ok: acquire/release pairs order the flag against the data it guards.
+pub fn ok_release_store(done: &AtomicBool) {
+    done.store(true, Ordering::Release);
+}
+
+pub fn ok_acquire_load(done: &AtomicBool) -> bool {
+    done.load(Ordering::Acquire)
+}
+
+// Ok: a monotonic stats counter that nothing synchronizes on, justified.
+pub fn ok_justified_counter(hits: &AtomicU64) {
+    // lint: allow(D11) — write-only stats counter, never read for control flow
+    hits.fetch_add(1, Ordering::Relaxed);
+}
+
+// Trap: `std::cmp::Ordering` is not the atomics enum — comparing values
+// relaxedly is a pun the rule must not fall for.
+pub fn ok_cmp_ordering(a: u64, b: u64) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Equal)
+}

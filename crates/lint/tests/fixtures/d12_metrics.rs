@@ -1,0 +1,40 @@
+// lint-fixture: crates/core/src/fixture_metrics.rs
+//! Metrics-inventory fixture (D12). Every `keebo.*` registration must be
+//! in the inventory (here: `lint-inventory:` directives standing in for
+//! DESIGN.md's table), kinds must agree with the documented row, and rows
+//! with no surviving registration are stale.
+// lint-inventory: keebo.fixture.ticks:counter, keebo.fixture.depth:gauge
+// lint-inventory: keebo.fixture.retired:counter //~ D12
+
+pub struct Registry;
+
+// Ok: both registrations match their inventory rows exactly.
+pub fn ok_documented(reg: &Registry) {
+    reg.counter("keebo.fixture.ticks").inc();
+    reg.gauge("keebo.fixture.depth").set(3.0);
+}
+
+// Ok: naming a documented metric outside a registration call claims no
+// kind, so it cannot conflict.
+pub fn ok_name_only() -> &'static str {
+    "keebo.fixture.depth"
+}
+
+// Bad: registered but absent from the inventory.
+pub fn bad_undocumented(reg: &Registry) {
+    reg.histogram("keebo.fixture.wait_us").observe(9.0); //~ D12
+}
+
+// Bad: the inventory says `keebo.fixture.ticks` is a counter.
+pub fn bad_kind_drift(reg: &Registry) {
+    reg.gauge("keebo.fixture.ticks").set(1.0); //~ D12
+}
+
+// Trap: metric names minted inside test scope are the test's business.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_metric_is_ignored() {
+        let _ = "keebo.fixture.test_only";
+    }
+}

@@ -1,0 +1,53 @@
+// lint-fixture: crates/core/src/fixture_locks.rs
+//! Lock-ordering fixture (D8). Two functions of the same crate acquiring
+//! `state` and `queue` in opposite orders put a cycle in the static
+//! Mutex-acquisition graph; the consistent third function rides the
+//! sanctioned global order and adds no back-edge.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Shards {
+    state: Mutex<u64>,
+    queue: Mutex<u64>,
+    stats: Mutex<u64>,
+}
+
+/// Crate-local lock wrapper: returns a `MutexGuard`, so the index treats
+/// calls to it as acquisitions.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// Bad: takes state before queue here...
+pub fn bad_forward(s: &Shards) -> u64 {
+    let state = lock(&s.state);
+    let queue = lock(&s.queue);
+    *state + *queue
+}
+
+// ...and queue before state here. Together: a deadlock-shaped cycle. The
+// one finding anchors at the edge whose held lock sorts first (queue).
+pub fn bad_reverse(s: &Shards) -> u64 {
+    let queue = lock(&s.queue);
+    let state = lock(&s.state); //~ D8
+    *queue - *state
+}
+
+// Ok: same pair, same order as `bad_forward` — reinforces an existing edge
+// without closing a cycle. `stats` hangs off the end of the global order.
+pub fn ok_global_order(s: &Shards) -> u64 {
+    let state = lock(&s.state);
+    let queue = lock(&s.queue);
+    let stats = lock(&s.stats);
+    *state + *queue + *stats
+}
+
+// Ok: dropping the first guard before taking the "wrong-order" lock means
+// nothing is held across the acquisition — no edge, no cycle.
+pub fn ok_drop_between(s: &Shards) -> u64 {
+    let stats = lock(&s.stats);
+    let total = *stats;
+    drop(stats);
+    let state = lock(&s.state);
+    total + *state
+}

@@ -1,0 +1,53 @@
+// lint-fixture: crates/core/src/fixture_condvar.rs
+//! Condvar fixture (D9). `Condvar::wait` returning is *not* proof the
+//! predicate holds — spurious wakeups and stolen wakeups are both legal —
+//! so every wait must sit inside a predicate loop (or use `wait_while`,
+//! which re-checks internally).
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+pub struct Gate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+// Bad: a single wait guarded by `if` — a spurious wakeup sails straight
+// through with `ready` still false.
+pub fn bad_single_wait(g: &Gate) {
+    let mut ready = g.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    if !*ready {
+        ready = g.cv.wait(ready).unwrap_or_else(PoisonError::into_inner); //~ D9
+    }
+    *ready = false;
+}
+
+// Bad: `wait_timeout` has the same contract — the timeout result does not
+// excuse skipping the predicate re-check.
+pub fn bad_wait_timeout(g: &Gate) -> bool {
+    let ready = g.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    let (ready, timeout) = g
+        .cv
+        .wait_timeout(ready, Duration::from_millis(50)) //~ D9
+        .unwrap_or_else(PoisonError::into_inner);
+    *ready && !timeout.timed_out()
+}
+
+// Ok: the canonical predicate loop.
+pub fn ok_predicate_loop(g: &Gate) {
+    let mut ready = g.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*ready {
+        ready = g.cv.wait(ready).unwrap_or_else(PoisonError::into_inner);
+    }
+    *ready = false;
+}
+
+// Ok: `wait_while` owns the re-check, so no enclosing loop is needed.
+pub fn ok_wait_while(g: &Gate) {
+    let guard = g.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut ready = g
+        .cv
+        .wait_while(guard, |r| !*r)
+        .unwrap_or_else(PoisonError::into_inner);
+    *ready = false;
+}

@@ -27,10 +27,11 @@ pub fn bad_worker_stats() -> HashMap<usize, u64> { //~ D3
     HashMap::new() //~ D3
 }
 
-// Bad: unwrapping the condvar wait instead of recovering from poisoning.
+// Bad: unwrapping the condvar wait instead of recovering from poisoning —
+// and waiting outside a predicate loop, so a spurious wakeup pops garbage.
 pub fn bad_wait(q: &Queue) -> u64 {
     let guard = q.jobs.lock().unwrap(); //~ D5
-    let mut guard = q.ready.wait(guard).unwrap(); //~ D5
+    let mut guard = q.ready.wait(guard).unwrap(); //~ D5 D9
     guard.pop_front().expect("queue empty after wakeup") //~ D5
 }
 

@@ -63,6 +63,7 @@ pub fn run_scenario(
     sim.set_post_event_hook(move |account, _| {
         for id in account.warehouse_ids() {
             let running = account.warehouse(id).running_clusters();
+            // lint: allow(D11) — peak tracker in a single-threaded scenario; nothing synchronizes on it
             sink.fetch_max(running, Ordering::Relaxed);
         }
     });
@@ -89,6 +90,7 @@ pub fn run_scenario(
     ScenarioResult {
         total_credits: hourly.total(),
         hourly,
+        // lint: allow(D11) — reading the single-threaded peak tracker back out
         peak_clusters: peak.load(Ordering::Relaxed),
         queue_waits,
         completed: account.query_records().len(),
